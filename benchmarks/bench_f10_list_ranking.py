@@ -1,0 +1,56 @@
+"""F10 — list ranking: contraction ``O(Sort(N))`` vs pointer chasing ``Θ(N)``.
+
+Paper claim: following pointers through a randomly stored list costs one
+I/O per hop; randomized independent-set contraction replaces the walk
+with a geometric series of sorts.  Pointer chasing's per-record cost is
+flat at ~1; contraction's falls like ``log(N)/B``, so a crossover appears
+once N/B outweighs the contraction's constant factor.
+
+Reproduction: sweep N at a realistic block size and report both costs
+per record.
+"""
+
+from conftest import report
+
+from repro.core import Machine
+from repro.graph import list_ranking, pointer_chase_ranking
+from repro.workloads import random_linked_list
+
+B, M_BLOCKS = 256, 16
+
+
+def run_experiment():
+    rows = []
+    ratios = []
+    for n in (5_000, 20_000, 80_000):
+        pairs = random_linked_list(n, seed=11)
+        m1 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        with m1.measure() as io_chase:
+            chased = pointer_chase_ranking(m1, pairs, n)
+        m2 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        with m2.measure() as io_contract:
+            contracted = list_ranking(m2, pairs)
+        assert chased == contracted
+        ratio = io_contract.total / io_chase.total
+        ratios.append(ratio)
+        rows.append([
+            n, io_chase.total, f"{io_chase.total / n:.2f}",
+            io_contract.total, f"{io_contract.total / n:.2f}",
+            f"{ratio:.2f}",
+        ])
+    # Pointer chasing stays ~1 I/O per record; contraction's relative
+    # cost must fall as N grows (the sort bound's 1/B advantage).
+    assert ratios[-1] < ratios[0]
+    assert float(rows[-1][2]) > 0.8  # chase ~ 1 I/O per hop
+    assert int(rows[-1][3]) < int(rows[-1][1])  # contraction wins at 80k
+    return rows
+
+
+def test_f10_list_ranking(once):
+    rows = once(run_experiment)
+    report(
+        "F10", f"list ranking (B={B}, M={B * M_BLOCKS})",
+        ["N", "chase I/O", "per rec", "contract I/O", "per rec",
+         "contract/chase"],
+        rows,
+    )

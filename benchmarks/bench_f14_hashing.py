@@ -1,0 +1,67 @@
+"""F14 — extendible hashing: O(1)-I/O lookups, independent of N.
+
+Paper claim: exact-match dictionaries don't need ``log_B N`` I/Os; an
+extendible hash directory reaches the right bucket in a single I/O, at
+any size — the trade being no ordered/range access.
+
+Reproduction: cold point lookups in hash tables and B+-trees across a
+size sweep; hash cost must stay flat at 1 while the tree's grows with
+``log_B N``.
+"""
+
+from conftest import report
+
+from repro.core import Machine, search_io
+from repro.search import BPlusTree, ExtendibleHashTable
+from repro.workloads import distinct_ints
+
+B, M_BLOCKS = 32, 8
+
+
+def cold_cost(machine, index, probes):
+    total = 0
+    for probe in probes:
+        machine.pool.drop_all()
+        machine.reset_stats()
+        index.get(probe)
+        total += machine.stats().reads
+    return total / len(probes)
+
+
+def run_experiment():
+    rows = []
+    hash_costs = []
+    tree_costs = []
+    for n in (2_000, 16_000, 128_000):
+        keys = distinct_ints(n, seed=15)
+        m1 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        table = ExtendibleHashTable(m1)
+        for k in keys:
+            table.insert(k, k)
+        m2 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        tree = BPlusTree.bulk_load(
+            m2, iter((k, k) for k in sorted(keys))
+        )
+        probes = keys[:: max(1, n // 100)]
+        hash_cost = cold_cost(m1, table, probes)
+        tree_cost = cold_cost(m2, tree, probes)
+        hash_costs.append(hash_cost)
+        tree_costs.append(tree_cost)
+        rows.append([
+            n, f"{hash_cost:.2f}", f"{tree_cost:.2f}",
+            search_io(n, tree.order), table.global_depth,
+        ])
+    assert max(hash_costs) <= 1.2          # flat at ~1 I/O
+    assert tree_costs[-1] > tree_costs[0]  # tree height grows
+    assert tree_costs[-1] > hash_costs[-1]
+    return rows
+
+
+def test_f14_hashing(once):
+    rows = once(run_experiment)
+    report(
+        "F14", f"cold point-lookup I/Os (B={B})",
+        ["N", "hash I/O per lookup", "B-tree I/O per lookup",
+         "log_B N", "directory depth"],
+        rows,
+    )

@@ -1,0 +1,57 @@
+"""F20 (extension) — batched dominance counting by distribution sweeping.
+
+Paper claim: the distribution-sweeping template applies to the whole
+family of batched orthogonal problems; dominance counting (a.k.a.
+2-D rank queries) runs in ``O(Sort(N))`` I/Os versus the all-pairs
+``ceil(Q/M)·scan(P)`` baseline.
+
+Reproduction: equal point/query sets of growing size; the sweep must
+grow near-linearly and overtake the quadratic baseline.
+"""
+
+import random
+
+from conftest import report
+
+from repro.core import Machine
+from repro.geometry import dominance_counts, dominance_counts_naive
+
+B, M_BLOCKS = 32, 10
+
+
+def run_experiment():
+    rows = []
+    sweep_costs, naive_costs = [], []
+    rng = random.Random(21)
+    for n in (1_000, 4_000, 16_000):
+        points = [(rng.randrange(10**6), rng.randrange(10**6))
+                  for _ in range(n)]
+        queries = [(rng.randrange(10**6), rng.randrange(10**6))
+                   for _ in range(n)]
+        m1 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        with m1.measure() as io_sweep:
+            first = dominance_counts(m1, points, queries)
+        m2 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        with m2.measure() as io_naive:
+            second = dominance_counts_naive(m2, points, queries)
+        assert first == second
+        sweep_costs.append(io_sweep.total)
+        naive_costs.append(io_naive.total)
+        rows.append([
+            n, io_sweep.total, io_naive.total,
+            f"{io_naive.total / io_sweep.total:.2f}",
+        ])
+    naive_growth = naive_costs[-1] / naive_costs[0]
+    sweep_growth = sweep_costs[-1] / sweep_costs[0]
+    assert naive_growth > 1.5 * sweep_growth   # quadratic vs ~linear
+    assert sweep_costs[-1] < naive_costs[-1]   # crossover reached
+    return rows
+
+
+def test_f20_dominance(once):
+    rows = once(run_experiment)
+    report(
+        "F20", f"dominance counting (B={B}, m={M_BLOCKS})",
+        ["points=queries", "sweep I/O", "naive I/O", "naive/sweep"],
+        rows,
+    )

@@ -1,0 +1,58 @@
+"""F22 (extension) — selection is strictly easier than sorting.
+
+Paper claim (fundamental-bounds family): order statistics need only
+``O(scan(N))`` I/Os — a geometrically shrinking series of partition
+passes — while sort-then-index pays the full ``Θ(Sort(N))``.
+
+Reproduction: median extraction across a size sweep; selection's
+I/O-per-record must stay flat (~a few per block) while sorting's grows
+with the pass count.
+"""
+
+from conftest import report
+
+from repro.core import FileStream, Machine, scan_io, sort_io
+from repro.sort import external_median, external_merge_sort
+from repro.workloads import uniform_ints
+
+B, M_BLOCKS = 64, 8
+
+
+def run_experiment():
+    rows = []
+    ratios = []
+    for n in (8_000, 32_000, 128_000):
+        m1 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        data = uniform_ints(n, seed=23)
+        stream = FileStream.from_records(m1, data)
+        with m1.measure() as io_select:
+            median = external_median(m1, stream)
+        assert median == sorted(data)[n // 2]
+
+        m2 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        stream2 = FileStream.from_records(m2, data)
+        with m2.measure() as io_sort:
+            external_merge_sort(m2, stream2)
+
+        scans = io_select.total / scan_io(n, B)
+        ratios.append(scans)
+        rows.append([
+            n, io_select.total, f"{scans:.2f}",
+            io_sort.total, sort_io(n, m2.M, B),
+            f"{io_sort.total / io_select.total:.2f}x",
+        ])
+        assert io_select.total < io_sort.total
+    # O(scan): the pass-equivalent stays bounded as N grows 16x.
+    assert max(ratios) < 8
+    assert max(ratios) - min(ratios) < 3
+    return rows
+
+
+def test_f22_selection(once):
+    rows = once(run_experiment)
+    report(
+        "F22", f"median selection vs full sort (B={B}, M={B * M_BLOCKS})",
+        ["N", "selection I/O", "as scans", "sort I/O", "Sort(N)",
+         "sort/selection"],
+        rows,
+    )

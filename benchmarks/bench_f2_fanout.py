@@ -1,0 +1,48 @@
+"""F2 — the merge fan-in ablation: log_2 vs log_{M/B} passes.
+
+Paper claim: the whole point of the external-memory sorting bound is the
+``log_{M/B}`` base.  An algorithm that merges 2 runs at a time (the RAM
+algorithm) pays ``1 + ceil(log_2(N/M))`` passes; fan-in ``m-1`` pays
+``1 + ceil(log_{m-1}(N/M))``.
+
+Reproduction: sort the same data with fan-in 2, 4, 8, and the machine
+maximum; measured passes (I/O / 2·scan) must match the formula and
+decrease with fan-in.
+"""
+
+from conftest import report
+
+from repro.core import FileStream, Machine, merge_passes, scan_io
+from repro.sort import external_merge_sort
+from repro.workloads import uniform_ints
+
+B, M_BLOCKS, N = 64, 16, 120_000  # fan-in up to 15
+
+
+def run_experiment():
+    rows = []
+    previous_io = None
+    for fan_in in (2, 4, 8, 15):
+        machine = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        stream = FileStream.from_records(machine, uniform_ints(N, seed=3))
+        with machine.measure() as io:
+            external_merge_sort(machine, stream, fan_in=fan_in)
+        implied_passes = io.total / (2 * scan_io(N, B))
+        predicted = merge_passes(N, machine.M, B, fan_in=fan_in)
+        rows.append([fan_in, predicted, io.total,
+                     f"{implied_passes:.2f}"])
+        assert implied_passes <= predicted + 0.01
+        if previous_io is not None:
+            assert io.total <= previous_io  # more fan-in never hurts
+        previous_io = io.total
+    assert int(rows[0][2]) > int(rows[-1][2])  # 2-way strictly worse
+    return rows
+
+
+def test_f2_fanout(once):
+    rows = once(run_experiment)
+    report(
+        "F2", f"fan-in ablation, N={N}, B={B}, M={B * M_BLOCKS}",
+        ["fan-in", "predicted passes", "measured I/O", "implied passes"],
+        rows,
+    )

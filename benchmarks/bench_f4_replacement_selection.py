@@ -1,0 +1,69 @@
+"""F4 — replacement selection run lengths.
+
+Paper claim (Knuth's classic, quoted by the survey): on random input,
+replacement selection produces runs of expected length ``2·M`` —
+half as many runs as load-sort-store — while sorted input yields a single
+run and reverse-sorted input degrades to length ``M``.
+
+Reproduction: form runs with both strategies on random / sorted /
+reversed / nearly-sorted inputs and compare run counts and mean lengths.
+"""
+
+from conftest import report
+
+from repro.core import FileStream, Machine
+from repro.sort import (
+    average_run_length,
+    form_runs_load_sort,
+    form_runs_replacement_selection,
+)
+from repro.workloads import (
+    nearly_sorted_ints,
+    reversed_ints,
+    sorted_ints,
+    uniform_ints,
+)
+
+B, M_BLOCKS, N = 64, 16, 40_000
+
+
+def run_experiment():
+    heap = B * M_BLOCKS - 2 * B  # replacement-selection heap capacity
+    rows = []
+    for label, data in [
+        ("random", uniform_ints(N, seed=5)),
+        ("sorted", sorted_ints(N)),
+        ("reversed", reversed_ints(N)),
+        ("nearly sorted", nearly_sorted_ints(N, swaps=200, seed=5)),
+    ]:
+        m1 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        load_runs = form_runs_load_sort(
+            m1, FileStream.from_records(m1, data)
+        )
+        m2 = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        repl_runs = form_runs_replacement_selection(
+            m2, FileStream.from_records(m2, data)
+        )
+        rows.append([
+            label, len(load_runs), len(repl_runs),
+            f"{average_run_length(repl_runs):.0f}",
+            f"{average_run_length(repl_runs) / heap:.2f}",
+        ])
+    # Shape assertions.
+    random_row, sorted_row, reversed_row = rows[0], rows[1], rows[2]
+    assert 1.6 <= float(random_row[4]) <= 2.6       # ~2M on random input
+    assert sorted_row[2] == 1                        # one run when sorted
+    assert 0.9 <= float(reversed_row[4]) <= 1.1     # ~M when reversed
+    assert rows[3][2] <= 3                           # nearly sorted: few
+    return rows
+
+
+def test_f4_replacement_selection(once):
+    rows = once(run_experiment)
+    report(
+        "F4",
+        f"run formation, N={N}, heap={B * M_BLOCKS - 2 * B} records",
+        ["input", "load-sort runs", "RS runs", "RS mean length",
+         "length/heap"],
+        rows,
+    )

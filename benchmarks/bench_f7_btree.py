@@ -1,0 +1,78 @@
+"""F7 — B-tree search ``Θ(log_B N)`` and output-sensitive range queries.
+
+Paper claims: (a) point queries cost the tree height ``~log_B N`` I/Os;
+(b) growing ``B`` flattens the tree (the disk-block fan-out is what makes
+disk search usable); (c) range queries cost ``log_B N + Z/B``, linear in
+the output.
+
+Reproduction: sweep N, B, and Z; measured cold-cache I/Os per query must
+track the formulas.
+"""
+
+import math
+
+from conftest import report
+
+from repro.core import Machine, output_io, search_io
+from repro.search import BPlusTree
+
+
+def build(n, block_size, memory_blocks=8):
+    machine = Machine(block_size=block_size, memory_blocks=memory_blocks)
+    tree = BPlusTree.bulk_load(machine, iter((k, k) for k in range(n)))
+    return machine, tree
+
+
+def cold_search_cost(machine, tree, probes):
+    total = 0
+    for probe in probes:
+        machine.pool.drop_all()
+        machine.reset_stats()
+        tree.get(probe)
+        total += machine.stats().reads
+    return total / len(probes)
+
+
+def run_experiment():
+    rows = []
+    # (a) N sweep at fixed B.
+    for n in (4_000, 32_000, 256_000):
+        machine, tree = build(n, block_size=64)
+        cost = cold_search_cost(machine, tree, [1, n // 2, n - 2])
+        rows.append([f"N={n}, B=64", f"{cost:.1f}",
+                     search_io(n, tree.order)])
+        assert cost <= search_io(n, tree.order) + 1
+    # (b) B sweep at fixed N.
+    heights = []
+    for block_size in (8, 64, 512):
+        machine, tree = build(32_000, block_size=block_size)
+        cost = cold_search_cost(machine, tree, [7, 16_000, 31_999])
+        heights.append(cost)
+        rows.append([f"N=32000, B={block_size}", f"{cost:.1f}",
+                     search_io(32_000, tree.order)])
+    assert heights[0] > heights[-1]  # bigger blocks -> flatter tree
+    # (c) Z sweep: range query cost linear in output.
+    machine, tree = build(64_000, block_size=64)
+    range_costs = []
+    for z in (64, 640, 6_400):
+        machine.pool.drop_all()
+        machine.reset_stats()
+        result = list(tree.range_query(1_000, 1_000 + z - 1))
+        assert len(result) == z
+        cost = machine.stats().reads
+        range_costs.append(cost)
+        rows.append([f"range Z={z}, B=64", cost,
+                     output_io(64_000, tree.order, z)])
+    # 100x the output must cost ~100x the leaf reads, not 100x searches.
+    assert range_costs[2] < 20 * range_costs[1]
+    assert range_costs[2] > 5 * range_costs[1]
+    return rows
+
+
+def test_f7_btree(once):
+    rows = once(run_experiment)
+    report(
+        "F7", "B+-tree query I/Os (cold cache)",
+        ["configuration", "measured I/O per query", "theory"],
+        rows,
+    )

@@ -1,0 +1,74 @@
+"""T1 — the survey's fundamental-bounds table.
+
+Paper claim: the four basic operations cost
+``Scan = Θ(N/B)``, ``Sort = Θ((N/B) log_{M/B}(N/B))``,
+``Search = Θ(log_B N)`` per query, ``Output = Θ(log_B N + Z/B)``.
+
+Reproduction: measure each operation's I/Os on the simulated machine and
+print measured vs closed-form theory; the ratios must be Θ(1).
+"""
+
+from conftest import report
+
+from repro.core import FileStream, Machine, output_io, scan_io, search_io, sort_io
+from repro.search import BPlusTree
+from repro.sort import external_merge_sort
+from repro.workloads import distinct_ints
+
+B, M_BLOCKS = 64, 16
+
+
+def run_experiment():
+    rows = []
+    for n in (16_384, 65_536, 262_144):
+        machine = Machine(block_size=B, memory_blocks=M_BLOCKS)
+        data = distinct_ints(n, seed=1)
+        stream = FileStream.from_records(machine, data)
+
+        with machine.measure() as io:
+            for _ in stream:
+                pass
+        scan_measured, scan_theory = io.total, scan_io(n, B)
+
+        with machine.measure() as io:
+            external_merge_sort(machine, stream)
+        sort_measured, sort_theory = io.total, sort_io(n, machine.M, B)
+
+        tree = BPlusTree.bulk_load(
+            machine, iter((k, k) for k in range(n))
+        )
+        machine.pool.drop_all()
+        with machine.measure() as io:
+            tree.get(n // 3)
+        search_measured, search_theory = io.total, search_io(n, tree.order)
+
+        z = 4 * B
+        machine.pool.drop_all()
+        with machine.measure() as io:
+            list(tree.range_query(100, 100 + z - 1))
+        output_measured = io.total
+        output_theory = output_io(n, tree.order, z)
+
+        rows.append([
+            n,
+            f"{scan_measured}/{scan_theory}",
+            f"{sort_measured}/{sort_theory}",
+            f"{search_measured}/{search_theory}",
+            f"{output_measured}/{output_theory}",
+        ])
+
+        # Shape assertions: measured within small constants of theory.
+        assert scan_measured == scan_theory
+        assert sort_measured <= 1.5 * sort_theory
+        assert search_measured <= search_theory + 1
+        assert output_measured <= 2 * output_theory
+    return rows
+
+
+def test_t1_fundamental_bounds(once):
+    rows = once(run_experiment)
+    report(
+        "T1", "fundamental bounds, measured/theory I/Os (B=64, m=16)",
+        ["N", "scan", "sort", "search", "output(Z=4B)"],
+        rows,
+    )

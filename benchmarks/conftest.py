@@ -1,0 +1,42 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark module regenerates one table/figure of the paper
+(see DESIGN.md's per-experiment index): it computes the experiment's
+series in deterministic I/O counts, *asserts the qualitative shape* the
+survey claims (who wins, slopes, crossovers), prints the series, and
+saves it under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Wall-clock timings from pytest-benchmark are a secondary signal only —
+on a simulated disk, I/O counts are the measurements.
+"""
+
+import os
+
+import pytest
+
+from repro.core import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, title: str, headers, rows) -> str:
+    """Print an experiment's series and persist it to results/."""
+    table = format_table(headers, rows)
+    text = f"== {name}: {title} ==\n{table}\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text)
+    return text
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the timed section exactly once (the experiment itself is
+    deterministic; repetition only wastes wall-clock)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

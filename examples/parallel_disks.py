@@ -1,0 +1,61 @@
+"""Disk striping on the Parallel Disk Model.
+
+Run:  python examples/parallel_disks.py
+
+The same dataset is scanned and sorted on machines with 1, 2, 4, and 8
+disks.  Scans parallelize perfectly (one step moves D blocks); sorting
+parallelizes sublinearly because every striped run reader costs D memory
+frames, shrinking the merge fan-in — the survey's observation that plain
+striping forfeits part of the log_{M/B} factor.
+"""
+
+from repro import Machine, StripedStream
+from repro.core import format_table, merge_passes
+from repro.sort import external_merge_sort, is_sorted_stream
+from repro.workloads import uniform_ints
+
+B, M_BLOCKS, N = 64, 32, 60_000
+
+
+def main() -> None:
+    print(f"sorting {N} records, B={B}, M={B * M_BLOCKS} records\n")
+    rows = []
+    base_scan = base_sort = None
+    for num_disks in (1, 2, 4, 8):
+        machine = Machine(block_size=B, memory_blocks=M_BLOCKS,
+                          num_disks=num_disks)
+        stream = StripedStream.from_records(
+            machine, uniform_ints(N, seed=1)
+        )
+        machine.reset_stats()
+        for _ in stream:
+            pass
+        scan_steps = machine.stats().total_steps
+
+        fan_in = max(2, M_BLOCKS // num_disks - 1)
+        machine.reset_stats()
+        result = external_merge_sort(
+            machine, stream, stream_cls=StripedStream, fan_in=fan_in
+        )
+        assert is_sorted_stream(result)
+        sort_steps = machine.stats().total_steps
+
+        if num_disks == 1:
+            base_scan, base_sort = scan_steps, sort_steps
+        rows.append([
+            num_disks, scan_steps, f"{base_scan / scan_steps:.2f}x",
+            fan_in, merge_passes(N, machine.M, B, fan_in=fan_in),
+            sort_steps, f"{base_sort / sort_steps:.2f}x",
+        ])
+    print(format_table(
+        ["D", "scan steps", "speedup", "fan-in", "passes", "sort steps",
+         "speedup"],
+        rows,
+    ))
+    print("\nScans scale ~linearly with D; sorting pays extra passes as "
+          "the fan-in shrinks — plain striping is not an optimal "
+          "parallel-disk sort, exactly as the survey notes.")
+
+
+if __name__ == "__main__":
+    main()

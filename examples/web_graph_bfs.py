@@ -1,0 +1,56 @@
+"""External BFS over a disk-resident graph.
+
+Run:  python examples/web_graph_bfs.py
+
+A random graph (a toy stand-in for a web/social graph: no storage
+locality whatsoever) is traversed by the textbook queue BFS and by
+Munagala–Ranade external BFS.  The naive version pays roughly one random
+I/O per vertex; MR-BFS turns the frontier expansion into sorts.
+"""
+
+from repro import Machine
+from repro.core import format_table
+from repro.graph import AdjacencyStore, mr_bfs, naive_bfs, semi_external_bfs
+from repro.workloads import connected_random_graph, grid_graph
+
+
+def run(label, num_vertices, edges) -> list:
+    machine = Machine(block_size=64, memory_blocks=4)
+    adjacency = AdjacencyStore.from_edges(machine, num_vertices, edges)
+    machine.reset_stats()
+    with machine.measure() as io_naive:
+        naive = naive_bfs(machine, adjacency, 0)
+    machine.pool.drop_all()
+    with machine.measure() as io_mr:
+        mr = mr_bfs(machine, adjacency, 0)
+    machine.pool.drop_all()
+    with machine.measure() as io_semi:
+        semi = semi_external_bfs(machine, adjacency, 0)
+    assert naive == mr == semi
+    return [
+        label, num_vertices, len(edges),
+        io_naive.total, io_mr.total, io_semi.total,
+        f"{io_naive.total / max(1, io_mr.total):.2f}x",
+    ]
+
+
+def main() -> None:
+    print("BFS on disk-resident graphs (tiny pool: 4 frames)\n")
+    rows = []
+    n, edges = connected_random_graph(20_000, avg_degree=8, seed=3)
+    rows.append(run("random graph", n, edges))
+    n, edges = grid_graph(100, 100)
+    rows.append(run("grid graph", n, edges))
+    print(format_table(
+        ["graph", "V", "E", "naive (ext.)", "MR-BFS", "semi-ext.",
+         "MR speedup"],
+        rows,
+    ))
+    print("\nThe fully external naive BFS pays ~1 I/O per *edge* checking "
+          "its on-disk visited table; MR-BFS replaces that with sorting. "
+          "The semi-external variant (visited set in RAM) shows what "
+          "becomes possible when V fits in memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""emkit — external-memory algorithms on a simulated I/O-model substrate.
+
+A reproduction of *External Memory Algorithms* (PODS 1998): the
+Aggarwal–Vitter I/O model, its fundamental bounds, and the classical
+external-memory algorithm toolbox (sorting, searching, buffer trees,
+priority queues, permuting, matrices, graphs, batched geometry, and the
+database operators built on them), all instrumented with exact I/O counts.
+
+Quick start::
+
+    from repro import Machine, FileStream
+    from repro.sort import external_merge_sort
+    from repro.core import sort_io
+
+    machine = Machine(block_size=64, memory_blocks=16)
+    data = FileStream.from_records(machine, some_records)
+    with machine.measure() as io:
+        result = external_merge_sort(machine, data)
+    print(io.total, "measured vs", sort_io(len(data), machine.M, machine.B))
+"""
+
+from .core import (
+    DiskArray,
+    FileStream,
+    IOStats,
+    Machine,
+    MemoryBudget,
+    SimulatedDisk,
+    StripedStream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "FileStream",
+    "StripedStream",
+    "SimulatedDisk",
+    "DiskArray",
+    "MemoryBudget",
+    "IOStats",
+    "__version__",
+]

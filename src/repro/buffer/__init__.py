@@ -1,0 +1,5 @@
+"""Buffer tree: batched dictionary operations at sorting cost."""
+
+from .buffer_tree import BufferTree, buffer_tree_sort
+
+__all__ = ["BufferTree", "buffer_tree_sort"]

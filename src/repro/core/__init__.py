@@ -1,0 +1,94 @@
+"""Core substrate: the simulated I/O-model machine.
+
+Public surface:
+
+* :class:`~repro.core.machine.Machine` — configured instance of the model.
+* :class:`~repro.core.disk.SimulatedDisk` / :class:`~repro.core.disk.DiskArray`
+  — block devices with exact I/O counters.
+* :class:`~repro.core.cache.BufferPool` and eviction policies.
+* :class:`~repro.core.stream.FileStream` / :class:`~repro.core.stream.StripedStream`
+  — sequential record streams.
+* :mod:`~repro.core.bounds` — the survey's closed-form I/O bounds.
+"""
+
+from .bounds import (
+    buffer_tree_amortized_io,
+    list_ranking_io,
+    merge_passes,
+    output_io,
+    permute_io,
+    scan_io,
+    search_io,
+    sort_io,
+    transpose_io,
+)
+from .cache import (
+    POLICIES,
+    BufferPool,
+    ClockPolicy,
+    EvictionPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    MinPolicy,
+    MRUPolicy,
+)
+from .blockfile import BlockFile
+from .collections import ExternalQueue, ExternalStack
+from .disk import DiskArray, SimulatedDisk
+from .exceptions import (
+    BlockNotAllocatedError,
+    BlockOverflowError,
+    ConfigurationError,
+    DiskError,
+    EMError,
+    KeyNotFound,
+    MemoryLimitExceeded,
+    PoolError,
+    StreamError,
+)
+from .machine import Machine
+from .memory import MemoryBudget
+from .stats import IOCounter, IOStats, Measurement, format_table
+from .stream import FileStream, StripedStream
+
+__all__ = [
+    "Machine",
+    "SimulatedDisk",
+    "DiskArray",
+    "BufferPool",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "FIFOPolicy",
+    "ClockPolicy",
+    "MinPolicy",
+    "POLICIES",
+    "MemoryBudget",
+    "FileStream",
+    "StripedStream",
+    "BlockFile",
+    "ExternalStack",
+    "ExternalQueue",
+    "IOCounter",
+    "IOStats",
+    "Measurement",
+    "format_table",
+    "scan_io",
+    "sort_io",
+    "search_io",
+    "output_io",
+    "permute_io",
+    "transpose_io",
+    "merge_passes",
+    "buffer_tree_amortized_io",
+    "list_ranking_io",
+    "EMError",
+    "ConfigurationError",
+    "DiskError",
+    "BlockNotAllocatedError",
+    "BlockOverflowError",
+    "MemoryLimitExceeded",
+    "PoolError",
+    "StreamError",
+    "KeyNotFound",
+]

@@ -1,0 +1,101 @@
+"""Fixed-size random-access block files.
+
+:class:`~repro.core.stream.FileStream` is append-only; matrix operations
+and naive permuting need to *write* blocks in arbitrary order.  A
+:class:`BlockFile` is a fixed array of ``n`` blocks addressed by index,
+reading and writing directly against the disk (one I/O each).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence
+
+from .exceptions import ConfigurationError, StreamError
+from .machine import Machine
+
+
+class BlockFile:
+    """``num_blocks`` disk blocks addressable by index.
+
+    Args:
+        machine: the owning machine.
+        num_blocks: number of blocks; fixed for the file's lifetime.
+        name: debugging label.
+    """
+
+    def __init__(self, machine: Machine, num_blocks: int, name: str = ""):
+        if num_blocks < 0:
+            raise ConfigurationError(
+                f"num_blocks must be >= 0, got {num_blocks}"
+            )
+        self.machine = machine
+        self.name = name
+        self._block_ids: List[int] = [
+            machine.disk.allocate() for _ in range(num_blocks)
+        ]
+        self._deleted = False
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks in the file."""
+        return len(self._block_ids)
+
+    def block_id(self, index: int) -> int:
+        """The underlying disk block id of block ``index`` (for use with
+        the machine's buffer pool)."""
+        self._check_index(index)
+        return self._block_ids[index]
+
+    def read_block(self, index: int) -> List[Any]:
+        """Read block ``index`` (one read I/O)."""
+        self._check_index(index)
+        return self.machine.disk.read(self._block_ids[index])
+
+    def write_block(self, index: int, records: Sequence[Any]) -> None:
+        """Write block ``index`` (one write I/O)."""
+        self._check_index(index)
+        self.machine.disk.write(self._block_ids[index], records)
+
+    def scan(self) -> Iterator[Any]:
+        """Yield every record in block order (one read I/O per block)."""
+        budget = self.machine.budget
+        budget.acquire(self.machine.block_size)
+        try:
+            for block_id in self._block_ids:
+                for record in self.machine.disk.read(block_id):
+                    yield record
+        finally:
+            budget.release(self.machine.block_size)
+
+    def delete(self) -> None:
+        """Free every block; the file becomes unusable."""
+        if self._deleted:
+            return
+        for block_id in self._block_ids:
+            self.machine.disk.free(block_id)
+        self._block_ids = []
+        self._deleted = True
+
+    def _check_index(self, index: int) -> None:
+        if self._deleted:
+            raise StreamError(f"block file {self.name!r} has been deleted")
+        if not 0 <= index < len(self._block_ids):
+            raise StreamError(
+                f"block file {self.name!r} has no block {index} "
+                f"(has {len(self._block_ids)})"
+            )
+
+    @classmethod
+    def from_records(
+        cls,
+        machine: Machine,
+        records: Sequence[Any],
+        name: str = "",
+    ) -> "BlockFile":
+        """Build a block file holding ``records`` packed ``B`` per block."""
+        B = machine.block_size
+        num_blocks = (len(records) + B - 1) // B
+        block_file = cls(machine, num_blocks, name=name)
+        for index in range(num_blocks):
+            block_file.write_block(index, records[index * B:(index + 1) * B])
+        return block_file

@@ -1,0 +1,124 @@
+"""Closed-form theoretical I/O bounds from the survey.
+
+These are the rows of the survey's fundamental-bounds table, expressed as
+functions of the model parameters so experiments can print measured-vs-
+theory ratios.  Units are block transfers (or parallel I/O steps when
+``num_disks > 1``).
+
+Notation (matching the survey): ``N`` problem size in records, ``M``
+internal memory in records, ``B`` block size in records, ``D`` number of
+disks, ``n = N/B``, ``m = M/B``, ``Z`` output size in records.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .exceptions import ConfigurationError
+
+
+def _check(N: int, M: int, B: int, D: int = 1) -> None:
+    if B < 1 or M < B or N < 0 or D < 1:
+        raise ConfigurationError(
+            f"invalid model parameters N={N}, M={M}, B={B}, D={D}"
+        )
+
+
+def scan_io(N: int, B: int, D: int = 1) -> int:
+    """``Scan(N) = ceil(N / (D*B))`` — read N contiguous records."""
+    if N == 0:
+        return 0
+    return math.ceil(math.ceil(N / B) / D)
+
+
+def merge_passes(N: int, M: int, B: int, fan_in: int = 0) -> int:
+    """Number of passes over the data made by external merge sort.
+
+    Run formation is one pass producing ``ceil(N/M)`` runs; each merge pass
+    reduces the run count by the fan-in ``m - 1`` (one frame is reserved for
+    output), so the total is ``1 + ceil(log_{m-1} ceil(N/M))``.
+
+    Args:
+        fan_in: override the merge arity; 0 means use the maximum ``m - 1``.
+    """
+    _check(N, M, B)
+    if N <= M:
+        return 1 if N > 0 else 0
+    arity = fan_in if fan_in > 0 else max(2, M // B - 1)
+    runs = math.ceil(N / M)
+    passes = 1
+    while runs > 1:
+        runs = math.ceil(runs / arity)
+        passes += 1
+    return passes
+
+
+def sort_io(N: int, M: int, B: int, D: int = 1, fan_in: int = 0) -> int:
+    """``Sort(N) = Θ((N/(D·B)) · log_{M/B}(N/B))`` block transfers.
+
+    Returned as the concrete pass-counting estimate used by external merge
+    sort: each pass reads and writes all ``ceil(N/B)`` blocks once, so the
+    total is ``2 · ceil(N/(D·B)) · passes``.
+    """
+    _check(N, M, B, D)
+    if N == 0:
+        return 0
+    return 2 * scan_io(N, B, D) * merge_passes(N, M, B, fan_in)
+
+
+def search_io(N: int, B: int) -> int:
+    """``Search(N) = Θ(log_B N)`` I/Os per point query (B-tree height)."""
+    if N <= 1:
+        return 1
+    return max(1, math.ceil(math.log(N, max(2, B))))
+
+
+def output_io(N: int, B: int, Z: int, D: int = 1) -> int:
+    """``Output = Θ(log_B N + Z/(D·B))`` for a reporting query returning
+    ``Z`` records."""
+    return search_io(N, B) + scan_io(Z, B, D)
+
+
+def permute_io(N: int, M: int, B: int, D: int = 1) -> int:
+    """``Permute(N) = Θ(min(N/D, Sort(N)))``.
+
+    Moving each record individually costs ``N/D`` I/Os; routing records to
+    their targets with a sort costs ``Sort(N)``.  The optimum takes the
+    cheaper branch, which is the survey's (counter-intuitive) observation
+    that permuting is as hard as sorting unless blocks are tiny.
+    """
+    _check(N, M, B, D)
+    if N == 0:
+        return 0
+    return min(math.ceil(N / D), sort_io(N, M, B, D))
+
+
+def transpose_io(p: int, q: int, M: int, B: int, D: int = 1) -> int:
+    """Matrix transpose bound for a ``p × q`` matrix (``N = p·q``):
+    ``Θ((N/(D·B)) · log_{M/B} min(M, p, q, N/B))``.
+    """
+    N = p * q
+    _check(N, max(M, B), B, D)
+    if N == 0:
+        return 0
+    m = max(2, M // B)
+    inner = max(2, min(M, p, q, math.ceil(N / B)))
+    factor = max(1, math.ceil(math.log(inner, m)))
+    return scan_io(N, B, D) * factor
+
+
+def buffer_tree_amortized_io(N: int, M: int, B: int) -> float:
+    """Amortized I/Os per operation on a buffer tree:
+    ``O((1/B) · log_{M/B}(N/B))`` — i.e. ``Sort(N)/N`` up to constants."""
+    _check(N, M, B)
+    if N == 0:
+        return 0.0
+    n = max(2.0, N / B)
+    m = max(2.0, M / B)
+    return math.log(n, m) / B
+
+
+def list_ranking_io(N: int, M: int, B: int, D: int = 1) -> int:
+    """List ranking is ``Θ(Sort(N))`` — a geometric series of sorts over
+    shrinking sublists."""
+    return sort_io(N, M, B, D)

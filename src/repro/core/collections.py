@@ -1,0 +1,185 @@
+"""External stacks and queues: O(1/B) amortized I/Os per operation.
+
+The survey's simplest lesson in amortization: a stack or FIFO queue on
+disk needs only a constant number of in-memory buffer blocks to make the
+per-operation I/O cost ``1/B`` amortized — every block travels to disk at
+most once per ``B`` operations.
+
+* :class:`ExternalStack` keeps the top ``<= 2B`` elements in memory;
+  push spills the older buffer half when full, pop refills one block when
+  empty.
+* :class:`ExternalQueue` keeps one head buffer and one tail buffer; full
+  blocks flow through an on-disk FIFO of block ids.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, List, Optional
+
+from .exceptions import EMError
+from .machine import Machine
+
+
+class ExternalStack:
+    """A LIFO stack of records on the simulated disk.
+
+    Holds at most ``2B`` records in memory (one live buffer plus slack so
+    that alternating push/pop at a block boundary does not thrash).
+    """
+
+    def __init__(self, machine: Machine, name: str = "stack"):
+        self.machine = machine
+        self.name = name
+        self._buffer: List[Any] = []
+        self._blocks: List[int] = []  # spilled full blocks, bottom first
+        self._size = 0
+        machine.budget.acquire(2 * machine.block_size)
+        self._closed = False
+
+    def push(self, record: Any) -> None:
+        """Push a record; amortized ``1/B`` write I/Os."""
+        self._check_open()
+        self._buffer.append(record)
+        self._size += 1
+        if len(self._buffer) == 2 * self.machine.block_size:
+            block_id = self.machine.disk.allocate()
+            self.machine.disk.write(
+                block_id, self._buffer[:self.machine.block_size]
+            )
+            self._blocks.append(block_id)
+            del self._buffer[:self.machine.block_size]
+
+    def pop(self) -> Any:
+        """Pop the most recent record; amortized ``1/B`` read I/Os.
+
+        Raises:
+            EMError: when the stack is empty.
+        """
+        self._check_open()
+        if self._size == 0:
+            raise EMError("pop from an empty external stack")
+        if not self._buffer:
+            block_id = self._blocks.pop()
+            self._buffer = self.machine.disk.read(block_id)
+            self.machine.disk.free(block_id)
+        self._size -= 1
+        return self._buffer.pop()
+
+    def peek(self) -> Any:
+        """Return the top record without removing it."""
+        self._check_open()
+        if self._size == 0:
+            raise EMError("peek on an empty external stack")
+        if self._buffer:
+            return self._buffer[-1]
+        return self.machine.disk.read(self._blocks[-1])[-1]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def close(self) -> None:
+        """Free disk blocks and release the memory reservation."""
+        if self._closed:
+            return
+        for block_id in self._blocks:
+            self.machine.disk.free(block_id)
+        self._blocks = []
+        self._buffer = []
+        self.machine.budget.release(2 * self.machine.block_size)
+        self._closed = True
+
+    def __enter__(self) -> "ExternalStack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EMError(f"external stack {self.name!r} is closed")
+
+
+class ExternalQueue:
+    """A FIFO queue of records on the simulated disk.
+
+    Holds one head buffer and one tail buffer (``2B`` records) in memory;
+    enqueue and dequeue cost ``1/B`` amortized I/Os.
+    """
+
+    def __init__(self, machine: Machine, name: str = "queue"):
+        self.machine = machine
+        self.name = name
+        self._head: deque = deque()
+        self._tail: List[Any] = []
+        self._blocks: deque = deque()  # full blocks, oldest first
+        self._size = 0
+        machine.budget.acquire(2 * machine.block_size)
+        self._closed = False
+
+    def enqueue(self, record: Any) -> None:
+        """Append a record at the back; amortized ``1/B`` write I/Os."""
+        self._check_open()
+        self._tail.append(record)
+        self._size += 1
+        if len(self._tail) == self.machine.block_size:
+            block_id = self.machine.disk.allocate()
+            self.machine.disk.write(block_id, self._tail)
+            self._blocks.append(block_id)
+            self._tail = []
+
+    def dequeue(self) -> Any:
+        """Remove and return the front record; amortized ``1/B`` read I/Os.
+
+        Raises:
+            EMError: when the queue is empty.
+        """
+        self._check_open()
+        if self._size == 0:
+            raise EMError("dequeue from an empty external queue")
+        if not self._head:
+            if self._blocks:
+                block_id = self._blocks.popleft()
+                self._head.extend(self.machine.disk.read(block_id))
+                self.machine.disk.free(block_id)
+            else:
+                self._head.extend(self._tail)
+                self._tail = []
+        self._size -= 1
+        return self._head.popleft()
+
+    def peek(self) -> Any:
+        """Return the front record without removing it."""
+        self._check_open()
+        if self._size == 0:
+            raise EMError("peek on an empty external queue")
+        if self._head:
+            return self._head[0]
+        if self._blocks:
+            return self.machine.disk.read(self._blocks[0])[0]
+        return self._tail[0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def close(self) -> None:
+        """Free disk blocks and release the memory reservation."""
+        if self._closed:
+            return
+        for block_id in self._blocks:
+            self.machine.disk.free(block_id)
+        self._blocks = deque()
+        self._head = deque()
+        self._tail = []
+        self.machine.budget.release(2 * self.machine.block_size)
+        self._closed = True
+
+    def __enter__(self) -> "ExternalQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EMError(f"external queue {self.name!r} is closed")

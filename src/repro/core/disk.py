@@ -1,0 +1,286 @@
+"""Simulated block devices.
+
+The I/O model charges one unit per *block transfer*.  On real 1998 hardware
+an I/O cost roughly a million CPU operations; in pure Python, wall-clock
+time is dominated by interpreter overhead and says nothing about I/O
+behaviour.  This module therefore simulates the disk: blocks live in a
+dictionary, and every read or write increments a counter.  All experiments
+in this repository are stated in terms of these deterministic counts.
+
+Two devices are provided:
+
+* :class:`SimulatedDisk` — a single disk.
+* :class:`DiskArray` — ``D`` independent disks (the Parallel Disk Model).
+  Batched transfers that touch distinct disks count as a single *parallel
+  I/O step*; the array tracks steps separately from raw block transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .exceptions import (
+    BlockNotAllocatedError,
+    BlockOverflowError,
+    ConfigurationError,
+)
+from .stats import IOCounter
+
+# A block payload is a plain list of records.  Records are arbitrary Python
+# objects; the substrate measures capacity in records, not bytes.
+Block = List[Any]
+
+
+class SimulatedDisk:
+    """An unbounded store of fixed-capacity blocks with I/O accounting.
+
+    Args:
+        block_capacity: maximum number of records per block (the model
+            parameter ``B``).
+
+    Attributes:
+        counter: the :class:`~repro.core.stats.IOCounter` incremented by
+            every :meth:`read` and :meth:`write`.
+    """
+
+    def __init__(self, block_capacity: int):
+        if block_capacity < 1:
+            raise ConfigurationError(
+                f"block capacity must be >= 1, got {block_capacity}"
+            )
+        self.block_capacity = block_capacity
+        self.counter = IOCounter()
+        self._blocks: Dict[int, Block] = {}
+        self._next_id = 0
+        self._allocated_high_water = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self) -> int:
+        """Allocate a fresh, empty block and return its id.
+
+        Allocation itself is free (it models reserving an address on disk,
+        not transferring data).
+        """
+        block_id = self._next_id
+        self._next_id += 1
+        self._blocks[block_id] = []
+        self._allocated_high_water = max(
+            self._allocated_high_water, len(self._blocks)
+        )
+        return block_id
+
+    def free(self, block_id: int) -> None:
+        """Release a block.  Freeing is free of I/O cost."""
+        if block_id not in self._blocks:
+            raise BlockNotAllocatedError(block_id)
+        del self._blocks[block_id]
+
+    def is_allocated(self, block_id: int) -> bool:
+        """Return whether ``block_id`` currently names an allocated block."""
+        return block_id in self._blocks
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Number of blocks currently allocated (disk-space usage)."""
+        return len(self._blocks)
+
+    @property
+    def high_water_blocks(self) -> int:
+        """Peak number of simultaneously allocated blocks."""
+        return self._allocated_high_water
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+    def read(self, block_id: int) -> Block:
+        """Transfer one block from disk to memory.  Costs one read I/O.
+
+        Returns a shallow copy of the payload, so callers may mutate the
+        result without corrupting the on-disk image.
+        """
+        try:
+            payload = self._blocks[block_id]
+        except KeyError:
+            raise BlockNotAllocatedError(block_id) from None
+        self.counter.reads += 1
+        self.counter.read_steps += 1
+        return list(payload)
+
+    def write(self, block_id: int, records: Sequence[Any]) -> None:
+        """Transfer one block from memory to disk.  Costs one write I/O."""
+        if block_id not in self._blocks:
+            raise BlockNotAllocatedError(block_id)
+        if len(records) > self.block_capacity:
+            raise BlockOverflowError(
+                block_id, len(records), self.block_capacity
+            )
+        self.counter.writes += 1
+        self.counter.write_steps += 1
+        self._blocks[block_id] = list(records)
+
+    def peek(self, block_id: int) -> Block:
+        """Inspect a block **without** charging an I/O.
+
+        For tests and debugging only; algorithm code must use :meth:`read`.
+        """
+        try:
+            return list(self._blocks[block_id])
+        except KeyError:
+            raise BlockNotAllocatedError(block_id) from None
+
+
+class DiskArray:
+    """``D`` independent simulated disks (the Parallel Disk Model).
+
+    Block ids are globally unique across the array and carry their disk
+    assignment, so single-block :meth:`read`/:meth:`write` calls need no
+    disk argument.  Batched :meth:`parallel_read`/:meth:`parallel_write`
+    calls count parallel steps: a batch touching ``k_i`` blocks on disk
+    ``i`` takes ``max_i k_i`` steps, because distinct disks transfer
+    concurrently.
+
+    With ``D == 1`` the array behaves exactly like a single
+    :class:`SimulatedDisk` (every step moves one block).
+    """
+
+    def __init__(self, block_capacity: int, num_disks: int = 1):
+        if num_disks < 1:
+            raise ConfigurationError(
+                f"number of disks must be >= 1, got {num_disks}"
+            )
+        self.num_disks = num_disks
+        self.block_capacity = block_capacity
+        self.counter = IOCounter()
+        self._blocks: Dict[int, Block] = {}
+        self._disk_of: Dict[int, int] = {}
+        self._next_id = 0
+        self._rr_next_disk = 0
+        self._allocated_high_water = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, disk: Optional[int] = None) -> int:
+        """Allocate an empty block.
+
+        Args:
+            disk: disk index in ``range(D)``; when omitted, disks are used
+                round-robin, which is the striping layout.
+        """
+        if disk is None:
+            disk = self._rr_next_disk
+            self._rr_next_disk = (self._rr_next_disk + 1) % self.num_disks
+        if not 0 <= disk < self.num_disks:
+            raise ConfigurationError(
+                f"disk index {disk} out of range for {self.num_disks} disks"
+            )
+        block_id = self._next_id
+        self._next_id += 1
+        self._blocks[block_id] = []
+        self._disk_of[block_id] = disk
+        self._allocated_high_water = max(
+            self._allocated_high_water, len(self._blocks)
+        )
+        return block_id
+
+    def free(self, block_id: int) -> None:
+        """Release a block (free of I/O cost)."""
+        if block_id not in self._blocks:
+            raise BlockNotAllocatedError(block_id)
+        del self._blocks[block_id]
+        del self._disk_of[block_id]
+
+    def is_allocated(self, block_id: int) -> bool:
+        """Return whether ``block_id`` currently names an allocated block."""
+        return block_id in self._blocks
+
+    def disk_of(self, block_id: int) -> int:
+        """Return the disk index holding ``block_id``."""
+        try:
+            return self._disk_of[block_id]
+        except KeyError:
+            raise BlockNotAllocatedError(block_id) from None
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Number of blocks currently allocated across all disks."""
+        return len(self._blocks)
+
+    @property
+    def high_water_blocks(self) -> int:
+        """Peak number of simultaneously allocated blocks."""
+        return self._allocated_high_water
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+    def read(self, block_id: int) -> Block:
+        """Read one block: one transfer, one parallel step."""
+        try:
+            payload = self._blocks[block_id]
+        except KeyError:
+            raise BlockNotAllocatedError(block_id) from None
+        self.counter.reads += 1
+        self.counter.read_steps += 1
+        return list(payload)
+
+    def write(self, block_id: int, records: Sequence[Any]) -> None:
+        """Write one block: one transfer, one parallel step."""
+        self._check_write(block_id, records)
+        self.counter.writes += 1
+        self.counter.write_steps += 1
+        self._blocks[block_id] = list(records)
+
+    def parallel_read(self, block_ids: Sequence[int]) -> List[Block]:
+        """Read a batch of blocks, exploiting disk parallelism.
+
+        Transfers every block (``len(block_ids)`` read transfers) but only
+        charges ``max_i k_i`` parallel steps, where ``k_i`` is the number of
+        requested blocks living on disk ``i``.
+        """
+        per_disk = [0] * self.num_disks
+        payloads: List[Block] = []
+        for block_id in block_ids:
+            try:
+                payload = self._blocks[block_id]
+            except KeyError:
+                raise BlockNotAllocatedError(block_id) from None
+            per_disk[self._disk_of[block_id]] += 1
+            payloads.append(list(payload))
+        self.counter.reads += len(block_ids)
+        self.counter.read_steps += max(per_disk) if block_ids else 0
+        return payloads
+
+    def parallel_write(
+        self, writes: Sequence[Tuple[int, Sequence[Any]]]
+    ) -> None:
+        """Write a batch of ``(block_id, records)`` pairs in parallel.
+
+        Charges one write transfer per block and ``max_i k_i`` parallel
+        steps (see :meth:`parallel_read`).
+        """
+        per_disk = [0] * self.num_disks
+        for block_id, records in writes:
+            self._check_write(block_id, records)
+            per_disk[self._disk_of[block_id]] += 1
+        for block_id, records in writes:
+            self._blocks[block_id] = list(records)
+        self.counter.writes += len(writes)
+        self.counter.write_steps += max(per_disk) if writes else 0
+
+    def peek(self, block_id: int) -> Block:
+        """Inspect a block without charging an I/O (tests/debugging only)."""
+        try:
+            return list(self._blocks[block_id])
+        except KeyError:
+            raise BlockNotAllocatedError(block_id) from None
+
+    def _check_write(self, block_id: int, records: Sequence[Any]) -> None:
+        if block_id not in self._blocks:
+            raise BlockNotAllocatedError(block_id)
+        if len(records) > self.block_capacity:
+            raise BlockOverflowError(
+                block_id, len(records), self.block_capacity
+            )

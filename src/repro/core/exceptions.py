@@ -1,0 +1,88 @@
+"""Exception hierarchy for the external-memory substrate.
+
+Every error raised by :mod:`repro` derives from :class:`EMError`, so callers
+can catch substrate failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class EMError(Exception):
+    """Base class for all errors raised by the external-memory toolkit."""
+
+
+class ConfigurationError(EMError):
+    """A :class:`~repro.core.machine.Machine` was configured inconsistently.
+
+    Examples: non-positive block size, fewer memory frames than the model
+    minimum (``M >= 2B``, i.e. at least two frames), or a disk count that is
+    not a positive integer.
+    """
+
+
+class DiskError(EMError):
+    """Base class for block-device failures."""
+
+
+class BlockNotAllocatedError(DiskError):
+    """A read, write, or free targeted a block id that is not allocated."""
+
+    def __init__(self, block_id: int):
+        super().__init__(f"block {block_id} is not allocated")
+        self.block_id = block_id
+
+
+class BlockOverflowError(DiskError):
+    """A write attempted to store more records than fit in one block."""
+
+    def __init__(self, block_id: int, size: int, capacity: int):
+        super().__init__(
+            f"block {block_id}: payload of {size} records exceeds block "
+            f"capacity of {capacity}"
+        )
+        self.block_id = block_id
+        self.size = size
+        self.capacity = capacity
+
+
+class MemoryLimitExceeded(EMError):
+    """An algorithm tried to reserve more working memory than ``M`` records.
+
+    Raised by :class:`~repro.core.memory.MemoryBudget`.  Algorithms in this
+    library account for their in-memory working space cooperatively; this
+    error firing in a test means the algorithm would have cheated the I/O
+    model by holding more than ``M`` records in RAM.
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int):
+        super().__init__(
+            f"memory budget exceeded: requested {requested} records with "
+            f"{in_use} already in use out of {capacity}"
+        )
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+
+
+class StreamError(EMError):
+    """Misuse of a :class:`~repro.core.stream.FileStream`.
+
+    Examples: appending to a stream that has been finalized for reading, or
+    reading a stream that was never finalized.
+    """
+
+
+class PoolError(EMError):
+    """Misuse of the buffer pool, e.g. unpinning a frame that is not pinned,
+    or requesting a frame when every frame is pinned."""
+
+
+class KeyNotFound(EMError):
+    """A dictionary-style structure (B+-tree, hash table) was asked to
+    delete or look up a key that is not present (for APIs that raise
+    rather than return a default)."""
+
+    def __init__(self, key):
+        super().__init__(f"key not found: {key!r}")
+        self.key = key

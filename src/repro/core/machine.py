@@ -1,0 +1,134 @@
+"""The simulated external-memory machine.
+
+A :class:`Machine` bundles the model parameters (``B`` records per block,
+``m`` frames of internal memory, ``D`` disks) with the devices implementing
+them: a :class:`~repro.core.disk.DiskArray`, a
+:class:`~repro.core.cache.BufferPool` whose frame budget is ``m``, and a
+:class:`~repro.core.memory.MemoryBudget` of ``M = m·B`` records.
+
+Every algorithm in the library takes a machine as its first argument and
+charges all of its I/O to the machine's disk, so experiments measure cost
+with::
+
+    with machine.measure() as io:
+        external_merge_sort(machine, stream)
+    print(io.total, "I/Os")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .cache import BufferPool, EvictionPolicy
+from .disk import DiskArray
+from .exceptions import ConfigurationError
+from .memory import MemoryBudget
+from .stats import IOStats, Measurement
+
+
+class Machine:
+    """A configured instance of the I/O model.
+
+    Args:
+        block_size: ``B``, records per block.
+        memory_blocks: ``m = M/B``, number of block frames of internal
+            memory.  The model requires at least 2 (one input frame plus one
+            output frame); sorting wants at least 3.
+        num_disks: ``D``, independent disks (Parallel Disk Model).
+        policy: optional eviction policy for the buffer pool.
+
+    Attributes:
+        disk: the backing :class:`~repro.core.disk.DiskArray`.
+        pool: the buffer pool shared by the machine's data structures.
+        budget: cooperative :class:`~repro.core.memory.MemoryBudget` of
+            ``M`` records.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        memory_blocks: int,
+        num_disks: int = 1,
+        policy: Optional[EvictionPolicy] = None,
+    ):
+        if block_size < 1:
+            raise ConfigurationError(
+                f"block size must be >= 1, got {block_size}"
+            )
+        if memory_blocks < 2:
+            raise ConfigurationError(
+                f"memory must hold at least 2 blocks, got {memory_blocks}"
+            )
+        if num_disks < 1:
+            raise ConfigurationError(
+                f"number of disks must be >= 1, got {num_disks}"
+            )
+        self.block_size = block_size
+        self.memory_blocks = memory_blocks
+        self.num_disks = num_disks
+        self.disk = DiskArray(block_size, num_disks)
+        self.pool = BufferPool(self.disk, memory_blocks, policy)
+        self.budget = MemoryBudget(block_size * memory_blocks)
+
+    # ------------------------------------------------------------------
+    # derived parameters
+    # ------------------------------------------------------------------
+    @property
+    def B(self) -> int:
+        """Block size in records."""
+        return self.block_size
+
+    @property
+    def m(self) -> int:
+        """Internal memory in blocks (frame budget)."""
+        return self.memory_blocks
+
+    @property
+    def M(self) -> int:
+        """Internal memory in records."""
+        return self.block_size * self.memory_blocks
+
+    @property
+    def D(self) -> int:
+        """Number of independent disks."""
+        return self.num_disks
+
+    @property
+    def fan_in(self) -> int:
+        """Maximum merge arity: ``m - 1`` input frames plus one output."""
+        return max(2, self.memory_blocks - 1)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def stats(self) -> IOStats:
+        """Snapshot of cumulative I/O since the machine was created."""
+        return self.disk.counter.snapshot()
+
+    @contextmanager
+    def measure(self, flush: bool = True) -> Iterator[Measurement]:
+        """Measure the I/O performed inside a ``with`` block.
+
+        Args:
+            flush: when true (default), dirty pool frames are flushed as the
+                block exits so deferred write-backs are charged to the
+                region that dirtied them.
+        """
+        measurement = Measurement()
+        before = self.stats()
+        try:
+            yield measurement
+        finally:
+            if flush:
+                self.pool.flush_all()
+            measurement.stats = self.stats() - before
+
+    def reset_stats(self) -> None:
+        """Zero the machine's I/O counters (between experiment phases)."""
+        self.disk.counter.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine(B={self.B}, m={self.m}, M={self.M}, D={self.D})"
+        )

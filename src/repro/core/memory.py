@@ -1,0 +1,91 @@
+"""Cooperative accounting of in-memory working space.
+
+The I/O model's central constraint is that an algorithm may hold at most
+``M`` records in internal memory at once.  Pure Python cannot enforce this
+physically, so algorithms in this library *declare* their working space
+through a :class:`MemoryBudget`.  Tests then run algorithms under small
+budgets: an algorithm that tried to hold more than ``M`` records (i.e. to
+cheat the model) raises :class:`~repro.core.exceptions.MemoryLimitExceeded`
+instead of silently producing an unrealistically low I/O count.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .exceptions import ConfigurationError, MemoryLimitExceeded
+
+
+class MemoryBudget:
+    """Tracks reserved in-memory records against a hard capacity.
+
+    Args:
+        capacity: maximum records resident at once (the model's ``M``).
+
+    Usage::
+
+        budget = MemoryBudget(capacity=4096)
+        with budget.reserve(1024):
+            ...  # hold up to 1024 records here
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"memory capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._in_use = 0
+        self._peak = 0
+
+    @property
+    def in_use(self) -> int:
+        """Records currently reserved."""
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of reserved records."""
+        return self._peak
+
+    @property
+    def available(self) -> int:
+        """Records that may still be reserved."""
+        return self.capacity - self._in_use
+
+    def acquire(self, records: int) -> None:
+        """Reserve ``records`` of working space.
+
+        Raises:
+            MemoryLimitExceeded: if the reservation would overflow ``M``.
+        """
+        if records < 0:
+            raise ConfigurationError("cannot acquire a negative reservation")
+        if self._in_use + records > self.capacity:
+            raise MemoryLimitExceeded(records, self._in_use, self.capacity)
+        self._in_use += records
+        self._peak = max(self._peak, self._in_use)
+
+    def release(self, records: int) -> None:
+        """Return ``records`` of working space to the budget."""
+        if records < 0:
+            raise ConfigurationError("cannot release a negative reservation")
+        if records > self._in_use:
+            raise ConfigurationError(
+                f"releasing {records} records but only {self._in_use} in use"
+            )
+        self._in_use -= records
+
+    @contextmanager
+    def reserve(self, records: int):
+        """Context manager combining :meth:`acquire` and :meth:`release`."""
+        self.acquire(records)
+        try:
+            yield
+        finally:
+            self.release(records)
+
+    def reset(self) -> None:
+        """Clear all reservations and the peak (between experiments)."""
+        self._in_use = 0
+        self._peak = 0

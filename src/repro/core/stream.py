@@ -1,0 +1,306 @@
+"""Sequential record streams over the simulated disk.
+
+Streams are the workhorse of every batched algorithm (sorting, joins, graph
+contraction): write-once, read-many sequences of records stored in full
+blocks.  A stream writer buffers up to ``B`` records (one frame of internal
+memory, accounted against the machine's budget) and emits one write I/O per
+full block; a reader holds one frame and costs one read I/O per block.
+
+:class:`StripedStream` additionally stripes its blocks round-robin over the
+machine's ``D`` disks and transfers ``D`` blocks per parallel I/O step, the
+"disk striping" technique the survey describes for the Parallel Disk Model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
+
+from .exceptions import StreamError
+from .machine import Machine
+
+
+class FileStream:
+    """A write-once, read-many sequence of records on the simulated disk.
+
+    Typical usage::
+
+        out = FileStream(machine, name="runs/0")
+        for record in data:
+            out.append(record)
+        out.finalize()
+        for record in out:           # costs ceil(len/B) read I/Os
+            ...
+
+    Args:
+        machine: the machine whose disk and memory budget the stream uses.
+        name: optional label for debugging and error messages.
+    """
+
+    def __init__(self, machine: Machine, name: str = ""):
+        self.machine = machine
+        self.name = name
+        self._block_ids: List[int] = []
+        self._buffer: List[Any] = []
+        self._buffer_reserved = False
+        self._writer_reserve = machine.block_size
+        self._length = 0
+        self._finalized = False
+        self._deleted = False
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: Any) -> None:
+        """Append one record, flushing a block write when the buffer fills."""
+        self._check_writable()
+        if not self._buffer_reserved:
+            self.machine.budget.acquire(self._writer_reserve)
+            self._buffer_reserved = True
+        self._buffer.append(record)
+        self._length += 1
+        if len(self._buffer) == self.machine.block_size:
+            self._flush_buffer()
+
+    def extend(self, records: Iterable[Any]) -> None:
+        """Append every record of ``records`` in order."""
+        for record in records:
+            self.append(record)
+
+    def append_block(self, records: Sequence[Any]) -> None:
+        """Write ``records`` (at most ``B``) directly as one block.
+
+        Unlike :meth:`append`, no staging buffer is used and no memory is
+        reserved — the caller already holds the records and has accounted
+        for them (e.g. a sorted memoryload during run formation).  Only
+        allowed while the record buffer is empty, so blocks are never
+        interleaved with buffered records.
+        """
+        self._check_writable()
+        if self._buffer:
+            raise StreamError(
+                f"stream {self.name!r}: append_block while records are "
+                "buffered would reorder data"
+            )
+        if len(records) > self.machine.block_size:
+            raise StreamError(
+                f"stream {self.name!r}: append_block of {len(records)} "
+                f"records exceeds block size {self.machine.block_size}"
+            )
+        if not records:
+            return
+        block_id = self._allocate_block(len(self._block_ids))
+        self._write_block(block_id, list(records))
+        self._block_ids.append(block_id)
+        self._length += len(records)
+
+    def sync(self) -> None:
+        """Flush the staging buffer and release its memory frame while
+        keeping the stream writable.
+
+        A partially filled block is written out as a *short block* (fewer
+        than ``B`` records); later appends start a fresh block.  Useful for
+        long-lived buffers (e.g. buffer-tree node buffers) that must not
+        hold a memory frame between batches.  Costs at most one write I/O.
+        """
+        self._check_writable()
+        if self._buffer:
+            self._flush_buffer()
+        if self._buffer_reserved:
+            self.machine.budget.release(self._writer_reserve)
+            self._buffer_reserved = False
+
+    def finalize(self) -> "FileStream":
+        """Flush any partial block and switch the stream to read-only mode.
+
+        Idempotent; returns ``self`` for chaining.
+        """
+        if self._deleted:
+            raise StreamError(f"stream {self.name!r} has been deleted")
+        if self._finalized:
+            return self
+        if self._buffer:
+            self._flush_buffer()
+        if self._buffer_reserved:
+            self.machine.budget.release(self._writer_reserve)
+            self._buffer_reserved = False
+        self._finalized = True
+        return self
+
+    def _flush_buffer(self) -> None:
+        block_id = self._allocate_block(len(self._block_ids))
+        self._write_block(block_id, self._buffer)
+        self._block_ids.append(block_id)
+        self._buffer = []
+
+    def _allocate_block(self, index: int) -> int:
+        return self.machine.disk.allocate()
+
+    def _write_block(self, block_id: int, records: List[Any]) -> None:
+        self.machine.disk.write(block_id, records)
+
+    def _check_writable(self) -> None:
+        if self._deleted:
+            raise StreamError(f"stream {self.name!r} has been deleted")
+        if self._finalized:
+            raise StreamError(
+                f"stream {self.name!r} is finalized and read-only"
+            )
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate all records, costing one read I/O per block.
+
+        The reader reserves one frame (``B`` records) from the memory budget
+        for its lifetime and releases it when exhausted or closed.
+        """
+        if self._deleted:
+            raise StreamError(f"stream {self.name!r} has been deleted")
+        if not self._finalized:
+            raise StreamError(
+                f"stream {self.name!r} must be finalized before reading"
+            )
+        return self._reader()
+
+    def _reader(self) -> Iterator[Any]:
+        budget = self.machine.budget
+        budget.acquire(self.machine.block_size)
+        try:
+            for block_id in self._block_ids:
+                for record in self.machine.disk.read(block_id):
+                    yield record
+        finally:
+            budget.release(self.machine.block_size)
+
+    def read_block(self, index: int) -> List[Any]:
+        """Random-access read of the ``index``-th block (one read I/O)."""
+        if not 0 <= index < len(self._block_ids):
+            raise StreamError(
+                f"stream {self.name!r} has no block {index} "
+                f"(has {len(self._block_ids)})"
+            )
+        return self.machine.disk.read(self._block_ids[index])
+
+    def read_block_range(self, start: int, stop: int) -> List[Any]:
+        """Read blocks ``start..stop-1`` and return their records
+        concatenated, batching ``D`` blocks per parallel I/O step.
+
+        On a single-disk machine this is equivalent to ``stop - start``
+        :meth:`read_block` calls; with ``D`` disks and striped layout it
+        takes ``~(stop - start)/D`` steps.  The caller must have reserved
+        memory for the returned records.
+        """
+        if not 0 <= start <= stop <= len(self._block_ids):
+            raise StreamError(
+                f"stream {self.name!r}: block range [{start}, {stop}) "
+                f"invalid (has {len(self._block_ids)})"
+            )
+        records: List[Any] = []
+        group = self.machine.num_disks
+        for batch_start in range(start, stop, group):
+            batch = self._block_ids[batch_start:min(batch_start + group,
+                                                    stop)]
+            for payload in self.machine.disk.parallel_read(batch):
+                records.extend(payload)
+        return records
+
+    def __len__(self) -> int:
+        """Number of records in the stream (including unflushed ones)."""
+        return self._length
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of full blocks written so far."""
+        return len(self._block_ids)
+
+    @property
+    def is_finalized(self) -> bool:
+        """Whether the stream has been switched to read-only mode."""
+        return self._finalized
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def delete(self) -> None:
+        """Free every block of the stream.  The stream becomes unusable."""
+        if self._deleted:
+            return
+        if self._buffer_reserved:
+            self.machine.budget.release(self._writer_reserve)
+            self._buffer_reserved = False
+        for block_id in self._block_ids:
+            self.machine.disk.free(block_id)
+        self._block_ids = []
+        self._buffer = []
+        self._deleted = True
+
+    @classmethod
+    def from_records(
+        cls, machine: Machine, records: Iterable[Any], name: str = ""
+    ) -> "FileStream":
+        """Build and finalize a stream holding ``records``."""
+        stream = cls(machine, name=name)
+        stream.extend(records)
+        return stream.finalize()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "deleted" if self._deleted else (
+            "finalized" if self._finalized else "writable"
+        )
+        return (
+            f"{type(self).__name__}(name={self.name!r}, len={self._length}, "
+            f"blocks={len(self._block_ids)}, {state})"
+        )
+
+
+class StripedStream(FileStream):
+    """A stream striped round-robin across the machine's ``D`` disks.
+
+    Writes are batched ``D`` blocks at a time and issued with
+    :meth:`~repro.core.disk.DiskArray.parallel_write`; reads fetch ``D``
+    consecutive blocks per parallel I/O step.  A full scan therefore costs
+    ``ceil(n/D)`` steps instead of ``n`` — the survey's "disk striping"
+    technique.  Both writer and reader reserve ``D`` frames of memory
+    instead of one.
+    """
+
+    def __init__(self, machine: Machine, name: str = ""):
+        super().__init__(machine, name)
+        self._pending: List[tuple] = []
+        self._writer_reserve = machine.block_size * machine.num_disks
+
+    def _allocate_block(self, index: int) -> int:
+        return self.machine.disk.allocate(index % self.machine.num_disks)
+
+    def _write_block(self, block_id: int, records: List[Any]) -> None:
+        self._pending.append((block_id, records))
+        if len(self._pending) >= self.machine.num_disks:
+            self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        if self._pending:
+            self.machine.disk.parallel_write(self._pending)
+            self._pending = []
+
+    def finalize(self) -> "StripedStream":
+        if not self._finalized:
+            super().finalize()
+            self._drain_pending()
+        return self
+
+    def _reader(self) -> Iterator[Any]:
+        machine = self.machine
+        group = machine.num_disks
+        reserve = machine.block_size * max(
+            1, min(group, len(self._block_ids))
+        )
+        machine.budget.acquire(reserve)
+        try:
+            for start in range(0, len(self._block_ids), group):
+                batch = self._block_ids[start:start + group]
+                for payload in machine.disk.parallel_read(batch):
+                    for record in payload:
+                        yield record
+        finally:
+            machine.budget.release(reserve)

@@ -1,0 +1,12 @@
+"""Batched computational geometry: distribution sweeping."""
+
+from .dominance import dominance_counts, dominance_counts_naive
+from .naive import segment_intersections_naive
+from .sweep import segment_intersections
+
+__all__ = [
+    "segment_intersections",
+    "segment_intersections_naive",
+    "dominance_counts",
+    "dominance_counts_naive",
+]

@@ -1,0 +1,58 @@
+"""Naive all-pairs segment intersection baseline.
+
+Loads the horizontal segments a memoryload at a time and scans the
+vertical segments once per load, testing every pair — the block
+nested-loop pattern, ``scan(H) + ceil(|H|/M)·scan(V)`` I/Os but
+``Θ(|H|·|V|)`` comparisons.  This is what the distribution sweep's
+``O(Sort(N) + Z/B)`` replaces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from .sweep import Horizontal, Vertical
+
+
+def segment_intersections_naive(
+    machine: Machine,
+    horizontals: Sequence[Horizontal],
+    verticals: Sequence[Vertical],
+) -> FileStream:
+    """Report every (horizontal, vertical) intersecting pair by blockwise
+    all-pairs testing."""
+    h_stream = FileStream.from_records(machine, list(horizontals),
+                                       name="naive/h")
+    v_stream = FileStream.from_records(machine, list(verticals),
+                                       name="naive/v")
+    chunk_capacity = machine.M - 3 * machine.B
+    if chunk_capacity < 1:
+        raise ConfigurationError(
+            "machine memory too small for the naive intersection baseline"
+        )
+    output = FileStream(machine, name="naive/output")
+    reader = iter(h_stream)
+    exhausted = False
+    while not exhausted:
+        with machine.budget.reserve(chunk_capacity):
+            chunk: List[Horizontal] = []
+            for horizontal in reader:
+                chunk.append(horizontal)
+                if len(chunk) == chunk_capacity:
+                    break
+            else:
+                exhausted = True
+            if not chunk:
+                break
+            for vertical in v_stream:
+                x, y1, y2 = vertical
+                for horizontal in chunk:
+                    y, x1, x2 = horizontal
+                    if x1 <= x <= x2 and y1 <= y <= y2:
+                        output.append((horizontal, vertical))
+    h_stream.delete()
+    v_stream.delete()
+    return output.finalize()

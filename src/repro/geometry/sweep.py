@@ -1,0 +1,237 @@
+"""Distribution sweeping: batched orthogonal segment intersection.
+
+The survey's template for batched geometry: sort the objects once by one
+coordinate, divide the other coordinate into ``Θ(m)`` strips, and sweep.
+Interactions that *completely span* a strip are resolved at the current
+level against the strip's active list; the rest are distributed to the
+strips' subproblems.  Because every active-list element scanned either
+reports an intersection or is lazily deleted, the total cost is
+``O(Sort(N) + Z/B)`` I/Os for ``Z`` reported pairs — versus the
+``Θ(|H|·|V|)`` pair tests of the naive method.
+
+Segments are closed: a horizontal ``(y, x1, x2)`` and a vertical
+``(x, y1, y2)`` intersect iff ``x1 <= x <= x2`` and ``y1 <= y <= y2``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..sort.merge import external_merge_sort
+
+Horizontal = Tuple[int, int, int]  # (y, x1, x2)
+Vertical = Tuple[int, int, int]    # (x, y1, y2)
+
+_VERTICAL = 0   # sorts before horizontals at equal y: starts are inclusive
+_HORIZONTAL = 1
+
+
+def _event_stream(
+    machine: Machine,
+    horizontals: Sequence[Horizontal],
+    verticals: Sequence[Vertical],
+) -> FileStream:
+    """Merge both segment sets into one y-sorted event stream.
+
+    Events are ``(y, kind, data)``: vertical events fire at their lower
+    endpoint ``y1`` and sort before horizontal events at the same ``y``.
+    """
+    events = FileStream(machine, name="sweep/events")
+    for y, x1, x2 in horizontals:
+        if x1 > x2:
+            raise ConfigurationError(f"horizontal ({y},{x1},{x2}) has x1 > x2")
+        events.append((y, _HORIZONTAL, (y, x1, x2)))
+    for x, y1, y2 in verticals:
+        if y1 > y2:
+            raise ConfigurationError(f"vertical ({x},{y1},{y2}) has y1 > y2")
+        events.append((y1, _VERTICAL, (x, y1, y2)))
+    events.finalize()
+    return external_merge_sort(
+        machine, events, key=lambda e: (e[0], e[1]), keep_input=False
+    )
+
+
+def segment_intersections(
+    machine: Machine,
+    horizontals: Sequence[Horizontal],
+    verticals: Sequence[Vertical],
+) -> FileStream:
+    """Report every (horizontal, vertical) intersecting pair.
+
+    Returns a finalized stream of ``(horizontal, vertical)`` tuples (order
+    unspecified).  Cost ``O(Sort(N) + Z/B)`` I/Os.
+    """
+    if machine.m < 9:
+        raise ConfigurationError(
+            "distribution sweeping needs at least 9 memory blocks "
+            "(event reader, output writer, and three strips' active and "
+            f"routing buffers); machine has m={machine.m}"
+        )
+    events = _event_stream(machine, horizontals, verticals)
+    output = FileStream(machine, name="sweep/output")
+    _sweep(machine, events, output, depth=0)
+    events.delete()
+    return output.finalize()
+
+
+def _sweep(machine: Machine, events: FileStream, output: FileStream,
+           depth: int) -> None:
+    """Recursive distribution sweep over a y-sorted event stream."""
+    # Strip writers + event reader + output writer + active-list traffic.
+    base_capacity = machine.M - 3 * machine.B
+    if len(events) <= base_capacity:
+        _sweep_in_memory(machine, events, output)
+        return
+
+    # Frame budget: (fan_out + 1) active writers + (fan_out + 1) routing
+    # writers + the event reader + the output writer + one transient
+    # reader during active-list rewrites.
+    fan_out = max(2, (machine.m - 5) // 2)
+    pivots = _sample_vertical_pivots(machine, events, fan_out)
+    if not pivots:
+        # No vertical spread to divide on (e.g. all verticals share one
+        # x); fall back to the disk-resident active list.
+        _sweep_on_disk(machine, events, output)
+        return
+
+    boundaries = pivots  # strip i covers (boundaries[i-1], boundaries[i]]
+    strips = len(boundaries) + 1
+    active = [FileStream(machine, name=f"sweep/active/{i}")
+              for i in range(strips)]
+    routed = [FileStream(machine, name=f"sweep/routed/{i}")
+              for i in range(strips)]
+
+    def strip_of(x: int) -> int:
+        return bisect_left(boundaries, x)
+
+    for y, kind, data in events:
+        if kind == _VERTICAL:
+            index = strip_of(data[0])
+            active[index].append(data)
+            routed[index].append((y, kind, data))
+        else:
+            hy, x1, x2 = data
+            first = strip_of(x1)
+            last = strip_of(x2)
+            # Interior strips are completely spanned in x: every live
+            # vertical there intersects; resolve at this level.
+            for index in range(first + 1, last):
+                _scan_active(machine, active, index, hy, data, output)
+            # End strips only partially overlap [x1, x2]: recurse.
+            routed[first].append((y, kind, data))
+            if last != first:
+                routed[last].append((y, kind, data))
+    for stream in active:
+        stream.finalize().delete()
+    for stream in routed:
+        stream.finalize()
+    output.sync()
+    for index, sub_events in enumerate(routed):
+        if len(sub_events) > 0:
+            if len(sub_events) == len(events):
+                # Degenerate split (pathological coordinate skew): avoid
+                # infinite recursion.
+                _sweep_on_disk(machine, sub_events, output)
+            else:
+                _sweep(machine, sub_events, output, depth + 1)
+        sub_events.delete()
+
+
+def _scan_active(machine: Machine, active: List[FileStream], index: int,
+                 sweep_y: int, horizontal: Horizontal,
+                 output: FileStream) -> None:
+    """Report all live verticals of a fully spanned strip and lazily drop
+    expired ones.  Every scanned record either reports or is deleted, so
+    scans are charged to output + one-time deletion."""
+    old = active[index].finalize()
+    fresh = FileStream(machine, name=f"sweep/active/{index}")
+    for vertical in old:
+        if vertical[2] >= sweep_y:
+            output.append((horizontal, vertical))
+            fresh.append(vertical)
+        # else: expired; drop it
+    old.delete()
+    active[index] = fresh
+
+
+def _sample_vertical_pivots(machine: Machine, events: FileStream,
+                            fan_out: int) -> List[int]:
+    """Pick up to ``fan_out`` distinct x pivots from vertical events in a
+    few probed blocks."""
+    probes = min(events.num_blocks, max(1, machine.m - 4))
+    step = max(1, events.num_blocks // probes)
+    xs: List[int] = []
+    with machine.budget.reserve(probes * machine.B):
+        for index in list(range(0, events.num_blocks, step))[:probes]:
+            for y, kind, data in events.read_block(index):
+                if kind == _VERTICAL:
+                    xs.append(data[0])
+    xs = sorted(set(xs))
+    if len(xs) <= 1:
+        return []
+    if len(xs) <= fan_out:
+        return xs[:-1]  # last pivot unnecessary (everything above it)
+    stride = len(xs) / (fan_out + 1)
+    pivots = []
+    for i in range(1, fan_out + 1):
+        candidate = xs[min(len(xs) - 1, int(i * stride))]
+        if not pivots or pivots[-1] != candidate:
+            pivots.append(candidate)
+    return pivots
+
+
+def _sweep_in_memory(machine: Machine, events: FileStream,
+                     output: FileStream) -> None:
+    """Base case: plain sweep with an in-memory active list."""
+    with machine.budget.reserve(len(events)):
+        active_x: List[int] = []          # sorted x of live verticals
+        active_segments: List[List[Vertical]] = []
+        for y, kind, data in events:
+            if kind == _VERTICAL:
+                position = bisect_left(active_x, data[0])
+                if position < len(active_x) and active_x[position] == data[0]:
+                    active_segments[position].append(data)
+                else:
+                    active_x.insert(position, data[0])
+                    active_segments.insert(position, [data])
+            else:
+                hy, x1, x2 = data
+                low = bisect_left(active_x, x1)
+                high = bisect_right(active_x, x2)
+                for position in range(low, high):
+                    live = []
+                    for vertical in active_segments[position]:
+                        if vertical[2] >= hy:
+                            output.append((data, vertical))
+                            live.append(vertical)
+                    active_segments[position] = live
+
+
+def _sweep_on_disk(machine: Machine, events: FileStream,
+                   output: FileStream) -> None:
+    """Fallback sweep holding the active list on disk and scanning it for
+    every horizontal.  Correct for any input; used only for degenerate
+    splits where distribution cannot make progress."""
+    active = FileStream(machine, name="sweep/fallback-active")
+    for y, kind, data in events:
+        if kind == _VERTICAL:
+            active.append(data)
+            active.sync()
+        else:
+            hy, x1, x2 = data
+            old = active.finalize()
+            fresh = FileStream(machine, name="sweep/fallback-active")
+            for vertical in old:
+                if vertical[2] < hy:
+                    continue  # expired
+                if x1 <= vertical[0] <= x2:
+                    output.append((data, vertical))
+                fresh.append(vertical)
+            fresh.sync()
+            old.delete()
+            active = fresh
+    active.finalize().delete()

@@ -1,0 +1,54 @@
+"""Batched graph algorithms in external memory.
+
+* :class:`~repro.graph.adjacency.AdjacencyStore` — packed on-disk
+  adjacency lists.
+* :func:`~repro.graph.bfs.mr_bfs` vs :func:`~repro.graph.bfs.naive_bfs`
+  — Munagala–Ranade external BFS against the queue baseline.
+* :func:`~repro.graph.list_ranking.list_ranking` vs
+  :func:`~repro.graph.list_ranking.pointer_chase_ranking`.
+* :func:`~repro.graph.connectivity.external_components` (hook &
+  contract) vs DFS / semi-external union-find baselines.
+"""
+
+from .adjacency import AdjacencyStore
+from .bfs import mr_bfs, naive_bfs, semi_external_bfs
+from .connectivity import (
+    dfs_components,
+    external_components,
+    semi_external_components,
+)
+from .euler import build_euler_tour, tree_depths
+from .mst import external_boruvka, semi_external_kruskal
+from .sssp import external_dijkstra, semi_external_dijkstra
+from .list_ranking import (
+    list_ranking,
+    pointer_chase_ranking,
+    weighted_list_ranking,
+)
+from .timeforward import (
+    dag_longest_paths,
+    evaluate_circuit,
+    time_forward_process,
+)
+
+__all__ = [
+    "AdjacencyStore",
+    "mr_bfs",
+    "naive_bfs",
+    "semi_external_bfs",
+    "list_ranking",
+    "pointer_chase_ranking",
+    "external_components",
+    "semi_external_components",
+    "dfs_components",
+    "time_forward_process",
+    "dag_longest_paths",
+    "evaluate_circuit",
+    "weighted_list_ranking",
+    "build_euler_tour",
+    "tree_depths",
+    "external_dijkstra",
+    "semi_external_dijkstra",
+    "semi_external_kruskal",
+    "external_boruvka",
+]

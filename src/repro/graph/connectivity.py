@@ -1,0 +1,275 @@
+"""Connected components in external memory.
+
+The RAM approach (DFS/BFS with a visited bitmap) pays ~1 random I/O per
+vertex on a disk-resident graph.  The survey's batched alternative is
+*hook and contract*: every vertex hooks to its minimum neighbor, the
+resulting pseudo-forest is collapsed to stars by pointer jumping, and the
+edge list is relabelled through the star roots — all with external sorts
+and merge joins, ``O(Sort(E))`` per round and ``O(log V)`` rounds.
+
+Outputs label each vertex with the minimum vertex id of its component,
+which makes results canonical and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..sort.merge import external_merge_sort
+from .adjacency import AdjacencyStore
+
+
+def dfs_components(machine: Machine, adjacency: AdjacencyStore) -> Dict[int, int]:
+    """Baseline: repeated DFS with in-memory visited set, fetching
+    adjacency lists on demand (~1 I/O per vertex, unbatched)."""
+    labels: Dict[int, int] = {}
+    for start in range(adjacency.num_vertices):
+        if start in labels:
+            continue
+        stack = [start]
+        labels[start] = start
+        while stack:
+            vertex = stack.pop()
+            for neighbor in adjacency.neighbors(vertex):
+                if neighbor not in labels:
+                    labels[neighbor] = start
+                    stack.append(neighbor)
+    return labels
+
+
+def semi_external_components(
+    machine: Machine,
+    num_vertices: int,
+    edges: FileStream,
+) -> Dict[int, int]:
+    """Semi-external union-find: one scan of the edge list with an
+    in-memory parent array (valid when ``V <= M``; the survey's
+    semi-external regime)."""
+    with machine.budget.reserve(num_vertices):
+        parent = list(range(num_vertices))
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for u, v in edges:
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                if ru < rv:
+                    parent[rv] = ru
+                else:
+                    parent[ru] = rv
+        return {v: find(v) for v in range(num_vertices)}
+
+
+def external_components(
+    machine: Machine,
+    num_vertices: int,
+    edges: FileStream,
+    max_rounds: int = 64,
+) -> Dict[int, int]:
+    """Fully external hook-and-contract connected components.
+
+    Args:
+        num_vertices: vertices are ``0..num_vertices-1``.
+        edges: finalized stream of undirected ``(u, v)`` pairs.
+
+    Returns ``{vertex: component_min_id}``.
+    """
+    # labels maps original vertex -> current representative.
+    labels = FileStream(machine, name="cc/labels")
+    for v in range(num_vertices):
+        labels.append((v, v))
+    labels.finalize()
+
+    current_edges = _normalize_edges(machine, edges, num_vertices)
+
+    rounds = 0
+    while len(current_edges) > 0:
+        rounds += 1
+        if rounds > max_rounds:
+            raise ConfigurationError(
+                "hook-and-contract did not converge; malformed edge input?"
+            )
+        parents = _hook_to_min_neighbor(machine, current_edges)
+        roots = _pointer_jump_to_roots(machine, parents)
+        labels = _relabel(machine, labels, roots)
+        current_edges = _contract_edges(machine, current_edges, roots)
+        roots.delete()
+    current_edges.delete()
+
+    result = {v: rep for v, rep in labels}
+    labels.delete()
+    return result
+
+
+# ----------------------------------------------------------------------
+# rounds
+# ----------------------------------------------------------------------
+def _normalize_edges(
+    machine: Machine, edges: FileStream, num_vertices: int
+) -> FileStream:
+    """Drop self-loops, orient ``u < v``, sort, and de-duplicate."""
+    oriented = FileStream(machine, name="cc/oriented")
+    for u, v in edges:
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise ConfigurationError(
+                f"edge ({u}, {v}) outside vertex range"
+            )
+        if u == v:
+            continue
+        oriented.append((min(u, v), max(u, v)))
+    oriented.finalize()
+    ordered = external_merge_sort(machine, oriented, keep_input=False)
+    unique = FileStream(machine, name="cc/edges")
+    previous = None
+    for edge in ordered:
+        if edge != previous:
+            unique.append(edge)
+        previous = edge
+    ordered.delete()
+    return unique.finalize()
+
+
+def _hook_to_min_neighbor(
+    machine: Machine, edges: FileStream
+) -> FileStream:
+    """For every endpoint, ``parent = min(vertex, min neighbor)``.
+
+    Returns a stream of ``(vertex, parent)`` sorted by vertex, covering
+    exactly the vertices incident to an edge."""
+    directed = FileStream(machine, name="cc/directed")
+    for u, v in edges:
+        directed.append((u, v))
+        directed.append((v, u))
+    directed.finalize()
+    ordered = external_merge_sort(machine, directed, keep_input=False)
+    parents = FileStream(machine, name="cc/parents")
+    current = None
+    best = None
+    for source, target in ordered:
+        if source != current:
+            if current is not None:
+                parents.append((current, min(current, best)))
+            current, best = source, target
+        else:
+            best = min(best, target)
+    if current is not None:
+        parents.append((current, min(current, best)))
+    ordered.delete()
+    return parents.finalize()
+
+
+def _pointer_jump_to_roots(
+    machine: Machine, parents: FileStream
+) -> FileStream:
+    """Repeat ``p(v) <- p(p(v))`` until stable: every vertex points to its
+    pseudo-tree root.  Each round is one sort + one merge join."""
+    current = parents
+    while True:
+        # Join current (keyed by parent) with current (keyed by vertex).
+        by_parent = external_merge_sort(
+            machine, current, key=lambda r: r[1]
+        )
+        jumped = FileStream(machine, name="cc/jumped")
+        changed = False
+        lookup = iter(current)  # sorted by vertex
+        entry = next(lookup, None)
+        for vertex, parent in by_parent:
+            while entry is not None and entry[0] < parent:
+                entry = next(lookup, None)
+            if entry is not None and entry[0] == parent:
+                grandparent = entry[1]
+            else:
+                grandparent = parent  # parent not incident: it is a root
+            if grandparent != parent:
+                changed = True
+            jumped.append((vertex, grandparent))
+        lookup.close()
+        jumped.finalize()
+        by_parent.delete()
+        current.delete()
+        current = external_merge_sort(
+            machine, jumped, key=lambda r: r[0], keep_input=False
+        )
+        if not changed:
+            return current
+
+
+def _relabel(
+    machine: Machine, labels: FileStream, roots: FileStream
+) -> FileStream:
+    """Map every original vertex through the round's root assignment."""
+    by_rep = external_merge_sort(
+        machine, labels, key=lambda r: r[1], keep_input=False
+    )
+    updated = FileStream(machine, name="cc/labels")
+    root_iter = iter(roots)
+    root_entry = next(root_iter, None)
+    for vertex, rep in by_rep:
+        while root_entry is not None and root_entry[0] < rep:
+            root_entry = next(root_iter, None)
+        if root_entry is not None and root_entry[0] == rep:
+            updated.append((vertex, root_entry[1]))
+        else:
+            updated.append((vertex, rep))
+    root_iter.close()
+    updated.finalize()
+    by_rep.delete()
+    return external_merge_sort(
+        machine, updated, key=lambda r: r[0], keep_input=False
+    )
+
+
+def _contract_edges(
+    machine: Machine, edges: FileStream, roots: FileStream
+) -> FileStream:
+    """Replace both endpoints by their roots; drop loops and duplicates."""
+
+    def map_endpoint(stream: FileStream, index: int) -> FileStream:
+        by_endpoint = external_merge_sort(
+            machine, stream, key=lambda e: e[index], keep_input=False
+        )
+        mapped = FileStream(machine, name="cc/mapped")
+        root_iter = iter(roots)
+        root_entry = next(root_iter, None)
+        for edge in by_endpoint:
+            endpoint = edge[index]
+            while root_entry is not None and root_entry[0] < endpoint:
+                root_entry = next(root_iter, None)
+            if root_entry is not None and root_entry[0] == endpoint:
+                new_endpoint = root_entry[1]
+            else:
+                new_endpoint = endpoint
+            if index == 0:
+                mapped.append((new_endpoint, edge[1]))
+            else:
+                mapped.append((edge[0], new_endpoint))
+        root_iter.close()
+        by_endpoint.delete()
+        return mapped.finalize()
+
+    edges = map_endpoint(edges, 0)
+    edges = map_endpoint(edges, 1)
+    cleaned = FileStream(machine, name="cc/contracted")
+    for u, v in edges:
+        if u != v:
+            cleaned.append((min(u, v), max(u, v)))
+    edges.delete()
+    cleaned.finalize()
+    ordered = external_merge_sort(machine, cleaned, keep_input=False)
+    unique = FileStream(machine, name="cc/edges")
+    previous = None
+    for edge in ordered:
+        if edge != previous:
+            unique.append(edge)
+        previous = edge
+    ordered.delete()
+    return unique.finalize()

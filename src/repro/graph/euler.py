@@ -1,0 +1,171 @@
+"""Euler tours: tree labelling via list ranking.
+
+The survey's bridge from list ranking to tree problems: replace each
+undirected tree edge by two opposing arcs, link the arcs into a single
+Euler tour (at each vertex, the arc arriving from neighbor ``u`` is
+followed by the arc leaving toward the cyclically next neighbor), and
+*rank the tour*.  Tour positions orient every edge (the arc seen first is
+the downward one), and a second, ±1-weighted ranking turns positions into
+depths — all in ``O(Sort(N))`` I/Os, where a naive rooted traversal would
+pay one random I/O per tree edge.
+
+:func:`tree_depths` returns ``(depths, parents)`` for every vertex of a
+tree given as an undirected edge list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..sort.merge import external_merge_sort
+from .list_ranking import list_ranking, weighted_list_ranking
+
+
+def build_euler_tour(
+    machine: Machine,
+    num_vertices: int,
+    edges: Iterable[Tuple[int, int]],
+    root: int,
+) -> Tuple[List[Tuple[int, int]], Dict[int, Tuple[int, int]]]:
+    """Link the ``2(n-1)`` arcs of a tree into an Euler tour.
+
+    Returns ``(successor_pairs, arc_endpoints)`` where arcs are numbered
+    by their position in the ``(dst, src)``-sorted arc order,
+    ``successor_pairs`` is the ``(arc_id, successor_arc_id)`` linked list
+    (tour start: the arc leaving ``root`` toward its smallest neighbor;
+    the arc closing the cycle gets successor ``-1``), and
+    ``arc_endpoints[arc_id] = (src, dst)``.
+
+    Per-vertex adjacency groups are processed in memory (max degree must
+    fit), and the arc-id lookup table is held in memory like the other
+    semi-external indexes in this package; the bulk arc traffic goes
+    through sorted streams.
+    """
+    arcs = FileStream(machine, name="euler/arcs")
+    edge_count = 0
+    for u, v in edges:
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise ConfigurationError(f"edge ({u}, {v}) outside vertex range")
+        if u == v:
+            raise ConfigurationError(f"self-loop ({u}, {v}) is not a tree")
+        arcs.append((u, v))
+        arcs.append((v, u))
+        edge_count += 1
+    arcs.finalize()
+    if edge_count != num_vertices - 1:
+        raise ConfigurationError(
+            f"a tree on {num_vertices} vertices has {num_vertices - 1} "
+            f"edges, got {edge_count}"
+        )
+
+    # Arc ids = position in the (dst, src) sort order.
+    by_head = external_merge_sort(
+        machine, arcs, key=lambda a: (a[1], a[0]), keep_input=False
+    )
+
+    # For each head vertex, the arc arriving from `src` continues as the
+    # arc leaving toward the cyclically next neighbor.
+    links = FileStream(machine, name="euler/links")
+    arc_endpoints: Dict[int, Tuple[int, int]] = {}
+    arc_id = 0
+    group_head: Optional[int] = None
+    group: List[Tuple[int, int]] = []  # (src, arc_id) per arriving arc
+
+    def emit_group() -> None:
+        degree = len(group)
+        for position, (src, this_id) in enumerate(group):
+            next_src = group[(position + 1) % degree][0]
+            # The arc arriving at group_head from src continues as the
+            # arc leaving group_head toward the next neighbor.
+            links.append((this_id, (group_head, next_src)))
+
+    for src, dst in by_head:
+        if dst != group_head:
+            if group_head is not None:
+                emit_group()
+            group_head = dst
+            group = []
+        arc_endpoints[arc_id] = (src, dst)
+        group.append((src, arc_id))
+        arc_id += 1
+    if group_head is not None:
+        emit_group()
+    links.finalize()
+    by_head.delete()
+
+    # Resolve successor endpoint pairs to arc ids.  The id of arc
+    # (s, d) is its rank in the (d, s) order; build the lookup by
+    # sorting links on the successor's (dst, src) and walking in step
+    # with the id order.
+    order = sorted(
+        arc_endpoints, key=lambda a: (arc_endpoints[a][1],
+                                      arc_endpoints[a][0])
+    )
+    # order[i] == i by construction, but recompute defensively.
+    endpoint_to_id = {
+        (arc_endpoints[a][0], arc_endpoints[a][1]): a for a in order
+    }
+
+    start_neighbor = min(
+        d for s, d in arc_endpoints.values() if s == root
+    )
+    start_id = endpoint_to_id[(root, start_neighbor)]
+
+    successor_pairs: List[Tuple[int, int]] = []
+    for this_id, (succ_src, succ_dst) in links:
+        succ_id = endpoint_to_id[(succ_src, succ_dst)]
+        if succ_id == start_id:
+            succ_id = -1  # break the cycle where it would re-enter start
+        successor_pairs.append((this_id, succ_id))
+    links.delete()
+    return successor_pairs, arc_endpoints
+
+
+def tree_depths(
+    machine: Machine,
+    num_vertices: int,
+    edges: Iterable[Tuple[int, int]],
+    root: int = 0,
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Compute every vertex's depth and parent in the tree rooted at
+    ``root`` via Euler tour + two list rankings.
+
+    Returns ``(depths, parents)``; ``parents[root]`` is ``-1``.
+    Expected cost ``O(Sort(N))`` I/Os.
+    """
+    if num_vertices == 1:
+        return {root: 0}, {root: -1}
+    successor_pairs, arc_endpoints = build_euler_tour(
+        machine, num_vertices, edges, root
+    )
+
+    # First ranking: tour positions orient the edges.
+    positions = list_ranking(machine, successor_pairs, seed=1)
+
+    # The arc of an edge seen earlier in the tour is the downward arc.
+    reverse_id: Dict[Tuple[int, int], int] = {}
+    for arc_id, (src, dst) in arc_endpoints.items():
+        reverse_id[(src, dst)] = arc_id
+    weights = {}
+    for arc_id, (src, dst) in arc_endpoints.items():
+        twin = reverse_id[(dst, src)]
+        weights[arc_id] = 1 if positions[arc_id] < positions[twin] else -1
+
+    # Second ranking with ±1 weights: prefix sums along the tour are
+    # depths.  depth(dst of a downward arc) = prefix before it + 1.
+    prefix = weighted_list_ranking(
+        machine,
+        [(arc_id, succ, weights[arc_id])
+         for arc_id, succ in successor_pairs],
+        seed=2,
+    )
+    depths = {root: 0}
+    parents = {root: -1}
+    for arc_id, (src, dst) in arc_endpoints.items():
+        if weights[arc_id] == 1:  # downward arc src -> dst
+            depths[dst] = prefix[arc_id] + 1
+            parents[dst] = src
+    return depths, parents

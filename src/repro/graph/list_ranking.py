@@ -1,0 +1,326 @@
+"""External-memory list ranking.
+
+Given a linked list stored in *storage order* (uncorrelated with logical
+order), compute each node's rank — its distance from the head.  In RAM
+this is a trivial pointer walk; on disk the walk pays one I/O per hop
+(``Θ(N)``), because each successor lives in an unrelated block.  The
+survey's solution contracts the list with a randomized independent set,
+recurses, and reintegrates — a geometric series of sorts and merge joins
+totalling ``O(Sort(N))`` I/Os.
+
+List ranking is the survey's gateway to graph problems: Euler tours,
+tree labelling, and connectivity all bootstrap from it.
+
+Input format: an iterable of ``(node, successor)`` pairs, nodes numbered
+arbitrarily, ``-1`` marking the tail.  Output: ``{node: rank}`` with the
+head at rank 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.blockfile import BlockFile
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..search.hashing import _hash_bits
+from ..sort.merge import external_merge_sort
+
+_TAIL = -1
+
+
+def pointer_chase_ranking(
+    machine: Machine,
+    pairs: Iterable[Tuple[int, int]],
+    num_nodes: int,
+) -> Dict[int, int]:
+    """The naive walk: follow successors one hop (and ~one I/O) at a time.
+
+    Successor pointers are stored by node id in a block file; the head is
+    found with one scan.  The walk then reads the block containing each
+    visited node — on a random storage order nearly every hop misses the
+    pool.
+    """
+    B = machine.block_size
+    table = BlockFile(machine, (num_nodes + B - 1) // B, name="listrank")
+    staging: Dict[int, List] = {}
+    successors_seen = set()
+    count = 0
+    for node, successor in pairs:
+        staging.setdefault(node // B, [None] * B)[node % B] = successor
+        if successor != _TAIL:
+            successors_seen.add(successor)
+        count += 1
+    if count != num_nodes:
+        raise ConfigurationError(
+            f"expected {num_nodes} pairs, got {count}"
+        )
+    for block_index, payload in staging.items():
+        table.write_block(block_index, payload)
+    heads = [v for v in range(num_nodes) if v not in successors_seen]
+    if len(heads) != 1:
+        raise ConfigurationError(
+            f"input is not a single linked list (found {len(heads)} heads)"
+        )
+
+    ranks: Dict[int, int] = {}
+    node = heads[0]
+    rank = 0
+    while node != _TAIL:
+        ranks[node] = rank
+        block = machine.pool.get(table.block_id(node // B))
+        node = block[node % B]
+        rank += 1
+    table.delete()
+    return ranks
+
+
+def list_ranking(
+    machine: Machine,
+    pairs: Iterable[Tuple[int, int]],
+    seed: int = 0,
+) -> Dict[int, int]:
+    """Rank a linked list in ``O(Sort(N))`` expected I/Os by randomized
+    independent-set contraction.
+
+    Each round: nodes that drew heads while their predecessor drew tails
+    form an independent set; they are spliced out (their predecessor
+    inherits their weight) and remembered on a side stream.  Once the
+    list fits in memory it is walked directly; side streams are then
+    replayed in reverse to reintegrate the spliced nodes.
+    """
+    records = FileStream(machine, name="listrank/input")
+    for node, successor in pairs:
+        records.append((node, successor, 1))
+    records.finalize()
+    ordered = external_merge_sort(
+        machine, records, key=lambda r: r[0], keep_input=False
+    )
+    ranked = _rank_recursive(machine, ordered, seed)
+    ordered.delete()
+    ranks = {node: rank for node, rank in ranked}
+    ranked.delete()
+    return ranks
+
+
+def weighted_list_ranking(
+    machine: Machine,
+    triples: Iterable[Tuple[int, int, int]],
+    seed: int = 0,
+) -> Dict[int, int]:
+    """Generalized list ranking: given ``(node, successor, weight)``,
+    return for each node the sum of the weights of all nodes strictly
+    before it (the head gets 0).
+
+    With unit weights this is :func:`list_ranking`; with signed weights
+    it computes prefix sums along the list — the primitive behind Euler
+    tour tree labelling (depths via ±1 weights).  Same ``O(Sort(N))``
+    expected cost.
+    """
+    records = FileStream(machine, name="listrank/input")
+    for node, successor, weight in triples:
+        records.append((node, successor, weight))
+    records.finalize()
+    ordered = external_merge_sort(
+        machine, records, key=lambda r: r[0], keep_input=False
+    )
+    ranked = _rank_recursive(machine, ordered, seed)
+    ordered.delete()
+    ranks = {node: rank for node, rank in ranked}
+    ranked.delete()
+    return ranks
+
+
+def _rank_recursive(
+    machine: Machine,
+    records: FileStream,
+    salt: int,
+) -> FileStream:
+    """Rank a list given as a stream of ``(node, succ, weight)`` sorted by
+    node id; returns a stream of ``(node, rank)`` sorted by node id.
+
+    The input stream is read but never deleted — the caller owns it (and
+    may still need it after the call, e.g. for reintegration weights)."""
+    n = len(records)
+    base_capacity = machine.M - 2 * machine.B
+    if n <= base_capacity:
+        return _rank_in_memory(machine, records)
+
+    # --- 1. attach predecessors: pred[succ] = node ------------------
+    pred_stream = FileStream(machine, name="listrank/preds")
+    for node, successor, _ in records:
+        if successor != _TAIL:
+            pred_stream.append((successor, node))
+    pred_stream.finalize()
+    preds = external_merge_sort(
+        machine, pred_stream, key=lambda r: r[0], keep_input=False
+    )
+
+    # --- 2. classify: independent set = coin(v) & ~coin(pred(v)) ----
+    def coin(node: int) -> bool:
+        return bool(_hash_bits((node, salt)) & 1)
+
+    # Merge records (by node) with preds (by node) to see each node's
+    # predecessor; emit contracted list pieces and side records.
+    survivors = FileStream(machine, name="listrank/survivors")
+    removed = FileStream(machine, name="listrank/removed")
+    removed_index = FileStream(machine, name="listrank/removed-idx")
+    pred_iter = iter(preds)
+    pred_entry = next(pred_iter, None)
+    for node, successor, weight in records:
+        while pred_entry is not None and pred_entry[0] < node:
+            pred_entry = next(pred_iter, None)
+        predecessor = (
+            pred_entry[1]
+            if pred_entry is not None and pred_entry[0] == node
+            else None
+        )
+        in_set = (
+            predecessor is not None
+            and coin(node)
+            and not coin(predecessor)
+        )
+        if in_set:
+            # (node, pred, succ, weight): enough to splice and restore.
+            removed.append((node, predecessor, successor, weight))
+            removed_index.append((node,))
+        else:
+            survivors.append((node, successor, weight))
+    pred_iter.close()  # release the lookup reader's frame
+    survivors.finalize()
+    removed.finalize()
+    removed_index.finalize()
+    preds.delete()
+
+    if len(removed) == 0:
+        # Unlucky coins removed nothing; retry with a fresh salt.
+        result = _rank_recursive(machine, survivors, salt + 1)
+        survivors.delete()
+        removed.delete()
+        removed_index.delete()
+        return result
+
+    # --- 3. splice: survivors whose successor was removed now point to
+    # the removed node's successor and absorb its weight. -------------
+    # Join survivors (keyed by successor) with removed (keyed by node).
+    by_successor = external_merge_sort(
+        machine, survivors, key=lambda r: r[1], keep_input=False
+    )
+    removed_sorted = external_merge_sort(
+        machine, removed, key=lambda r: r[0]
+    )
+    patched = FileStream(machine, name="listrank/patched")
+    removed_iter = iter(removed_sorted)
+    removed_entry = next(removed_iter, None)
+    for node, successor, weight in by_successor:
+        while removed_entry is not None and removed_entry[0] < successor:
+            removed_entry = next(removed_iter, None)
+        if (
+            successor != _TAIL
+            and removed_entry is not None
+            and removed_entry[0] == successor
+        ):
+            _, _, removed_succ, removed_weight = removed_entry
+            patched.append((node, removed_succ, weight + removed_weight))
+        else:
+            patched.append((node, successor, weight))
+    removed_iter.close()
+    patched.finalize()
+    by_successor.delete()
+    removed_sorted.delete()
+
+    contracted = external_merge_sort(
+        machine, patched, key=lambda r: r[0], keep_input=False
+    )
+
+    # --- 4. recurse -------------------------------------------------
+    sub_ranks = _rank_recursive(machine, contracted, salt + 1)
+
+    # --- 5. reintegrate: rank(removed) = rank(pred) + weight(pred at
+    # time of removal).  The predecessor's weight then was its *current*
+    # weight before absorbing; we stored the removed node's own weight,
+    # so recompute: rank(node) = rank(pred) + (weight added when stepping
+    # pred -> node), which equals pred's weight before splicing =
+    # pred's weight in the contracted list minus node's weight.
+    removed_by_pred = external_merge_sort(
+        machine, removed, key=lambda r: r[1], keep_input=False
+    )
+    # The predecessor's contracted weight comes straight from the
+    # contracted stream, which is already sorted by node id.
+    pred_info = contracted
+    restored = FileStream(machine, name="listrank/restored")
+    rank_iter = iter(sub_ranks)
+    info_iter = iter(pred_info)
+    rank_entry = next(rank_iter, None)
+    info_entry = next(info_iter, None)
+    for node, predecessor, _, weight in removed_by_pred:
+        while rank_entry is not None and rank_entry[0] < predecessor:
+            rank_entry = next(rank_iter, None)
+        while info_entry is not None and info_entry[0] < predecessor:
+            info_entry = next(info_iter, None)
+        assert rank_entry is not None and rank_entry[0] == predecessor
+        assert info_entry is not None and info_entry[0] == predecessor
+        pred_rank = rank_entry[1]
+        pred_weight_now = info_entry[2]
+        restored.append((node, pred_rank + (pred_weight_now - weight)))
+    rank_iter.close()
+    info_iter.close()
+    restored.finalize()
+    removed_by_pred.delete()
+    contracted.delete()
+
+    # --- 6. merge sub_ranks with restored (both → sorted by node) ----
+    restored_sorted = external_merge_sort(
+        machine, restored, key=lambda r: r[0], keep_input=False
+    )
+    merged = FileStream(machine, name="listrank/ranks")
+    a_iter = iter(sub_ranks)
+    b_iter = iter(restored_sorted)
+    a = next(a_iter, None)
+    b = next(b_iter, None)
+    while a is not None or b is not None:
+        if b is None or (a is not None and a[0] < b[0]):
+            merged.append(a)
+            a = next(a_iter, None)
+        else:
+            merged.append(b)
+            b = next(b_iter, None)
+    merged.finalize()
+    sub_ranks.delete()
+    restored_sorted.delete()
+    removed.delete()
+    removed_index.delete()
+    survivors.delete()
+    return merged
+
+
+def _rank_in_memory(machine: Machine, records: FileStream) -> FileStream:
+    """Base case: the list fits in memory; walk it directly."""
+    with machine.budget.reserve(len(records)):
+        successor: Dict[int, int] = {}
+        weight: Dict[int, int] = {}
+        targets = set()
+        for node, succ, w in records:
+            successor[node] = succ
+            weight[node] = w
+            if succ != _TAIL:
+                targets.add(succ)
+        ranks: Dict[int, int] = {}
+        if successor:
+            heads = [v for v in successor if v not in targets]
+            if len(heads) != 1:
+                raise ConfigurationError(
+                    f"input is not a single linked list "
+                    f"(found {len(heads)} heads)"
+                )
+            node = heads[0]
+            rank = 0
+            while node != _TAIL:
+                ranks[node] = rank
+                rank += weight[node]
+                node = successor[node]
+        output = FileStream(machine, name="listrank/ranks")
+        for node in sorted(ranks):
+            output.append((node, ranks[node]))
+        return output.finalize()

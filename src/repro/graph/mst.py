@@ -1,0 +1,230 @@
+"""Minimum spanning trees (forests) in external memory.
+
+Two regimes from the survey's graph section:
+
+* :func:`semi_external_kruskal` — when the vertices (but not the edges)
+  fit in memory: externally sort the edges by weight and stream them
+  through an in-memory union-find.  Cost ``O(Sort(E))``.
+* :func:`external_boruvka` — fully external: each round every component
+  selects its minimum incident edge (a sort + scan), the chosen edges
+  are contracted with the hook-and-contract machinery, and the edge list
+  is relabelled; ``O(log V)`` rounds of ``O(Sort(E))``.
+
+Both return ``(total_weight, mst_edges)`` where ``mst_edges`` are the
+chosen original ``(u, v, w)`` triples (a spanning forest if the graph is
+disconnected).  Ties are broken by edge input position, so results are
+deterministic and the two algorithms select the same forest weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..sort.merge import external_merge_sort
+from .connectivity import _pointer_jump_to_roots
+
+
+def _load_edges(
+    machine: Machine,
+    num_vertices: int,
+    edges: Iterable[Tuple[int, int, int]],
+) -> FileStream:
+    stream = FileStream(machine, name="mst/edges")
+    for position, (u, v, w) in enumerate(edges):
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise ConfigurationError(f"edge ({u}, {v}) outside vertex range")
+        if u == v:
+            continue
+        stream.append((u, v, w, position))
+    return stream.finalize()
+
+
+def semi_external_kruskal(
+    machine: Machine,
+    num_vertices: int,
+    edges: Iterable[Tuple[int, int, int]],
+) -> Tuple[int, List[Tuple[int, int, int]]]:
+    """Kruskal with an in-memory union-find over the vertices.
+
+    Cost: ``Sort(E)`` plus one scan.  Requires ``V <= M`` (the
+    semi-external regime); the memory budget enforces it.
+    """
+    stream = _load_edges(machine, num_vertices, edges)
+    by_weight = external_merge_sort(
+        machine, stream, key=lambda e: (e[2], e[3]), keep_input=False
+    )
+    with machine.budget.reserve(num_vertices):
+        parent = list(range(num_vertices))
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        chosen: List[Tuple[int, int, int]] = []
+        total = 0
+        for u, v, w, _ in by_weight:
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[max(ru, rv)] = min(ru, rv)
+                chosen.append((u, v, w))
+                total += w
+    by_weight.delete()
+    return total, chosen
+
+
+def external_boruvka(
+    machine: Machine,
+    num_vertices: int,
+    edges: Iterable[Tuple[int, int, int]],
+    max_rounds: int = 64,
+) -> Tuple[int, List[Tuple[int, int, int]]]:
+    """Fully external Borůvka: minimum-incident-edge selection plus
+    hook-and-contract rounds, all by sorting.
+
+    Each round at least halves the number of live components, so there
+    are ``O(log V)`` rounds of ``O(Sort(E))`` each.  The set of chosen
+    edge ids (≤ V−1 integers) is the one in-memory index, in line with
+    the package's semi-external bookkeeping convention; all edge traffic
+    is sorted streams.
+    """
+    current = _load_edges(machine, num_vertices, edges)
+    # Keep original endpoints/weights addressable by edge position so
+    # chosen ids can be reported; this index stays on disk.
+    originals = FileStream(machine, name="mst/originals")
+    for record in current:
+        originals.append(record)
+    originals.finalize()
+
+    chosen_ids: set = set()
+    rounds = 0
+    while len(current) > 0:
+        rounds += 1
+        if rounds > max_rounds:
+            raise ConfigurationError(
+                "Borůvka did not converge; malformed edge input?"
+            )
+        # --- 1. minimum incident edge per live vertex ----------------
+        directed = FileStream(machine, name="mst/directed")
+        for u, v, w, eid in current:
+            directed.append((u, v, w, eid))
+            directed.append((v, u, w, eid))
+        directed.finalize()
+        ordered = external_merge_sort(
+            machine, directed,
+            key=lambda e: (e[0], e[2], e[3]), keep_input=False
+        )
+        parents = FileStream(machine, name="mst/parents")
+        last_vertex = None
+        for src, dst, w, eid in ordered:
+            if src != last_vertex:
+                chosen_ids.add(eid)
+                parents.append((src, dst))  # hook toward the chosen edge
+                last_vertex = src
+        ordered.delete()
+        parents.finalize()
+
+        # Two vertices that pick the same edge hook to each other,
+        # forming a 2-cycle; make the smaller endpoint of each mutual
+        # pair a root so hooks form a forest.
+        lookup = external_merge_sort(
+            machine, parents, key=lambda r: r[0]
+        )
+        by_parent = external_merge_sort(
+            machine, parents, key=lambda r: r[1], keep_input=False
+        )
+        mutual = FileStream(machine, name="mst/mutual")
+        cursor = iter(lookup)
+        cursor_entry = next(cursor, None)
+        for vertex, parent in by_parent:
+            while cursor_entry is not None and cursor_entry[0] < parent:
+                cursor_entry = next(cursor, None)
+            if (
+                cursor_entry is not None
+                and cursor_entry[0] == parent
+                and cursor_entry[1] == vertex
+                and vertex < parent
+            ):
+                mutual.append(vertex)
+        cursor.close()
+        by_parent.delete()
+        mutual_sorted = external_merge_sort(
+            machine, mutual.finalize(), keep_input=False
+        )
+        resolved = FileStream(machine, name="mst/resolved")
+        mutual_iter = iter(mutual_sorted)
+        mutual_entry = next(mutual_iter, None)
+        for vertex, parent in lookup:
+            while mutual_entry is not None and mutual_entry < vertex:
+                mutual_entry = next(mutual_iter, None)
+            is_root = mutual_entry is not None and mutual_entry == vertex
+            resolved.append((vertex, vertex if is_root else parent))
+        mutual_iter.close()
+        mutual_sorted.delete()
+        lookup.delete()
+        resolved.finalize()
+
+        roots = _pointer_jump_to_roots(machine, resolved)
+
+        # --- 2. contract: relabel endpoints, drop loops, keep minimum
+        # weight per component pair. -----------------------------------
+        def map_endpoint(stream: FileStream, index: int) -> FileStream:
+            by_endpoint = external_merge_sort(
+                machine, stream, key=lambda e: e[index], keep_input=False
+            )
+            mapped = FileStream(machine, name="mst/mapped")
+            root_iter = iter(roots)
+            root_entry = next(root_iter, None)
+            for edge in by_endpoint:
+                endpoint = edge[index]
+                while root_entry is not None and root_entry[0] < endpoint:
+                    root_entry = next(root_iter, None)
+                new_endpoint = (
+                    root_entry[1]
+                    if root_entry is not None and root_entry[0] == endpoint
+                    else endpoint
+                )
+                record = list(edge)
+                record[index] = new_endpoint
+                mapped.append(tuple(record))
+            root_iter.close()
+            by_endpoint.delete()
+            return mapped.finalize()
+
+        relabelled = map_endpoint(map_endpoint(current, 0), 1)
+        cleaned = FileStream(machine, name="mst/cleaned")
+        for u, v, w, eid in relabelled:
+            if u != v:
+                cleaned.append((min(u, v), max(u, v), w, eid))
+        relabelled.delete()
+        cleaned.finalize()
+        deduped = external_merge_sort(
+            machine, cleaned,
+            key=lambda e: (e[0], e[1], e[2], e[3]), keep_input=False
+        )
+        next_edges = FileStream(machine, name="mst/edges")
+        last_pair = None
+        for u, v, w, eid in deduped:
+            if (u, v) != last_pair:
+                next_edges.append((u, v, w, eid))
+                last_pair = (u, v)
+        deduped.delete()
+        roots.delete()
+        current = next_edges.finalize()
+    current.delete()
+
+    # Collect the chosen original edges.
+    chosen: List[Tuple[int, int, int]] = []
+    total = 0
+    for u, v, w, eid in originals:
+        if eid in chosen_ids:
+            chosen.append((u, v, w))
+            total += w
+    originals.delete()
+    return total, chosen

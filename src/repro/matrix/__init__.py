@@ -1,0 +1,19 @@
+"""Dense matrix operations in external memory."""
+
+from .matrix import (
+    ExternalMatrix,
+    multiply_blocked,
+    multiply_naive,
+    transpose_blocked,
+    transpose_by_sort,
+    transpose_naive,
+)
+
+__all__ = [
+    "ExternalMatrix",
+    "transpose_naive",
+    "transpose_blocked",
+    "transpose_by_sort",
+    "multiply_naive",
+    "multiply_blocked",
+]

@@ -1,0 +1,350 @@
+"""Dense matrices in external memory: transpose and multiply.
+
+A ``p × q`` matrix is stored row-major, packed ``B`` records per block.
+Transposing it is a *permutation*, and the survey's transpose bound
+``Θ((N/B) log_{M/B} min(M, p, q, N/B))`` interpolates between one scan
+(when a ``B × B`` tile fits in memory) and the full permutation cost.
+
+* :func:`transpose_naive` reads the input column by column through the
+  buffer pool — the RAM-model loop — paying ~1 I/O per element once the
+  matrix outgrows the pool.
+* :func:`transpose_blocked` moves ``B × B`` tiles through memory: read
+  ``B`` blocks, transpose in RAM, write ``B`` blocks — ``2N/B`` I/Os when
+  ``B² ≤ M`` (the common case), falling back to sort-based permuting
+  otherwise.
+* :func:`multiply_blocked` is classic tiled matrix multiply with three
+  ``t × t`` tiles resident (``3t² ≤ M``), versus :func:`multiply_naive`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..core.blockfile import BlockFile
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..sort.merge import external_merge_sort
+
+
+class ExternalMatrix:
+    """A ``rows × cols`` matrix stored row-major on the simulated disk."""
+
+    def __init__(self, machine: Machine, rows: int, cols: int,
+                 blocks: Optional[BlockFile] = None):
+        if rows < 1 or cols < 1:
+            raise ConfigurationError(
+                f"matrix dimensions must be positive, got {rows}x{cols}"
+            )
+        self.machine = machine
+        self.rows = rows
+        self.cols = cols
+        B = machine.block_size
+        needed = (rows * cols + B - 1) // B
+        if blocks is None:
+            blocks = BlockFile(machine, needed, name="matrix")
+        elif blocks.num_blocks != needed:
+            raise ConfigurationError(
+                f"block file has {blocks.num_blocks} blocks, "
+                f"need {needed} for a {rows}x{cols} matrix"
+            )
+        self.blocks = blocks
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, machine: Machine,
+                  data: Sequence[Sequence[Any]]) -> "ExternalMatrix":
+        """Build a matrix from a list of equal-length rows."""
+        rows = len(data)
+        cols = len(data[0]) if rows else 0
+        for row in data:
+            if len(row) != cols:
+                raise ConfigurationError("ragged rows are not a matrix")
+        flat: List[Any] = [value for row in data for value in row]
+        matrix = cls(machine, rows, cols)
+        B = machine.block_size
+        for index in range(matrix.blocks.num_blocks):
+            matrix.blocks.write_block(
+                index, flat[index * B:(index + 1) * B]
+            )
+        return matrix
+
+    @classmethod
+    def from_function(
+        cls, machine: Machine, rows: int, cols: int,
+        fn: Callable[[int, int], Any],
+    ) -> "ExternalMatrix":
+        """Build a matrix with entry ``(i, j)`` equal to ``fn(i, j)``,
+        writing each block exactly once."""
+        matrix = cls(machine, rows, cols)
+        B = machine.block_size
+        buffer: List[Any] = []
+        index = 0
+        for i in range(rows):
+            for j in range(cols):
+                buffer.append(fn(i, j))
+                if len(buffer) == B:
+                    matrix.blocks.write_block(index, buffer)
+                    index += 1
+                    buffer = []
+        if buffer:
+            matrix.blocks.write_block(index, buffer)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def block_of(self, i: int, j: int) -> int:
+        """Block index holding entry ``(i, j)``."""
+        return (i * self.cols + j) // self.machine.block_size
+
+    def get(self, i: int, j: int) -> Any:
+        """Read a single entry through the buffer pool (cached)."""
+        self._check_entry(i, j)
+        position = i * self.cols + j
+        block = self.machine.pool.get(
+            self.blocks.block_id(position // self.machine.block_size)
+        )
+        return block[position % self.machine.block_size]
+
+    def to_rows(self) -> List[List[Any]]:
+        """Materialize the whole matrix (test helper; one scan)."""
+        flat = list(self.blocks.scan())
+        return [
+            flat[i * self.cols:(i + 1) * self.cols]
+            for i in range(self.rows)
+        ]
+
+    def read_tile(self, r0: int, r1: int, c0: int, c1: int) -> List[List[Any]]:
+        """Read the submatrix ``[r0, r1) × [c0, c1)``.
+
+        Each row segment reads its covering blocks (contiguous), so a tile
+        of ``t`` rows costs about ``t · ceil(t/B + 1)`` I/Os.
+        """
+        B = self.machine.block_size
+        tile: List[List[Any]] = []
+        for i in range(r0, r1):
+            start = i * self.cols + c0
+            stop = i * self.cols + c1
+            first_block = start // B
+            last_block = (stop - 1) // B
+            segment: List[Any] = []
+            for index in range(first_block, last_block + 1):
+                segment.extend(self.blocks.read_block(index))
+            offset = start - first_block * B
+            tile.append(segment[offset:offset + (c1 - c0)])
+        return tile
+
+    def _check_entry(self, i: int, j: int) -> None:
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise ConfigurationError(
+                f"entry ({i}, {j}) outside {self.rows}x{self.cols}"
+            )
+
+    def delete(self) -> None:
+        """Free the matrix's blocks."""
+        self.blocks.delete()
+
+
+# ----------------------------------------------------------------------
+# transpose
+# ----------------------------------------------------------------------
+def transpose_naive(machine: Machine, matrix: ExternalMatrix) -> ExternalMatrix:
+    """Transpose with the RAM-model column loop.
+
+    Reads the input column by column through the buffer pool; once a
+    column's blocks exceed the pool, every element access is a miss and
+    the cost approaches one I/O per element.
+    """
+    result = ExternalMatrix(machine, matrix.cols, matrix.rows)
+    B = machine.block_size
+    buffer: List[Any] = []
+    out_index = 0
+    with machine.budget.reserve(B):
+        for j in range(matrix.cols):
+            for i in range(matrix.rows):
+                buffer.append(matrix.get(i, j))
+                if len(buffer) == B:
+                    result.blocks.write_block(out_index, buffer)
+                    out_index += 1
+                    buffer = []
+        if buffer:
+            result.blocks.write_block(out_index, buffer)
+    return result
+
+
+def transpose_blocked(machine: Machine,
+                      matrix: ExternalMatrix) -> ExternalMatrix:
+    """Transpose by moving ``B × B`` tiles through memory.
+
+    When the matrix dimensions are multiples of ``B`` and a tile fits in
+    memory, each tile costs ``B`` reads + ``B`` writes: ``2N/B`` I/Os in
+    total — the transpose bound's one-scan regime.  Otherwise falls back
+    to :func:`transpose_by_sort` (the general-permutation regime).
+    """
+    B = machine.block_size
+    p, q = matrix.rows, matrix.cols
+    tile_fits = B * B <= machine.M - machine.B
+    aligned = p % B == 0 and q % B == 0
+    if not (tile_fits and aligned):
+        return transpose_by_sort(machine, matrix)
+
+    result = ExternalMatrix(machine, q, p)
+    in_blocks_per_row = q // B
+    out_blocks_per_row = p // B
+    with machine.budget.reserve(B * B):
+        for tile_i in range(p // B):
+            for tile_j in range(q // B):
+                tile = [
+                    matrix.blocks.read_block(
+                        (tile_i * B + r) * in_blocks_per_row + tile_j
+                    )
+                    for r in range(B)
+                ]
+                for c in range(B):
+                    out_row = [tile[r][c] for r in range(B)]
+                    result.blocks.write_block(
+                        (tile_j * B + c) * out_blocks_per_row + tile_i,
+                        out_row,
+                    )
+    return result
+
+
+def transpose_by_sort(machine: Machine,
+                      matrix: ExternalMatrix) -> ExternalMatrix:
+    """Transpose as a general permutation routed by an external sort:
+    ``O(Sort(N))`` I/Os, no alignment requirements."""
+    p, q = matrix.rows, matrix.cols
+    tagged = FileStream(machine, name="transpose/tagged")
+    position = 0
+    for value in matrix.blocks.scan():
+        i, j = divmod(position, q)
+        tagged.append((j * p + i, value))
+        position += 1
+    tagged.finalize()
+    ordered = external_merge_sort(
+        machine, tagged, key=lambda pair: pair[0], keep_input=False
+    )
+    result = ExternalMatrix(machine, q, p)
+    B = machine.block_size
+    buffer: List[Any] = []
+    index = 0
+    for _, value in ordered:
+        buffer.append(value)
+        if len(buffer) == B:
+            result.blocks.write_block(index, buffer)
+            index += 1
+            buffer = []
+    if buffer:
+        result.blocks.write_block(index, buffer)
+    ordered.delete()
+    return result
+
+
+# ----------------------------------------------------------------------
+# multiply
+# ----------------------------------------------------------------------
+def multiply_naive(machine: Machine, a: ExternalMatrix,
+                   b: ExternalMatrix) -> ExternalMatrix:
+    """Multiply with the RAM-model triple loop through the buffer pool.
+
+    ``a.get(i, k)`` accesses are row-local (cache friendly) but
+    ``b.get(k, j)`` walks a column per output entry, so large inputs pay
+    ~1 I/O per multiply-add."""
+    if a.cols != b.rows:
+        raise ConfigurationError(
+            f"cannot multiply {a.rows}x{a.cols} by {b.rows}x{b.cols}"
+        )
+    result = ExternalMatrix(machine, a.rows, b.cols)
+    B = machine.block_size
+    buffer: List[Any] = []
+    out_index = 0
+    with machine.budget.reserve(B):
+        for i in range(a.rows):
+            for j in range(b.cols):
+                total = 0
+                for k in range(a.cols):
+                    total += a.get(i, k) * b.get(k, j)
+                buffer.append(total)
+                if len(buffer) == B:
+                    result.blocks.write_block(out_index, buffer)
+                    out_index += 1
+                    buffer = []
+        if buffer:
+            result.blocks.write_block(out_index, buffer)
+    return result
+
+
+def multiply_blocked(machine: Machine, a: ExternalMatrix,
+                     b: ExternalMatrix,
+                     tile: Optional[int] = None) -> ExternalMatrix:
+    """Tiled matrix multiply: three ``t × t`` tiles resident at once
+    (``3t² ≤ M``), giving ``O(N^{3/2} / (B·√M))`` I/Os — the survey's
+    matrix-multiply bound."""
+    if a.cols != b.rows:
+        raise ConfigurationError(
+            f"cannot multiply {a.rows}x{a.cols} by {b.rows}x{b.cols}"
+        )
+    p, q, r = a.rows, a.cols, b.cols
+    if tile is not None:
+        t = tile
+    else:
+        # Resident set: an accumulator band (t·r), an A tile (t²), and a
+        # B tile (t²), plus one output frame.
+        t = max(1, int(math.isqrt(machine.M // 3)))
+        while t > 1 and t * r + 2 * t * t + machine.B > machine.M:
+            t -= 1
+    if t * r + 2 * t * t + machine.B > machine.M:
+        raise ConfigurationError(
+            f"tile size {t} needs {t * r + 2 * t * t + machine.B} resident "
+            f"records for a {p}x{q} @ {q}x{r} multiply, M={machine.M}"
+        )
+    # Accumulator tiles are built in memory row-band by row-band and
+    # written once at the end of each (i-band, j-band) pass.
+    result_rows: List[List[Any]] = []
+    result = ExternalMatrix(machine, p, r)
+    B = machine.block_size
+    write_buffer: List[Any] = []
+    out_index = 0
+
+    def flush_band(band: List[List[Any]]) -> None:
+        nonlocal write_buffer, out_index
+        for row in band:
+            for value in row:
+                write_buffer.append(value)
+                if len(write_buffer) == B:
+                    result.blocks.write_block(out_index, write_buffer)
+                    out_index += 1
+                    write_buffer = []
+
+    for i0 in range(0, p, t):
+        i1 = min(i0 + t, p)
+        band = [[0] * r for _ in range(i1 - i0)]
+        with machine.budget.reserve((i1 - i0) * r):
+            for k0 in range(0, q, t):
+                k1 = min(k0 + t, q)
+                with machine.budget.reserve((i1 - i0) * (k1 - k0)):
+                    a_tile = a.read_tile(i0, i1, k0, k1)
+                    for j0 in range(0, r, t):
+                        j1 = min(j0 + t, r)
+                        with machine.budget.reserve(
+                            (k1 - k0) * (j1 - j0)
+                        ):
+                            b_tile = b.read_tile(k0, k1, j0, j1)
+                            for i in range(i1 - i0):
+                                row = a_tile[i]
+                                out = band[i]
+                                for k in range(k1 - k0):
+                                    aik = row[k]
+                                    if aik == 0:
+                                        continue
+                                    b_row = b_tile[k]
+                                    for j in range(j1 - j0):
+                                        out[j0 + j] += aik * b_row[j]
+            flush_band(band)
+    if write_buffer:
+        result.blocks.write_block(out_index, write_buffer)
+    return result

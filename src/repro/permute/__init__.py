@@ -1,0 +1,15 @@
+"""Permuting in external memory: ``Θ(min(N, Sort(N)))``."""
+
+from .permute import (
+    bit_reversal_permutation,
+    permute,
+    permute_by_sort,
+    permute_naive,
+)
+
+__all__ = [
+    "permute",
+    "permute_naive",
+    "permute_by_sort",
+    "bit_reversal_permutation",
+]

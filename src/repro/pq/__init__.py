@@ -1,0 +1,12 @@
+"""External priority queues.
+
+* :class:`~repro.pq.sequence_heap.ExternalPriorityQueue` — batched,
+  amortized ``O((1/B) log_{M/B}(N/B))`` I/Os per operation.
+* :class:`~repro.pq.btree_pq.BTreePriorityQueue` — the ``Θ(log_B N)``
+  per-operation baseline.
+"""
+
+from .btree_pq import BTreePriorityQueue
+from .sequence_heap import ExternalPriorityQueue
+
+__all__ = ["ExternalPriorityQueue", "BTreePriorityQueue"]

@@ -1,0 +1,214 @@
+"""External priority queue (sequence heap).
+
+The survey's external priority queues achieve ``O((1/B) log_{M/B}(N/B))``
+amortized I/Os per operation — the per-record sorting cost — by batching:
+inserts accumulate in an in-memory heap; when it fills, its contents are
+written as one sorted run; runs are organized into levels of at most ``k``
+runs each, and a level that fills is k-way merged into a single run one
+level up.  ``delete_min`` takes the minimum over the in-memory heap and
+the head record of every on-disk run.
+
+This is the structure behind time-forward processing and external Dijkstra
+in the survey; a B-tree used as a priority queue pays ``Θ(log_B N)`` I/Os
+per operation instead, which the priority-queue experiment quantifies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import chain
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError, EMError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..sort.merge import LoserTree
+
+
+class _Run:
+    """A sorted on-disk run with a one-record lookahead head."""
+
+    __slots__ = ("stream", "reader", "head")
+
+    def __init__(self, stream: FileStream):
+        self.stream = stream
+        self.reader = iter(stream)
+        self.head: Optional[tuple] = next(self.reader, None)
+
+    def advance(self) -> None:
+        self.head = next(self.reader, None)
+        if self.head is None:
+            self.stream.delete()
+
+    def records(self) -> Iterator[tuple]:
+        """All remaining records including the head."""
+        if self.head is None:
+            return iter(())
+        return chain([self.head], self.reader)
+
+
+class ExternalPriorityQueue:
+    """A min-priority queue of ``(priority, item)`` pairs on disk.
+
+    Args:
+        machine: the external-memory machine.
+        group_arity: maximum runs per level before the level is merged
+            upward; defaults to ``max(2, m//2 - 1)``.
+        insertion_capacity: records held in the in-memory insertion heap;
+            defaults to ``M // 4`` (reserved from the machine budget for
+            the queue's lifetime — call :meth:`close` to release it).
+
+    Ties between equal priorities are broken by insertion order (FIFO).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        group_arity: Optional[int] = None,
+        insertion_capacity: Optional[int] = None,
+    ):
+        self.machine = machine
+        self.group_arity = (
+            group_arity if group_arity is not None else max(2, machine.m // 4)
+        )
+        if self.group_arity < 2:
+            raise ConfigurationError(
+                f"group arity must be >= 2, got {self.group_arity}"
+            )
+        self.insertion_capacity = (
+            insertion_capacity
+            if insertion_capacity is not None
+            else max(2, machine.M // 4)
+        )
+        machine.budget.acquire(self.insertion_capacity)
+        self._heap: List[tuple] = []
+        self._levels: List[List[_Run]] = []
+        self._sequence = 0
+        self._size = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def insert(self, priority: Any, item: Any = None) -> None:
+        """Insert ``item`` with ``priority``; amortized ``O((1/B)·log)``
+        I/Os."""
+        self._check_open()
+        heapq.heappush(self._heap, (priority, self._sequence, item))
+        self._sequence += 1
+        self._size += 1
+        if len(self._heap) >= self.insertion_capacity:
+            self._spill_heap()
+
+    def delete_min(self) -> Tuple[Any, Any]:
+        """Remove and return the ``(priority, item)`` pair with the
+        smallest priority (FIFO among equal priorities).
+
+        Raises:
+            EMError: when the queue is empty.
+        """
+        self._check_open()
+        if self._size == 0:
+            raise EMError("delete_min on an empty priority queue")
+        best_run: Optional[_Run] = None
+        best: Optional[tuple] = self._heap[0] if self._heap else None
+        for level in self._levels:
+            for run in level:
+                if run.head is not None and (
+                    best is None or run.head < best
+                ):
+                    best = run.head
+                    best_run = run
+        assert best is not None
+        if best_run is None:
+            heapq.heappop(self._heap)
+        else:
+            best_run.advance()
+            if best_run.head is None:
+                # Prune the exhausted run so head scans stay short and its
+                # reader frame is released.
+                for level in self._levels:
+                    if best_run in level:
+                        level.remove(best_run)
+                        break
+        self._size -= 1
+        priority, _, item = best
+        return priority, item
+
+    def peek_min(self) -> Tuple[Any, Any]:
+        """Return (without removing) the minimum ``(priority, item)``."""
+        self._check_open()
+        if self._size == 0:
+            raise EMError("peek_min on an empty priority queue")
+        best = self._heap[0] if self._heap else None
+        for level in self._levels:
+            for run in level:
+                if run.head is not None and (best is None or run.head < best):
+                    best = run.head
+        priority, _, item = best
+        return priority, item
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_levels(self) -> int:
+        """Number of on-disk run levels."""
+        return len(self._levels)
+
+    def close(self) -> None:
+        """Release the insertion heap's memory reservation and delete all
+        on-disk runs.  The queue becomes unusable."""
+        if self._closed:
+            return
+        self.machine.budget.release(self.insertion_capacity)
+        for level in self._levels:
+            for run in level:
+                if run.head is not None:
+                    run.stream.delete()
+        self._levels = []
+        self._heap = []
+        self._closed = True
+
+    def __enter__(self) -> "ExternalPriorityQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EMError("priority queue has been closed")
+
+    def _spill_heap(self) -> None:
+        """Write the insertion heap as a sorted run into level 0."""
+        records = sorted(self._heap)
+        self._heap = []
+        stream = FileStream(self.machine, name="pq/run")
+        for record in records:
+            stream.append(record)
+        stream.finalize()
+        self._add_run(0, _Run(stream))
+
+    def _add_run(self, level_index: int, run: _Run) -> None:
+        while len(self._levels) <= level_index:
+            self._levels.append([])
+        if run.head is None:
+            return
+        level = self._levels[level_index]
+        level.append(run)
+        if len(level) > self.group_arity:
+            self._merge_level(level_index)
+
+    def _merge_level(self, level_index: int) -> None:
+        """k-way merge every run of a full level into one run one level
+        up.  Costs one read and one write per block of live records."""
+        level = self._levels[level_index]
+        sources = [run.records() for run in level]
+        merged = FileStream(self.machine, name="pq/merged")
+        for record in LoserTree(sources):
+            merged.append(record)
+        merged.finalize()
+        for run in level:
+            run.stream.delete()
+        self._levels[level_index] = []
+        self._add_run(level_index + 1, _Run(merged))

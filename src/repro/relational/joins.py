@@ -1,0 +1,316 @@
+"""Equi-join algorithms: sort-merge, Grace hash, block nested loop.
+
+The three classical disk join strategies, each with the cost profile
+database textbooks derive from the I/O model:
+
+* :func:`sort_merge_join` — ``Sort(R) + Sort(S) + scan`` I/Os; the output
+  order is by join key.
+* :func:`grace_hash_join` — ``~3·(scan(R) + scan(S))`` I/Os (partition
+  write + partition read + probe) as long as each build partition fits in
+  memory; recursive re-partitioning otherwise.
+* :func:`block_nested_loop_join` — ``scan(R) + ceil(|R|/M)·scan(S)``,
+  quadratic once the build side exceeds memory; wins only for tiny build
+  sides, which is the crossover the joins experiment shows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError, EMError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..search.hashing import _hash_bits
+from ..sort.merge import external_merge_sort
+from .table import Table
+
+_MAX_HASH_RECURSION = 8
+
+
+def _joined_columns(left: Table, right: Table) -> List[str]:
+    """Concatenate column names, renaming right-side clashes."""
+    columns = list(left.columns)
+    for col in right.columns:
+        columns.append(col if col not in columns else f"{col}_r")
+    return columns
+
+
+def _output_table(
+    machine: Machine,
+    left: Table,
+    right: Table,
+    pairs: Iterator[Tuple[Tuple, Tuple]],
+    name: str,
+) -> Table:
+    out = FileStream(machine, name=f"table/{name}")
+    for left_row, right_row in pairs:
+        out.append(tuple(left_row) + tuple(right_row))
+    return Table(
+        machine, _joined_columns(left, right), out.finalize(), name=name
+    )
+
+
+def merge_join_iterators(
+    machine: Machine,
+    left_rows: Iterator[Tuple],
+    right_rows: Iterator[Tuple],
+    left_key: Callable[[Tuple], Any],
+    right_key: Callable[[Tuple], Any],
+) -> Iterator[Tuple[Tuple, Tuple]]:
+    """Merge-join two iterators already sorted by their keys.
+
+    Handles many-to-many matches by buffering the current right-side key
+    group in memory (reserved from the budget), the standard assumption
+    that no single join-key group exceeds ``M``.
+    """
+    budget = machine.budget
+    left_iter = iter(left_rows)
+    right_iter = iter(right_rows)
+    left_row = next(left_iter, None)
+    right_row = next(right_iter, None)
+    while left_row is not None and right_row is not None:
+        lk = left_key(left_row)
+        rk = right_key(right_row)
+        if lk < rk:
+            left_row = next(left_iter, None)
+        elif lk > rk:
+            right_row = next(right_iter, None)
+        else:
+            # Buffer the right group for this key.
+            group = [right_row]
+            budget.acquire(1)
+            right_row = next(right_iter, None)
+            while right_row is not None and right_key(right_row) == lk:
+                group.append(right_row)
+                budget.acquire(1)
+                right_row = next(right_iter, None)
+            try:
+                while left_row is not None and left_key(left_row) == lk:
+                    for match in group:
+                        yield left_row, match
+                    left_row = next(left_iter, None)
+            finally:
+                budget.release(len(group))
+
+
+def sort_merge_join(
+    left: Table,
+    right: Table,
+    left_column: str,
+    right_column: str,
+    name: str = "smj",
+) -> Table:
+    """Sort both inputs by the join key, then merge:
+    ``Sort(R) + Sort(S) + scan`` I/Os.  Output is ordered by join key."""
+    machine = left.machine
+    left_key = left.key_fn(left_column)
+    right_key = right.key_fn(right_column)
+    left_sorted = external_merge_sort(machine, left.stream, key=left_key)
+    right_sorted = external_merge_sort(machine, right.stream, key=right_key)
+    result = _output_table(
+        machine,
+        left,
+        right,
+        merge_join_iterators(
+            machine, iter(left_sorted), iter(right_sorted),
+            left_key, right_key,
+        ),
+        name,
+    )
+    left_sorted.delete()
+    right_sorted.delete()
+    return result
+
+
+def block_nested_loop_join(
+    left: Table,
+    right: Table,
+    left_column: str,
+    right_column: str,
+    name: str = "bnl",
+) -> Table:
+    """Join by loading the left (build) table a memoryload at a time and
+    scanning the right table once per load."""
+    machine = left.machine
+    left_key = left.key_fn(left_column)
+    right_key = right.key_fn(right_column)
+    chunk_capacity = machine.M - 3 * machine.B
+    if chunk_capacity < 1:
+        raise ConfigurationError(
+            "machine memory too small for block nested loop join"
+        )
+    out = FileStream(machine, name=f"table/{name}")
+    reader = iter(left.stream)
+    exhausted = False
+    while not exhausted:
+        with machine.budget.reserve(chunk_capacity):
+            build: Dict[Any, List[Tuple]] = {}
+            loaded = 0
+            for row in reader:
+                build.setdefault(left_key(row), []).append(row)
+                loaded += 1
+                if loaded == chunk_capacity:
+                    break
+            else:
+                exhausted = True
+            if not build:
+                break
+            for right_row in right.rows():
+                for left_row in build.get(right_key(right_row), ()):
+                    out.append(tuple(left_row) + tuple(right_row))
+    return Table(
+        left.machine, _joined_columns(left, right), out.finalize(), name=name
+    )
+
+
+def hash_group_by(
+    table,
+    key_column: str,
+    aggregates,
+    name: str = "hgrouped",
+):
+    """Partitioned (Grace-style) hash aggregation.
+
+    Hash-partitions the input so each partition's distinct groups fit in
+    memory, then aggregates every partition with an in-memory dict:
+    ``~2 scans`` of the input when the group count is below ``M`` per
+    partition — cheaper than sort-based GROUP BY when groups are few,
+    but the output is unordered.
+    """
+    from .operators import AGGREGATES
+    from .table import Table as _Table
+
+    machine = table.machine
+    key_fn = table.key_fn(key_column)
+    specs = []
+    for agg_name, value_column in aggregates:
+        if agg_name not in AGGREGATES:
+            raise ConfigurationError(
+                f"unknown aggregate {agg_name!r}; "
+                f"choose from {sorted(AGGREGATES)}"
+            )
+        specs.append(
+            (AGGREGATES[agg_name], table.column_index(value_column),
+             f"{agg_name}_{value_column}")
+        )
+    num_partitions = max(2, machine.m - 2)
+    parts = [
+        FileStream(machine, name=f"hgb/part/{i}")
+        for i in range(num_partitions)
+    ]
+    for row in table.rows():
+        index = _hash_bits(key_fn(row)) % num_partitions
+        parts[index].append(row)
+    for part in parts:
+        part.finalize()
+
+    out = FileStream(machine, name=f"table/{name}")
+    state_capacity = machine.M - 2 * machine.B
+    for part in parts:
+        if len(part) == 0:
+            part.delete()
+            continue
+        with machine.budget.reserve(state_capacity):
+            states: Dict[Any, list] = {}
+            for row in part:
+                group = key_fn(row)
+                if group not in states:
+                    if len(states) >= state_capacity:
+                        raise EMError(
+                            "hash aggregation overflow: too many distinct "
+                            "groups per partition; use sort-based "
+                            "group_by instead"
+                        )
+                    states[group] = [spec[0].init() for spec in specs]
+                states[group] = [
+                    spec[0].step(state, row[spec[1]])
+                    for spec, state in zip(specs, states[group])
+                ]
+            for group, group_states in states.items():
+                out.append(
+                    tuple([group] + [
+                        spec[0].final(state)
+                        for spec, state in zip(specs, group_states)
+                    ])
+                )
+        part.delete()
+    columns = [key_column] + [spec[2] for spec in specs]
+    return _Table(machine, columns, out.finalize(), name=name)
+
+
+def grace_hash_join(
+    left: Table,
+    right: Table,
+    left_column: str,
+    right_column: str,
+    name: str = "ghj",
+    _depth: int = 0,
+    _salt: int = 0,
+) -> Table:
+    """Grace hash join: hash-partition both inputs, then join each
+    partition pair with an in-memory hash table on the (smaller) left
+    side.  Oversized partitions are recursively re-partitioned with a
+    different hash salt."""
+    machine = left.machine
+    left_key = left.key_fn(left_column)
+    right_key = right.key_fn(right_column)
+    if _depth > _MAX_HASH_RECURSION:
+        # Re-partitioning cannot split further (e.g. one massive join
+        # key); fall back to block-nested-loop over this partition pair.
+        return block_nested_loop_join(
+            left, right, left_column, right_column, name=name
+        )
+    num_partitions = max(2, machine.m - 2)
+    out = FileStream(machine, name=f"table/{name}")
+
+    def partition(table: Table, key_fn) -> List[FileStream]:
+        parts = [
+            FileStream(machine, name=f"ghj/part{_depth}/{i}")
+            for i in range(num_partitions)
+        ]
+        for row in table.rows():
+            index = (_hash_bits((key_fn(row), _salt))) % num_partitions
+            parts[index].append(row)
+        for part in parts:
+            part.finalize()
+        return parts
+
+    left_parts = partition(left, left_key)
+    right_parts = partition(right, right_key)
+    # Resident during probe: build dict + left reader + right reader +
+    # output writer frame.
+    build_capacity = machine.M - 3 * machine.B
+
+    for left_part, right_part in zip(left_parts, right_parts):
+        if len(left_part) == 0 or len(right_part) == 0:
+            continue
+        if len(left_part) > build_capacity:
+            # Recurse on the oversized partition pair with a fresh salt.
+            # Release the output writer's staging frame first; the nested
+            # call needs the full frame budget for its own partitioning.
+            out.sync()
+            sub = grace_hash_join(
+                Table(machine, left.columns, left_part, name="ghj/sub-l"),
+                Table(machine, right.columns, right_part, name="ghj/sub-r"),
+                left_column,
+                right_column,
+                _depth=_depth + 1,
+                _salt=_salt + 1,
+            )
+            for row in sub.rows():
+                out.append(row)
+            sub.delete()
+            continue
+        with machine.budget.reserve(len(left_part)):
+            build: Dict[Any, List[Tuple]] = {}
+            for row in left_part:
+                build.setdefault(left_key(row), []).append(row)
+            for right_row in right_part:
+                for left_row in build.get(right_key(right_row), ()):
+                    out.append(tuple(left_row) + tuple(right_row))
+
+    for part in left_parts + right_parts:
+        part.delete()
+    return Table(
+        machine, _joined_columns(left, right), out.finalize(), name=name
+    )

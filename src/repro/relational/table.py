@@ -1,0 +1,93 @@
+"""Lightweight relational layer over streams.
+
+The survey's motivating application — "external sort is in every database
+engine" — deserves an explicit database-shaped surface.  A
+:class:`Table` is a named, schema'd stream of tuples; the operators in
+:mod:`repro.relational.operators` and :mod:`repro.relational.joins`
+consume and produce tables while charging all their I/O to the machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+
+
+class Table:
+    """A relation: a finalized stream of equal-width tuples plus column
+    names.
+
+    Args:
+        machine: the owning machine.
+        columns: column names, e.g. ``("id", "name")``.
+        stream: a finalized stream of tuples; or use :meth:`from_rows`.
+        name: relation name for debugging.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        columns: Sequence[str],
+        stream: FileStream,
+        name: str = "",
+    ):
+        if len(set(columns)) != len(columns):
+            raise ConfigurationError(f"duplicate column names in {columns}")
+        self.machine = machine
+        self.columns = tuple(columns)
+        self.stream = stream
+        self.name = name or "table"
+
+    @classmethod
+    def from_rows(
+        cls,
+        machine: Machine,
+        columns: Sequence[str],
+        rows: Iterable[Tuple],
+        name: str = "",
+    ) -> "Table":
+        """Build a table by writing ``rows`` to a fresh stream."""
+        stream = FileStream(machine, name=f"table/{name}")
+        width = len(columns)
+        for row in rows:
+            if len(row) != width:
+                raise ConfigurationError(
+                    f"row {row!r} does not match columns {columns}"
+                )
+            stream.append(tuple(row))
+        return cls(machine, columns, stream.finalize(), name=name)
+
+    def column_index(self, column: str) -> int:
+        """Position of ``column`` in each tuple."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise ConfigurationError(
+                f"table {self.name!r} has no column {column!r} "
+                f"(has {self.columns})"
+            ) from None
+
+    def key_fn(self, column: str) -> Callable[[Tuple], Any]:
+        """A key function extracting ``column`` from a row."""
+        index = self.column_index(column)
+        return lambda row: row[index]
+
+    def rows(self) -> Iterator[Tuple]:
+        """Iterate all rows (one read I/O per block)."""
+        return iter(self.stream)
+
+    def __len__(self) -> int:
+        return len(self.stream)
+
+    def delete(self) -> None:
+        """Free the table's blocks."""
+        self.stream.delete()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Table({self.name!r}, columns={self.columns}, "
+            f"rows={len(self.stream)})"
+        )

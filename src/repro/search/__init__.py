@@ -1,0 +1,12 @@
+"""Online search structures: B+-tree and extendible hashing.
+
+* :class:`~repro.search.btree.BPlusTree` — ``Θ(log_B N)`` point queries,
+  ``Θ(log_B N + Z/B)`` range queries, ``Θ(N/B)`` bulk load.
+* :class:`~repro.search.hashing.ExtendibleHashTable` — O(1)-I/O exact-match
+  lookups; no range queries.
+"""
+
+from .btree import BPlusTree
+from .hashing import ExtendibleHashTable
+
+__all__ = ["BPlusTree", "ExtendibleHashTable"]

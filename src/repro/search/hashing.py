@@ -1,0 +1,290 @@
+"""Extendible hashing: dictionary lookups in O(1) I/Os.
+
+The survey's alternative to tree search when only exact-match queries are
+needed: a directory of ``2^g`` pointers (``g`` = global depth) indexes
+buckets of up to ``B - 1`` records; a lookup hashes the key, follows one
+directory pointer, and reads exactly one bucket — one I/O, independent of
+``N`` — versus the B-tree's ``Θ(log_B N)``.
+
+When a bucket with local depth ``l`` overflows, it splits into two buckets
+of depth ``l + 1``; if ``l`` equalled the global depth the directory
+doubles.  The directory itself (one integer per bucket pointer) is assumed
+to fit in memory, the standard assumption.
+
+Buckets whose keys all share a hash value longer than any practical depth
+(e.g. massive duplicates) spill into overflow chains, so correctness never
+depends on the hash being injective.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError, KeyNotFound
+from ..core.machine import Machine
+
+# Directory growth is capped: beyond this depth (a million directory
+# slots) pathological keys that share every hash bit spill into overflow
+# chains instead of doubling the directory further.
+_MAX_DEPTH = 20
+_NO_OVERFLOW = -1
+_MIX = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _hash_bits(key: Any) -> int:
+    """A 64-bit mixed hash of ``key`` (Fibonacci multiplicative mixing on
+    top of Python's ``hash`` so consecutive integers spread out)."""
+    return ((hash(key) & _MASK64) * _MIX) & _MASK64
+
+
+class ExtendibleHashTable:
+    """An extendible hash table of ``(key, value)`` pairs on disk.
+
+    Args:
+        machine: machine whose disk, pool, and block size the table uses.
+        bucket_capacity: records per bucket; defaults to ``B - 1`` (one
+            record is the bucket header ``[local_depth, overflow_id]``).
+    """
+
+    def __init__(self, machine: Machine,
+                 bucket_capacity: Optional[int] = None):
+        self.machine = machine
+        self.bucket_capacity = (
+            bucket_capacity
+            if bucket_capacity is not None
+            else machine.block_size - 1
+        )
+        if self.bucket_capacity < 1:
+            raise ConfigurationError(
+                f"bucket capacity must be >= 1, got {self.bucket_capacity}"
+            )
+        if self.bucket_capacity + 1 > machine.block_size:
+            raise ConfigurationError(
+                f"bucket of {self.bucket_capacity} records plus header does "
+                f"not fit in a block of {machine.block_size} records"
+            )
+        self._pool = machine.pool
+        self._disk = machine.disk
+        self.global_depth = 0
+        self._directory: List[int] = [self._new_bucket(0)]
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # bucket helpers
+    # ------------------------------------------------------------------
+    def _new_bucket(self, local_depth: int) -> int:
+        block_id = self._disk.allocate()
+        self._pool.put_new(block_id, [[local_depth, _NO_OVERFLOW]])
+        return block_id
+
+    def _bucket_index(self, key: Any) -> int:
+        return _hash_bits(key) & ((1 << self.global_depth) - 1)
+
+    def _bucket_for(self, key: Any) -> int:
+        return self._directory[self._bucket_index(key)]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value under ``key`` or ``default``.  One bucket read
+        (plus overflow-chain reads, rare by construction)."""
+        block_id = self._bucket_for(key)
+        while block_id != _NO_OVERFLOW:
+            bucket = self._pool.get(block_id)
+            for stored_key, value in bucket[1:]:
+                if stored_key == key:
+                    return value
+            block_id = bucket[0][1]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of distinct primary buckets."""
+        return len(set(self._directory))
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield every ``(key, value)`` pair (unordered)."""
+        for block_id in sorted(set(self._directory)):
+            chain = block_id
+            while chain != _NO_OVERFLOW:
+                bucket = self._pool.get(chain)
+                for entry in bucket[1:]:
+                    yield entry[0], entry[1]
+                chain = bucket[0][1]
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key -> value``; an existing key's value is replaced."""
+        # Upsert anywhere in the chain first.
+        primary_id = self._bucket_for(key)
+        chain = primary_id
+        while chain != _NO_OVERFLOW:
+            bucket = self._pool.get(chain)
+            for slot, (stored_key, _) in enumerate(bucket[1:], start=1):
+                if stored_key == key:
+                    bucket[slot] = (key, value)
+                    self._pool.mark_dirty(chain)
+                    return
+            chain = bucket[0][1]
+
+        self._size += 1
+        self._insert_new(primary_id, key, value)
+
+    def _insert_new(self, primary_id: int, key: Any, value: Any) -> None:
+        bucket = self._pool.get(primary_id)
+        if len(bucket) - 1 < self.bucket_capacity and \
+                bucket[0][1] == _NO_OVERFLOW:
+            bucket.append((key, value))
+            self._pool.mark_dirty(primary_id)
+            return
+        local_depth = bucket[0][0]
+        if local_depth >= _MAX_DEPTH:
+            self._append_overflow(primary_id, key, value)
+            return
+        self._split(primary_id)
+        # Re-route: the directory may have changed shape.
+        self._insert_new(self._bucket_for(key), key, value)
+
+    def _append_overflow(self, block_id: int, key: Any, value: Any) -> None:
+        while True:
+            bucket = self._pool.get(block_id)
+            if len(bucket) - 1 < self.bucket_capacity:
+                bucket.append((key, value))
+                self._pool.mark_dirty(block_id)
+                return
+            if bucket[0][1] == _NO_OVERFLOW:
+                # Pin while allocating the overflow bucket: the allocation
+                # may evict this frame otherwise.
+                self._pool.pin(block_id)
+                try:
+                    overflow_id = self._new_bucket(bucket[0][0])
+                    bucket[0] = [bucket[0][0], overflow_id]
+                    self._pool.mark_dirty(block_id)
+                finally:
+                    self._pool.unpin(block_id)
+                block_id = overflow_id
+            else:
+                block_id = bucket[0][1]
+
+    def _split(self, block_id: int) -> None:
+        """Split a full bucket, doubling the directory if needed."""
+        bucket = self._pool.get(block_id)
+        self._pool.pin(block_id)
+        try:
+            self._split_pinned(block_id, bucket)
+        finally:
+            self._pool.unpin(block_id)
+
+    def _split_pinned(self, block_id: int, bucket) -> None:
+        local_depth = bucket[0][0]
+        if local_depth == self.global_depth:
+            self._directory = self._directory + self._directory
+            self.global_depth += 1
+
+        new_depth = local_depth + 1
+        distinguishing_bit = 1 << local_depth
+        entries = list(bucket[1:])
+        overflow = bucket[0][1]
+        # Pull in any overflow-chain entries so they get rehashed too.
+        chain = overflow
+        chain_blocks = []
+        while chain != _NO_OVERFLOW:
+            chain_bucket = self._pool.get(chain)
+            entries.extend(chain_bucket[1:])
+            chain_blocks.append(chain)
+            chain = chain_bucket[0][1]
+        for chain_id in chain_blocks:
+            self._pool.invalidate(chain_id)
+            self._disk.free(chain_id)
+
+        zero_entries = []
+        one_entries = []
+        for stored_key, value in entries:
+            if _hash_bits(stored_key) & distinguishing_bit:
+                one_entries.append((stored_key, value))
+            else:
+                zero_entries.append((stored_key, value))
+
+        bucket[:] = [[new_depth, _NO_OVERFLOW]] + zero_entries
+        self._pool.mark_dirty(block_id)
+        sibling_id = self._new_bucket(new_depth)
+        sibling = self._pool.get(sibling_id)
+        sibling.extend(one_entries)
+        self._pool.mark_dirty(sibling_id)
+
+        # Repoint directory slots whose suffix selects the new sibling.
+        for index in range(len(self._directory)):
+            if self._directory[index] == block_id and \
+                    index & distinguishing_bit:
+                self._directory[index] = sibling_id
+
+        # Entries may still all land on one side; callers loop until the
+        # insert fits or depth maxes out.
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key``.
+
+        Raises:
+            KeyNotFound: if the key is not present.
+
+        Buckets are not re-merged on deletion (the classic formulation
+        leaves directory shrinking as an optimization).
+        """
+        block_id = self._bucket_for(key)
+        while block_id != _NO_OVERFLOW:
+            bucket = self._pool.get(block_id)
+            for slot, (stored_key, _) in enumerate(bucket[1:], start=1):
+                if stored_key == key:
+                    del bucket[slot]
+                    self._pool.mark_dirty(block_id)
+                    self._size -= 1
+                    return
+            block_id = bucket[0][1]
+        raise KeyNotFound(key)
+
+    # ------------------------------------------------------------------
+    # invariants (test support)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify directory/bucket consistency.  Test use only."""
+        assert len(self._directory) == 1 << self.global_depth
+        seen = {}
+        total = 0
+        for index, block_id in enumerate(self._directory):
+            bucket = self._pool.get(block_id)
+            local_depth = bucket[0][0]
+            assert local_depth <= self.global_depth
+            suffix = index & ((1 << local_depth) - 1)
+            seen.setdefault(block_id, set()).add(suffix)
+            chain = block_id
+            first = True
+            while chain != _NO_OVERFLOW:
+                node = self._pool.get(chain)
+                for stored_key, _ in node[1:]:
+                    key_suffix = _hash_bits(stored_key) & (
+                        (1 << local_depth) - 1
+                    )
+                    assert key_suffix == index & ((1 << local_depth) - 1), (
+                        f"key {stored_key!r} in wrong bucket"
+                    )
+                chain = node[0][1]
+                first = False
+        for block_id, suffixes in seen.items():
+            assert len(suffixes) == 1, (
+                f"bucket {block_id} shared by different suffixes {suffixes}"
+            )
+        counted = sum(1 for _ in self.items())
+        assert counted == self._size, (
+            f"size mismatch: counted {counted}, recorded {self._size}"
+        )

@@ -1,0 +1,44 @@
+"""External sorting: run formation, k-way merging, distribution sort.
+
+Public surface:
+
+* :func:`~repro.sort.merge.external_merge_sort` — the workhorse sorter.
+* :func:`~repro.sort.merge.merge_streams` / :class:`~repro.sort.merge.LoserTree`
+  — single merge passes.
+* :func:`~repro.sort.distribution.distribution_sort` — the distribution
+  (bucket) paradigm.
+* :func:`~repro.sort.naive.two_way_merge_sort` — the restricted-fan-in
+  baseline showing the ``log_{M/B}`` advantage.
+* run-formation strategies and verification helpers.
+"""
+
+from .distribution import distribution_sort
+from .merge import LoserTree, external_merge_sort, merge_streams
+from .naive import two_way_merge_sort
+from .selection import external_median, external_select
+from .strings import external_string_sort
+from .runs import (
+    average_run_length,
+    form_runs_load_sort,
+    form_runs_replacement_selection,
+    identity,
+)
+from .verify import is_permutation, is_sorted_stream, streams_equal
+
+__all__ = [
+    "external_merge_sort",
+    "distribution_sort",
+    "two_way_merge_sort",
+    "merge_streams",
+    "LoserTree",
+    "form_runs_load_sort",
+    "form_runs_replacement_selection",
+    "average_run_length",
+    "identity",
+    "external_select",
+    "external_median",
+    "external_string_sort",
+    "is_sorted_stream",
+    "streams_equal",
+    "is_permutation",
+]

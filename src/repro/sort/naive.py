@@ -1,0 +1,33 @@
+"""Baseline sorters for the fan-out ablation.
+
+A RAM-model algorithm run unchanged in external memory merges two runs at
+a time, paying ``Θ(log_2(N/M))`` passes instead of ``Θ(log_{M/B}(N/M))``.
+The gap between :func:`two_way_merge_sort` and
+:func:`~repro.sort.merge.external_merge_sort` *is* the survey's central
+message about sorting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from .merge import external_merge_sort
+
+
+def two_way_merge_sort(
+    machine: Machine,
+    stream: FileStream,
+    key: Optional[Callable[[Any], Any]] = None,
+    stream_cls=FileStream,
+) -> FileStream:
+    """External merge sort restricted to binary merges.
+
+    Identical run formation to the full sorter, but every merge pass
+    combines only two runs, so the pass count is
+    ``1 + ceil(log_2 ceil(N/M))``.
+    """
+    return external_merge_sort(
+        machine, stream, key=key, fan_in=2, stream_cls=stream_cls
+    )

@@ -1,0 +1,162 @@
+"""External string sorting: MSD character-wise distribution.
+
+Variable-length keys get a dedicated treatment in the survey: comparing
+two long strings costs up to their common-prefix length, so comparison
+sorting does ``Θ(L)`` character work per comparison.  MSD (most
+significant digit first) distribution instead routes strings by one
+character position per level — shared prefixes are inspected exactly
+once, and each level is a scan.
+
+``external_string_sort`` sorts any stream of ``str`` records (or records
+with a string key) stably; levels advance a character position inside
+equality buckets and narrow character ranges inside range buckets, so it
+terminates for arbitrary inputs, including massive duplicate and
+shared-prefix workloads.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from .runs import identity
+
+
+def external_string_sort(
+    machine: Machine,
+    stream: FileStream,
+    key: Optional[Callable[[Any], str]] = None,
+    stream_cls=FileStream,
+) -> FileStream:
+    """Sort ``stream`` by its string keys with MSD distribution.
+
+    Args:
+        key: extracts the string key from a record (default: the record
+            itself must be a ``str``).
+
+    Returns a finalized, stably sorted stream.  Each level costs one read
+    and one write pass over its bucket plus a few sampling probes; a
+    string is touched ``O(1 + |distinguishing prefix| / progress)``
+    times, never re-reading resolved prefixes.
+    """
+    key = key or identity
+    if machine.m < 6:
+        raise ConfigurationError(
+            "string sort needs at least 6 memory blocks; "
+            f"machine has m={machine.m}"
+        )
+    # Frames: done writer + (2k+1) bucket writers + reader + output.
+    max_fan_out = max(1, (machine.m - 4) // 2)
+    output = stream_cls(machine, name="strsort/out")
+    threshold = machine.M - 2 * machine.B
+
+    # Worklist entries: (bucket, depth, owned); all strings in a bucket
+    # share a prefix of length `depth`.
+    worklist: List[Tuple[FileStream, int, bool]] = [(stream, 0, False)]
+    while worklist:
+        bucket, depth, owned = worklist.pop(0)
+        if len(bucket) <= threshold:
+            with machine.budget.reserve(len(bucket)):
+                records = list(bucket)
+                records.sort(key=key)
+                for record in records:
+                    output.append(record)
+            if owned:
+                bucket.delete()
+            continue
+
+        pivots = _sample_chars(machine, bucket, key, depth, max_fan_out)
+        parts = _partition_by_char(
+            machine, bucket, key, depth, pivots, stream_cls
+        )
+        if owned:
+            bucket.delete()
+        # `parts` arrive in key order: exhausted strings first, then
+        # alternating range/equality buckets.
+        new_work = []
+        for part, kind in parts:
+            if kind == "done":
+                for record in part:
+                    output.append(record)
+                part.delete()
+            elif kind == "equal":
+                new_work.append((part, depth + 1, True))
+            else:
+                new_work.append((part, depth, True))
+        worklist[0:0] = new_work
+    return output.finalize()
+
+
+def _sample_chars(
+    machine: Machine,
+    bucket: FileStream,
+    key: Callable[[Any], str],
+    depth: int,
+    fan_out: int,
+) -> List[str]:
+    """Sample distinct characters at position ``depth`` from a few
+    probed blocks."""
+    probes = min(bucket.num_blocks, max(1, machine.m - 3))
+    step = max(1, bucket.num_blocks // probes)
+    chars: List[str] = []
+    with machine.budget.reserve(probes * machine.B):
+        for index in list(range(0, bucket.num_blocks, step))[:probes]:
+            for record in bucket.read_block(index):
+                text = key(record)
+                if len(text) > depth:
+                    chars.append(text[depth])
+    distinct = sorted(set(chars))
+    if len(distinct) <= fan_out:
+        return distinct
+    stride = len(distinct) / (fan_out + 1)
+    pivots: List[str] = []
+    for i in range(1, fan_out + 1):
+        candidate = distinct[min(len(distinct) - 1, int(i * stride))]
+        if not pivots or pivots[-1] != candidate:
+            pivots.append(candidate)
+    return pivots
+
+
+def _partition_by_char(
+    machine: Machine,
+    bucket: FileStream,
+    key: Callable[[Any], str],
+    depth: int,
+    pivots: List[str],
+    stream_cls,
+) -> List[Tuple[FileStream, str]]:
+    """Split a bucket on the character at ``depth``.
+
+    Returns ``(stream, kind)`` pairs in key order, where kind is
+    ``"done"`` (strings exhausted at this depth — they equal the shared
+    prefix and sort first), ``"equal"`` (share the pivot character:
+    advance the depth), or ``"range"`` (strictly between pivots: same
+    depth, narrower alphabet).
+    """
+    done = stream_cls(machine, name="strsort/done")
+    buckets = [
+        stream_cls(machine, name=f"strsort/bucket/{j}")
+        for j in range(2 * len(pivots) + 1)
+    ]
+    for record in bucket:
+        text = key(record)
+        if len(text) <= depth:
+            done.append(record)
+            continue
+        char = text[depth]
+        index = bisect_left(pivots, char)
+        if index < len(pivots) and pivots[index] == char:
+            buckets[2 * index + 1].append(record)
+        else:
+            buckets[2 * index].append(record)
+    results: List[Tuple[FileStream, str]] = [(done.finalize(), "done")]
+    for j, part in enumerate(buckets):
+        part.finalize()
+        if len(part) == 0:
+            part.delete()
+        else:
+            results.append((part, "equal" if j % 2 == 1 else "range"))
+    return results

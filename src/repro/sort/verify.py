@@ -1,0 +1,60 @@
+"""Sortedness and permutation checking for streams."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Optional
+
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from .runs import identity
+
+
+def is_sorted_stream(
+    stream: FileStream,
+    key: Optional[Callable[[Any], Any]] = None,
+) -> bool:
+    """Whether ``stream``'s records are in non-decreasing key order.
+
+    Costs one scan (``ceil(N/B)`` read I/Os) and O(1) memory beyond the
+    read frame.
+    """
+    key = key or identity
+    previous = None
+    first = True
+    for record in stream:
+        current = key(record)
+        if not first and current < previous:
+            return False
+        previous = current
+        first = False
+    return True
+
+
+def streams_equal(a: FileStream, b: FileStream) -> bool:
+    """Whether two streams hold the same records in the same order.
+
+    Costs one scan of each stream.
+    """
+    if len(a) != len(b):
+        return False
+    return all(x == y for x, y in zip(iter(a), iter(b)))
+
+
+def is_permutation(a: FileStream, b: FileStream) -> bool:
+    """Whether two streams hold the same multiset of records.
+
+    **Test helper only** — materializes both multisets in memory without
+    going through the budget, so it does not respect the I/O model.
+    """
+    if len(a) != len(b):
+        return False
+    return Counter(_hashable(x) for x in a) == Counter(
+        _hashable(x) for x in b
+    )
+
+
+def _hashable(record: Any) -> Any:
+    if isinstance(record, list):
+        return tuple(record)
+    return record

@@ -1,0 +1,9 @@
+"""Text indexing: external suffix-array construction."""
+
+from .suffix_array import (
+    search_suffix_array,
+    suffix_array,
+    suffix_array_naive,
+)
+
+__all__ = ["suffix_array", "suffix_array_naive", "search_suffix_array"]

@@ -1,0 +1,182 @@
+"""External suffix-array construction by prefix doubling.
+
+Text indexing is one of the survey's two motivating applications
+(suffix trees over corpora far larger than memory).  The index
+construction itself is a batched problem: Manber–Myers prefix doubling
+reduces suffix sorting to ``O(log N)`` rounds of sorting fixed-size
+tuples, so the whole build runs in ``O(Sort(N) · log N)`` I/Os with
+nothing but the library's external sorts and merge joins — no random
+access to the text at all.
+
+Round ``k`` knows, for every position, the rank of its length-``k``
+prefix; joining each position ``i`` with position ``i + k`` (a shifted
+merge join) yields rank pairs whose sorted order is the order of
+length-``2k`` prefixes.  Rounds end when all ranks are distinct.
+
+:func:`suffix_array` accepts any string (or sequence of comparable
+symbols); :func:`suffix_array_naive` is the quadratic in-memory
+reference used by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from ..core.exceptions import ConfigurationError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..sort.merge import external_merge_sort
+
+_MISSING = -1  # rank of the empty suffix beyond the text end
+
+
+def suffix_array(machine: Machine, text: Sequence[Any]) -> List[int]:
+    """Return the suffix array of ``text``: starting positions of all
+    suffixes in lexicographic order.
+
+    Cost: ``O(Sort(N))`` per doubling round, ``ceil(log2 N)`` rounds
+    worst case (fewer when ranks separate early).  The result (N
+    integers) is returned in memory; the working data stays on streams.
+    """
+    n = len(text)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+
+    # Round 0: rank positions by their first symbol.
+    singles = FileStream(machine, name="sa/singles")
+    for position, symbol in enumerate(text):
+        singles.append((symbol, position))
+    singles.finalize()
+    ordered = external_merge_sort(
+        machine, singles, key=lambda r: r[0], keep_input=False
+    )
+    ranks = FileStream(machine, name="sa/ranks")  # (position, rank)
+    first = True
+    previous_symbol = None
+    rank = -1
+    distinct = 0
+    for symbol, position in ordered:
+        if first or symbol != previous_symbol:
+            rank += 1
+            distinct += 1
+            previous_symbol = symbol
+            first = False
+        ranks.append((position, rank))
+    ordered.delete()
+    ranks.finalize()
+    ranks = external_merge_sort(
+        machine, ranks, key=lambda r: r[0], keep_input=False
+    )
+
+    k = 1
+    while distinct < n and k < 2 * n:
+        ranks, distinct = _double(machine, ranks, n, k)
+        k *= 2
+
+    # ranks is sorted by position; the suffix array inverts it.
+    result: List[int] = [0] * n
+    for position, rank in ranks:
+        result[rank] = position
+    ranks.delete()
+    return result
+
+
+def _double(machine: Machine, ranks: FileStream, n: int, k: int):
+    """One prefix-doubling round.
+
+    ``ranks`` holds ``(position, rank_k)`` sorted by position; returns
+    ``(new_ranks, distinct_count)`` with ranks of length-``2k`` prefixes,
+    again sorted by position.
+    """
+    # Shifted copy: (position - k, rank) gives each position its
+    # successor's rank after a merge join on position.
+    shifted = FileStream(machine, name="sa/shifted")
+    for position, rank in ranks:
+        if position - k >= 0:
+            shifted.append((position - k, rank))
+    shifted.finalize()
+
+    pairs = FileStream(machine, name="sa/pairs")
+    shift_iter = iter(shifted)
+    shift_entry = next(shift_iter, None)
+    for position, rank in ranks:
+        while shift_entry is not None and shift_entry[0] < position:
+            shift_entry = next(shift_iter, None)
+        if shift_entry is not None and shift_entry[0] == position:
+            second = shift_entry[1]
+        else:
+            second = _MISSING
+        pairs.append(((rank, second), position))
+    shift_iter.close()
+    shifted.delete()
+    ranks.delete()
+    pairs.finalize()
+
+    ordered = external_merge_sort(
+        machine, pairs, key=lambda r: r[0], keep_input=False
+    )
+    new_ranks = FileStream(machine, name="sa/ranks")
+    previous_pair = None
+    rank = -1
+    distinct = 0
+    for pair, position in ordered:
+        if previous_pair is None or pair != previous_pair:
+            rank += 1
+            distinct += 1
+            previous_pair = pair
+        new_ranks.append((position, rank))
+    ordered.delete()
+    new_ranks.finalize()
+    by_position = external_merge_sort(
+        machine, new_ranks, key=lambda r: r[0], keep_input=False
+    )
+    return by_position, distinct
+
+
+def suffix_array_naive(text: Sequence[Any]) -> List[int]:
+    """Quadratic in-memory reference: sort positions by suffix."""
+    return sorted(range(len(text)), key=lambda i: tuple(text[i:]))
+
+
+def search_suffix_array(
+    text: Sequence[Any],
+    sa: List[int],
+    pattern: Sequence[Any],
+) -> List[int]:
+    """All occurrences of ``pattern`` in ``text`` via binary search on
+    the suffix array (the classic ``O(|p|·log N + occ)`` query).
+
+    In-memory helper for working with a built index; returns sorted
+    starting positions.
+    """
+    if len(pattern) == 0:
+        return list(range(len(text)))
+
+    def suffix_starts_with(position: int) -> int:
+        """-1 if suffix < pattern, 0 if prefix-match, 1 if greater."""
+        chunk = tuple(text[position:position + len(pattern)])
+        target = tuple(pattern)
+        if chunk == target:
+            return 0
+        return -1 if chunk < target else 1
+
+    # Lower bound.
+    low, high = 0, len(sa)
+    while low < high:
+        mid = (low + high) // 2
+        if suffix_starts_with(sa[mid]) < 0:
+            low = mid + 1
+        else:
+            high = mid
+    first = low
+    # Upper bound.
+    low, high = first, len(sa)
+    while low < high:
+        mid = (low + high) // 2
+        if suffix_starts_with(sa[mid]) == 0:
+            low = mid + 1
+        else:
+            high = mid
+    return sorted(sa[first:low])

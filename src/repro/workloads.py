@@ -1,0 +1,241 @@
+"""Deterministic workload generators for experiments and tests.
+
+Every generator takes an explicit ``seed`` so experiments are exactly
+reproducible.  Generators return plain Python lists (or lists of tuples) —
+the substrate stores records as Python objects and measures everything in
+record counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def uniform_ints(n: int, seed: int = 0, low: int = 0, high: int = 1 << 30) -> List[int]:
+    """``n`` integers drawn uniformly from ``[low, high)``."""
+    rng = np.random.default_rng(seed)
+    return [int(x) for x in rng.integers(low, high, size=n)]
+
+
+def distinct_ints(n: int, seed: int = 0) -> List[int]:
+    """A random permutation of ``0..n-1`` — ``n`` distinct keys."""
+    rng = np.random.default_rng(seed)
+    return [int(x) for x in rng.permutation(n)]
+
+
+def sorted_ints(n: int) -> List[int]:
+    """``0..n-1`` in order (best case for run formation)."""
+    return list(range(n))
+
+
+def reversed_ints(n: int) -> List[int]:
+    """``n-1..0`` (worst case for replacement selection)."""
+    return list(range(n - 1, -1, -1))
+
+
+def nearly_sorted_ints(n: int, swaps: int, seed: int = 0) -> List[int]:
+    """Sorted keys perturbed by ``swaps`` random transpositions."""
+    rng = random.Random(seed)
+    data = list(range(n))
+    for _ in range(swaps):
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        data[i], data[j] = data[j], data[i]
+    return data
+
+
+def zipf_ints(n: int, alpha: float = 1.2, vocab: int = 1000, seed: int = 0) -> List[int]:
+    """``n`` integers with a Zipf(alpha) frequency skew over ``vocab`` keys.
+
+    Skewed keys stress distribution sort's pivot selection and hash joins.
+    """
+    rng = np.random.default_rng(seed)
+    raw = rng.zipf(alpha, size=n)
+    return [int(x % vocab) for x in raw]
+
+
+def duplicate_heavy_ints(n: int, distinct: int, seed: int = 0) -> List[int]:
+    """``n`` keys drawn uniformly from only ``distinct`` values."""
+    rng = np.random.default_rng(seed)
+    return [int(x) for x in rng.integers(0, max(1, distinct), size=n)]
+
+
+# ----------------------------------------------------------------------
+# linked lists (for list ranking)
+# ----------------------------------------------------------------------
+def random_linked_list(n: int, seed: int = 0) -> List[Tuple[int, int]]:
+    """A random singly linked list over nodes ``0..n-1``.
+
+    Returns ``(node, successor)`` pairs in *random storage order*; the tail
+    node points to ``-1``.  This is the canonical list-ranking input: the
+    logical order is uncorrelated with the storage order, which is what
+    makes pointer chasing cost one I/O per hop.
+    """
+    rng = np.random.default_rng(seed)
+    order = [int(x) for x in rng.permutation(n)]
+    successor = {}
+    for i in range(n - 1):
+        successor[order[i]] = order[i + 1]
+    successor[order[-1]] = -1
+    pairs = [(node, successor[node]) for node in range(n)]
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# graphs
+# ----------------------------------------------------------------------
+def grid_graph(rows: int, cols: int) -> Tuple[int, List[Tuple[int, int]]]:
+    """A ``rows × cols`` grid graph: ``(num_vertices, edge list)``.
+
+    Vertex ``(r, c)`` is numbered ``r*cols + c``.  Grids have the high
+    locality typical of meshes/terrains.
+    """
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return rows * cols, edges
+
+
+def random_graph(
+    n: int, avg_degree: float = 4.0, seed: int = 0
+) -> Tuple[int, List[Tuple[int, int]]]:
+    """An Erdős–Rényi-style random graph with ``n`` vertices.
+
+    Returns ``(n, edge list)`` with no self-loops and no duplicate edges.
+    Random graphs have *no* locality: a naive BFS pays one I/O per vertex.
+    """
+    rng = random.Random(seed)
+    # Cap at the number of possible simple edges, or the loop could
+    # never terminate on tiny graphs.
+    target = min(int(n * avg_degree / 2), n * (n - 1) // 2)
+    edges = set()
+    while len(edges) < target:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        edges.add((u, v))
+    return n, sorted(edges)
+
+
+def connected_random_graph(
+    n: int, avg_degree: float = 4.0, seed: int = 0
+) -> Tuple[int, List[Tuple[int, int]]]:
+    """A connected random graph: a random spanning path plus random edges."""
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    edges = set()
+    for i in range(n - 1):
+        u, v = order[i], order[i + 1]
+        edges.add((min(u, v), max(u, v)))
+    target = min(
+        max(len(edges), int(n * avg_degree / 2)), n * (n - 1) // 2
+    )
+    while len(edges) < target:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return n, sorted(edges)
+
+
+def components_graph(
+    n: int, num_components: int, seed: int = 0
+) -> Tuple[int, List[Tuple[int, int]], List[int]]:
+    """A graph of ``num_components`` disjoint connected clusters.
+
+    Returns ``(n, edges, labels)`` where ``labels[v]`` is the ground-truth
+    component index of vertex ``v``.
+    """
+    rng = random.Random(seed)
+    labels = [v % num_components for v in range(n)]
+    members: Dict[int, List[int]] = {}
+    for v, lab in enumerate(labels):
+        members.setdefault(lab, []).append(v)
+    edges = []
+    for lab, verts in members.items():
+        rng.shuffle(verts)
+        for i in range(len(verts) - 1):
+            u, v = verts[i], verts[i + 1]
+            edges.append((min(u, v), max(u, v)))
+        extra = len(verts) // 2
+        for _ in range(extra):
+            u = rng.choice(verts)
+            v = rng.choice(verts)
+            if u != v:
+                edges.append((min(u, v), max(u, v)))
+    return n, sorted(set(edges)), labels
+
+
+# ----------------------------------------------------------------------
+# geometry (orthogonal segments)
+# ----------------------------------------------------------------------
+def orthogonal_segments(
+    n_horizontal: int,
+    n_vertical: int,
+    extent: int = 10_000,
+    max_len: int = 200,
+    seed: int = 0,
+) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, int, int]]]:
+    """Random axis-parallel segments for intersection reporting.
+
+    Returns ``(horizontals, verticals)`` where a horizontal is
+    ``(y, x1, x2)`` with ``x1 <= x2`` and a vertical is ``(x, y1, y2)``
+    with ``y1 <= y2``.  ``max_len`` controls expected output size.
+    """
+    rng = random.Random(seed)
+    horizontals = []
+    for _ in range(n_horizontal):
+        y = rng.randrange(extent)
+        x1 = rng.randrange(extent)
+        x2 = min(extent, x1 + rng.randrange(1, max_len + 1))
+        horizontals.append((y, x1, x2))
+    verticals = []
+    for _ in range(n_vertical):
+        x = rng.randrange(extent)
+        y1 = rng.randrange(extent)
+        y2 = min(extent, y1 + rng.randrange(1, max_len + 1))
+        verticals.append((x, y1, y2))
+    return horizontals, verticals
+
+
+# ----------------------------------------------------------------------
+# relations (for joins / aggregation)
+# ----------------------------------------------------------------------
+def relation(
+    n: int,
+    key_range: int,
+    payload: str = "r",
+    seed: int = 0,
+) -> List[Tuple[int, str]]:
+    """A relation of ``(key, payload)`` tuples with keys in
+    ``[0, key_range)``."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, max(1, key_range), size=n)
+    return [(int(k), f"{payload}{i}") for i, k in enumerate(keys)]
+
+
+def foreign_key_relations(
+    n_build: int,
+    n_probe: int,
+    seed: int = 0,
+) -> Tuple[List[Tuple[int, str]], List[Tuple[int, str]]]:
+    """A classic PK/FK pair: build side has distinct keys ``0..n_build-1``,
+    probe side references them uniformly (every probe tuple joins exactly
+    once)."""
+    rng = np.random.default_rng(seed)
+    build = [(k, f"b{k}") for k in range(n_build)]
+    probe_keys = rng.integers(0, max(1, n_build), size=n_probe)
+    probe = [(int(k), f"p{i}") for i, k in enumerate(probe_keys)]
+    return build, probe

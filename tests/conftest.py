@@ -1,0 +1,16 @@
+"""Test-suite configuration.
+
+Hypothesis runs derandomized so the suite is fully deterministic: the
+simulated disk already makes every I/O count exact, and fixed example
+generation extends that reproducibility to the property-based tests.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "emkit",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("emkit")

@@ -1,0 +1,74 @@
+"""Tests for the random-access block file."""
+
+import pytest
+
+from repro.core import ConfigurationError, Machine, StreamError
+from repro.core.blockfile import BlockFile
+
+
+def machine():
+    return Machine(block_size=8, memory_blocks=4)
+
+
+class TestBlockFile:
+    def test_write_then_read(self):
+        m = machine()
+        bf = BlockFile(m, 4)
+        bf.write_block(2, [1, 2, 3])
+        assert bf.read_block(2) == [1, 2, 3]
+
+    def test_blocks_start_empty(self):
+        m = machine()
+        bf = BlockFile(m, 2)
+        assert bf.read_block(0) == []
+
+    def test_each_access_costs_one_io(self):
+        m = machine()
+        bf = BlockFile(m, 4)
+        m.reset_stats()
+        bf.write_block(0, [1])
+        bf.read_block(0)
+        s = m.stats()
+        assert s.writes == 1 and s.reads == 1
+
+    def test_out_of_range_rejected(self):
+        m = machine()
+        bf = BlockFile(m, 2)
+        with pytest.raises(StreamError):
+            bf.read_block(2)
+        with pytest.raises(StreamError):
+            bf.write_block(-1, [])
+
+    def test_scan_in_order(self):
+        m = machine()
+        bf = BlockFile.from_records(m, list(range(20)))
+        assert list(bf.scan()) == list(range(20))
+        assert bf.num_blocks == 3
+
+    def test_scan_reserves_one_frame(self):
+        m = machine()
+        bf = BlockFile.from_records(m, list(range(20)))
+        it = bf.scan()
+        next(it)
+        assert m.budget.in_use == m.B
+        it.close()
+        assert m.budget.in_use == 0
+
+    def test_delete_frees_blocks(self):
+        m = machine()
+        bf = BlockFile(m, 5)
+        bf.delete()
+        assert m.disk.allocated_blocks == 0
+        with pytest.raises(StreamError):
+            bf.read_block(0)
+        bf.delete()  # idempotent
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockFile(machine(), -1)
+
+    def test_block_id_exposed_for_pool_use(self):
+        m = machine()
+        bf = BlockFile(m, 2)
+        bf.write_block(1, [42])
+        assert m.pool.get(bf.block_id(1)) == [42]

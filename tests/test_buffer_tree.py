@@ -1,0 +1,233 @@
+"""Tests for the buffer tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, FileStream, Machine, sort_io
+from repro.buffer import BufferTree, buffer_tree_sort
+from repro.workloads import distinct_ints
+
+
+def machine(B=16, m=16):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+class TestInsertOnly:
+    def test_items_sorted_after_flush(self):
+        m = machine()
+        tree = BufferTree(m)
+        keys = distinct_ints(2000, seed=1)
+        for k in keys:
+            tree.insert(k, k)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_upsert_latest_value_wins(self):
+        m = machine()
+        tree = BufferTree(m)
+        tree.insert(7, "old")
+        tree.insert(7, "new")
+        assert dict(tree.items()) == {7: "new"}
+
+    def test_empty_tree(self):
+        m = machine()
+        tree = BufferTree(m)
+        assert list(tree.items()) == []
+        tree.check_invariants()
+
+    def test_len_after_flush(self):
+        m = machine()
+        tree = BufferTree(m)
+        for k in range(1000):
+            tree.insert(k, k)
+        tree.flush()
+        assert len(tree) == 1000
+
+    def test_tree_grows_beyond_one_leaf(self):
+        m = machine()
+        tree = BufferTree(m)
+        for k in distinct_ints(4000, seed=2):
+            tree.insert(k, k)
+        tree.flush()
+        assert tree.height >= 2
+        tree.check_invariants()
+
+    def test_invariants_under_random_keys(self):
+        m = machine()
+        tree = BufferTree(m)
+        for k in distinct_ints(2500, seed=3):
+            tree.insert(k, str(k))
+        tree.check_invariants()
+
+
+class TestDeletesAndQueries:
+    def test_delete_removes_key(self):
+        m = machine()
+        tree = BufferTree(m)
+        for k in range(500):
+            tree.insert(k, k)
+        for k in range(0, 500, 2):
+            tree.delete(k)
+        assert [k for k, _ in tree.items()] == list(range(1, 500, 2))
+
+    def test_delete_absent_key_is_noop(self):
+        m = machine()
+        tree = BufferTree(m)
+        tree.insert(1, "a")
+        tree.delete(999)
+        assert dict(tree.items()) == {1: "a"}
+
+    def test_insert_after_delete_revives_key(self):
+        m = machine()
+        tree = BufferTree(m)
+        tree.insert(5, "first")
+        tree.delete(5)
+        tree.insert(5, "second")
+        assert dict(tree.items()) == {5: "second"}
+
+    def test_query_present_key(self):
+        m = machine()
+        tree = BufferTree(m)
+        for k in range(300):
+            tree.insert(k, k * 10)
+        tree.query(42, token="the-answer")
+        tree.flush()
+        assert tree.query_results["the-answer"] == 420
+
+    def test_query_absent_key_reports_none(self):
+        m = machine()
+        tree = BufferTree(m)
+        tree.insert(1, "x")
+        tree.query(2, token="missing")
+        tree.flush()
+        assert tree.query_results["missing"] is None
+
+    def test_query_sees_state_at_its_sequence_point(self):
+        """A query queued between an insert and a delete of the same key
+        must see the insert (lazy semantics preserve operation order)."""
+        m = machine()
+        tree = BufferTree(m)
+        tree.insert(9, "alive")
+        tree.query(9, token="before")
+        tree.delete(9)
+        tree.query(9, token="after")
+        tree.flush()
+        assert tree.query_results["before"] == "alive"
+        assert tree.query_results["after"] is None
+
+    def test_query_default_token_is_key(self):
+        m = machine()
+        tree = BufferTree(m)
+        tree.insert(3, "v")
+        tree.query(3)
+        tree.flush()
+        assert tree.query_results[3] == "v"
+
+    def test_mixed_workload_matches_dict(self):
+        m = machine()
+        tree = BufferTree(m)
+        reference = {}
+        rng = random.Random(7)
+        for step in range(5000):
+            k = rng.randrange(600)
+            action = rng.random()
+            if action < 0.6:
+                tree.insert(k, step)
+                reference[k] = step
+            elif action < 0.9:
+                tree.delete(k)
+                reference.pop(k, None)
+            else:
+                tree.query(k, token=("q", step, k))
+        tree.flush()
+        assert dict(tree.items()) == reference
+        tree.check_invariants()
+
+
+class TestConfiguration:
+    def test_too_small_machine_rejected(self):
+        m = Machine(block_size=16, memory_blocks=3)
+        with pytest.raises(ConfigurationError):
+            BufferTree(m)
+
+    def test_bad_fan_out_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferTree(machine(), fan_out=1)
+
+    def test_bad_leaf_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferTree(machine(), leaf_capacity=1)
+
+    def test_explicit_fan_out(self):
+        m = machine(m=32)
+        tree = BufferTree(m, fan_out=3, leaf_capacity=64)
+        for k in distinct_ints(1000, seed=9):
+            tree.insert(k, k)
+        tree.check_invariants()
+        assert tree.height >= 3
+
+
+class TestIOBehaviour:
+    def test_n_inserts_cost_less_than_n_ios(self):
+        """The whole point: N batched inserts cost far fewer than N I/Os
+        (the advantage scales with B, so measure at a realistic B)."""
+        m = Machine(block_size=64, memory_blocks=16)
+        tree = BufferTree(m)
+        keys = distinct_ints(5000, seed=4)
+        with m.measure() as io:
+            for k in keys:
+                tree.insert(k, k)
+            tree.flush()
+        assert io.total < len(keys) / 2
+        assert io.total / len(keys) < 12 / m.B  # O((1/B)·log) regime
+
+    def test_buffer_tree_sort_is_within_constant_of_sort_bound(self):
+        m = machine()
+        data = distinct_ints(5000, seed=5)
+        stream = FileStream.from_records(m, data)
+        with m.measure() as io:
+            result = buffer_tree_sort(m, stream)
+        assert list(result) == sorted(data)
+        bound = sort_io(5000, m.M, m.B)
+        assert io.total < 5 * bound
+
+    def test_no_memory_leak_after_flush(self):
+        m = machine()
+        tree = BufferTree(m)
+        for k in range(3000):
+            tree.insert(k, k)
+        tree.flush()
+        # Only the root buffer's writer frame may remain reserved.
+        assert m.budget.in_use <= m.B
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["i", "d"]), st.integers(0, 60)),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dict_semantics(self, operations):
+        m = machine(B=8, m=8)
+        tree = BufferTree(m)
+        reference = {}
+        for kind, k in operations:
+            if kind == "i":
+                tree.insert(k, k * 3)
+                reference[k] = k * 3
+            else:
+                tree.delete(k)
+                reference.pop(k, None)
+        assert dict(tree.items()) == reference
+
+    @given(st.lists(st.integers(0, 10**6), unique=True, max_size=400))
+    @settings(max_examples=25, deadline=None)
+    def test_sort_property(self, data):
+        m = machine(B=8, m=8)
+        stream = FileStream.from_records(m, data)
+        result = buffer_tree_sort(m, stream)
+        assert list(result) == sorted(data)

@@ -1,0 +1,131 @@
+"""Tests for the closed-form I/O bounds."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    merge_passes,
+    output_io,
+    permute_io,
+    scan_io,
+    search_io,
+    sort_io,
+    transpose_io,
+)
+from repro.core.bounds import buffer_tree_amortized_io, list_ranking_io
+
+
+class TestScan:
+    def test_exact_blocks(self):
+        assert scan_io(64, 8) == 8
+
+    def test_partial_block_rounds_up(self):
+        assert scan_io(65, 8) == 9
+
+    def test_zero_records(self):
+        assert scan_io(0, 8) == 0
+
+    def test_parallel_disks_divide(self):
+        assert scan_io(64, 8, D=4) == 2
+
+    def test_single_record(self):
+        assert scan_io(1, 8) == 1
+
+
+class TestMergePasses:
+    def test_fits_in_memory_single_pass(self):
+        assert merge_passes(100, M=128, B=8) == 1
+
+    def test_empty_input_zero_passes(self):
+        assert merge_passes(0, M=128, B=8) == 0
+
+    def test_one_merge_pass(self):
+        # N=1024, M=128 -> 8 runs; fan-in m-1 = 15 merges them in one pass.
+        assert merge_passes(1024, M=128, B=8) == 2
+
+    def test_two_merge_passes(self):
+        # N=16384, M=128 -> 128 runs; fan-in 15 -> 9 runs -> 1 run.
+        assert merge_passes(16384, M=128, B=8) == 3
+
+    def test_binary_fan_in_needs_more_passes(self):
+        n, M, B = 16384, 128, 8
+        assert merge_passes(n, M, B, fan_in=2) > merge_passes(n, M, B)
+
+    def test_passes_grow_logarithmically(self):
+        M, B = 64, 8
+        p1 = merge_passes(1 << 10, M, B)
+        p2 = merge_passes(1 << 16, M, B)
+        p3 = merge_passes(1 << 22, M, B)
+        assert p1 < p2 < p3
+        # doubling the exponent roughly doubles the number of merge passes
+        assert (p3 - 1) <= 2 * (p2 - 1)
+
+
+class TestSort:
+    def test_sort_is_passes_times_full_scans(self):
+        N, M, B = 1024, 128, 8
+        assert sort_io(N, M, B) == 2 * scan_io(N, B) * merge_passes(N, M, B)
+
+    def test_zero(self):
+        assert sort_io(0, 128, 8) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sort_io(100, M=4, B=8)  # M < B
+
+
+class TestSearchOutput:
+    def test_search_is_btree_height(self):
+        assert search_io(10**6, B=100) == 3
+
+    def test_search_minimum_one(self):
+        assert search_io(1, B=100) == 1
+
+    def test_output_adds_reporting_scans(self):
+        assert output_io(10**6, B=100, Z=1000) == 3 + 10
+
+
+class TestPermute:
+    def test_small_blocks_favour_naive(self):
+        # With B=1 sorting can't beat one I/O per record... both equal N.
+        N = 1024
+        assert permute_io(N, M=4, B=1) <= N
+
+    def test_large_blocks_favour_sorting(self):
+        N, M, B = 1 << 16, 1 << 10, 64
+        assert permute_io(N, M, B) == sort_io(N, M, B) < N
+
+    def test_never_exceeds_either_branch(self):
+        for exp in range(8, 20, 2):
+            N = 1 << exp
+            p = permute_io(N, M=256, B=16)
+            assert p <= N
+            assert p <= sort_io(N, 256, 16)
+
+
+class TestTranspose:
+    def test_matrix_fitting_in_memory_is_one_scan_factor(self):
+        # p=q=16, B=16, M=256: min(M,p,q,N/B)=16, m=16 -> factor 1
+        assert transpose_io(16, 16, M=256, B=16) == scan_io(256, 16)
+
+    def test_factor_grows_for_large_matrices(self):
+        small = transpose_io(32, 32, M=256, B=16)
+        large = transpose_io(1024, 1024, M=256, B=16)
+        assert large / scan_io(1024 * 1024, 16) >= small / scan_io(1024, 16)
+
+    def test_zero_matrix(self):
+        assert transpose_io(0, 5, M=64, B=8) == 0
+
+
+class TestAmortizedBounds:
+    def test_buffer_tree_amortized_well_below_one(self):
+        per_op = buffer_tree_amortized_io(1 << 20, M=1 << 12, B=64)
+        assert 0 < per_op < 1
+
+    def test_buffer_tree_zero(self):
+        assert buffer_tree_amortized_io(0, M=64, B=8) == 0.0
+
+    def test_list_ranking_equals_sort(self):
+        assert list_ranking_io(4096, 256, 16) == sort_io(4096, 256, 16)

@@ -1,0 +1,177 @@
+"""Tests for external stacks and queues."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EMError, ExternalQueue, ExternalStack, Machine
+
+
+def machine(B=8, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+class TestExternalStack:
+    def test_lifo_order(self):
+        with ExternalStack(machine()) as stack:
+            for i in range(100):
+                stack.push(i)
+            assert [stack.pop() for _ in range(100)] == list(
+                range(99, -1, -1)
+            )
+
+    def test_peek(self):
+        with ExternalStack(machine()) as stack:
+            stack.push("a")
+            stack.push("b")
+            assert stack.peek() == "b"
+            assert len(stack) == 2
+
+    def test_peek_spilled_top(self):
+        m = machine(B=4)
+        with ExternalStack(m) as stack:
+            for i in range(8):  # fills 2B -> spills the older half
+                stack.push(i)
+            for _ in range(4):  # drain the in-memory half
+                stack.pop()
+            assert not stack._buffer  # top block is on disk now
+            assert stack.peek() == 3
+            assert stack.pop() == 3
+
+    def test_empty_pop_raises(self):
+        with ExternalStack(machine()) as stack:
+            with pytest.raises(EMError):
+                stack.pop()
+            with pytest.raises(EMError):
+                stack.peek()
+
+    def test_amortized_io_is_one_over_b(self):
+        m = machine(B=16)
+        n = 1600
+        with ExternalStack(m) as stack:
+            with m.measure() as io:
+                for i in range(n):
+                    stack.push(i)
+                for _ in range(n):
+                    stack.pop()
+        assert io.total <= 2 * (2 * n / m.B)
+
+    def test_alternating_push_pop_at_boundary_does_not_thrash(self):
+        m = machine(B=8)
+        with ExternalStack(m) as stack:
+            for i in range(16):  # spill once
+                stack.push(i)
+            m.reset_stats()
+            for _ in range(50):
+                stack.push(99)
+                stack.pop()
+            assert m.stats().total <= 4
+
+    def test_close_releases_resources(self):
+        m = machine()
+        stack = ExternalStack(m)
+        for i in range(100):
+            stack.push(i)
+        stack.close()
+        assert m.budget.in_use == 0
+        assert m.disk.allocated_blocks == 0
+        with pytest.raises(EMError):
+            stack.push(1)
+        stack.close()  # idempotent
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=400))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_list(self, ops):
+        reference = []
+        counter = 0
+        with ExternalStack(machine(B=4)) as stack:
+            for op in ops:
+                if op == "push":
+                    stack.push(counter)
+                    reference.append(counter)
+                    counter += 1
+                elif reference:
+                    assert stack.pop() == reference.pop()
+            assert len(stack) == len(reference)
+            while reference:
+                assert stack.pop() == reference.pop()
+
+
+class TestExternalQueue:
+    def test_fifo_order(self):
+        with ExternalQueue(machine()) as queue:
+            for i in range(100):
+                queue.enqueue(i)
+            assert [queue.dequeue() for _ in range(100)] == list(range(100))
+
+    def test_peek(self):
+        with ExternalQueue(machine()) as queue:
+            queue.enqueue("a")
+            queue.enqueue("b")
+            assert queue.peek() == "a"
+            assert len(queue) == 2
+
+    def test_empty_dequeue_raises(self):
+        with ExternalQueue(machine()) as queue:
+            with pytest.raises(EMError):
+                queue.dequeue()
+            with pytest.raises(EMError):
+                queue.peek()
+
+    def test_amortized_io_is_one_over_b(self):
+        m = machine(B=16)
+        n = 1600
+        with ExternalQueue(m) as queue:
+            with m.measure() as io:
+                for i in range(n):
+                    queue.enqueue(i)
+                for _ in range(n):
+                    queue.dequeue()
+        assert io.total <= 2 * (2 * n / m.B)
+
+    def test_interleaved_operations(self):
+        rng = random.Random(1)
+        import collections
+
+        reference = collections.deque()
+        counter = 0
+        with ExternalQueue(machine(B=4)) as queue:
+            for _ in range(1000):
+                if reference and rng.random() < 0.45:
+                    assert queue.dequeue() == reference.popleft()
+                else:
+                    queue.enqueue(counter)
+                    reference.append(counter)
+                    counter += 1
+            while reference:
+                assert queue.dequeue() == reference.popleft()
+
+    def test_close_releases_resources(self):
+        m = machine()
+        queue = ExternalQueue(m)
+        for i in range(100):
+            queue.enqueue(i)
+        queue.close()
+        assert m.budget.in_use == 0
+        assert m.disk.allocated_blocks == 0
+        with pytest.raises(EMError):
+            queue.enqueue(1)
+
+    @given(st.lists(st.sampled_from(["enq", "deq"]), max_size=400))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_deque(self, ops):
+        import collections
+
+        reference = collections.deque()
+        counter = 0
+        with ExternalQueue(machine(B=4)) as queue:
+            for op in ops:
+                if op == "enq":
+                    queue.enqueue(counter)
+                    reference.append(counter)
+                    counter += 1
+                elif reference:
+                    assert queue.dequeue() == reference.popleft()
+            assert len(queue) == len(reference)

@@ -1,0 +1,189 @@
+"""Unit tests for the simulated block devices."""
+
+import pytest
+
+from repro.core import (
+    BlockNotAllocatedError,
+    BlockOverflowError,
+    ConfigurationError,
+    DiskArray,
+    SimulatedDisk,
+)
+
+
+class TestSimulatedDisk:
+    def test_allocate_returns_distinct_ids(self):
+        disk = SimulatedDisk(block_capacity=4)
+        ids = [disk.allocate() for _ in range(10)]
+        assert len(set(ids)) == 10
+
+    def test_write_then_read_round_trips(self):
+        disk = SimulatedDisk(block_capacity=4)
+        bid = disk.allocate()
+        disk.write(bid, [1, 2, 3])
+        assert disk.read(bid) == [1, 2, 3]
+
+    def test_read_counts_one_io(self):
+        disk = SimulatedDisk(block_capacity=4)
+        bid = disk.allocate()
+        disk.write(bid, [1])
+        before = disk.counter.reads
+        disk.read(bid)
+        assert disk.counter.reads == before + 1
+
+    def test_write_counts_one_io(self):
+        disk = SimulatedDisk(block_capacity=4)
+        bid = disk.allocate()
+        before = disk.counter.writes
+        disk.write(bid, [1])
+        assert disk.counter.writes == before + 1
+
+    def test_allocation_is_free_of_io(self):
+        disk = SimulatedDisk(block_capacity=4)
+        for _ in range(100):
+            disk.allocate()
+        assert disk.counter.reads == 0
+        assert disk.counter.writes == 0
+
+    def test_read_returns_copy(self):
+        disk = SimulatedDisk(block_capacity=4)
+        bid = disk.allocate()
+        disk.write(bid, [1, 2])
+        payload = disk.read(bid)
+        payload.append(99)
+        assert disk.read(bid) == [1, 2]
+
+    def test_overflow_write_rejected(self):
+        disk = SimulatedDisk(block_capacity=2)
+        bid = disk.allocate()
+        with pytest.raises(BlockOverflowError):
+            disk.write(bid, [1, 2, 3])
+
+    def test_read_unallocated_raises(self):
+        disk = SimulatedDisk(block_capacity=2)
+        with pytest.raises(BlockNotAllocatedError):
+            disk.read(42)
+
+    def test_write_unallocated_raises(self):
+        disk = SimulatedDisk(block_capacity=2)
+        with pytest.raises(BlockNotAllocatedError):
+            disk.write(42, [1])
+
+    def test_free_releases_block(self):
+        disk = SimulatedDisk(block_capacity=2)
+        bid = disk.allocate()
+        disk.free(bid)
+        assert not disk.is_allocated(bid)
+        with pytest.raises(BlockNotAllocatedError):
+            disk.read(bid)
+
+    def test_double_free_raises(self):
+        disk = SimulatedDisk(block_capacity=2)
+        bid = disk.allocate()
+        disk.free(bid)
+        with pytest.raises(BlockNotAllocatedError):
+            disk.free(bid)
+
+    def test_high_water_mark_tracks_peak(self):
+        disk = SimulatedDisk(block_capacity=2)
+        ids = [disk.allocate() for _ in range(5)]
+        for bid in ids:
+            disk.free(bid)
+        disk.allocate()
+        assert disk.high_water_blocks == 5
+        assert disk.allocated_blocks == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedDisk(block_capacity=0)
+
+    def test_peek_costs_no_io(self):
+        disk = SimulatedDisk(block_capacity=4)
+        bid = disk.allocate()
+        disk.write(bid, [7])
+        writes, reads = disk.counter.writes, disk.counter.reads
+        assert disk.peek(bid) == [7]
+        assert (disk.counter.writes, disk.counter.reads) == (writes, reads)
+
+
+class TestDiskArray:
+    def test_single_disk_matches_simulated_disk_semantics(self):
+        array = DiskArray(block_capacity=4, num_disks=1)
+        bid = array.allocate()
+        array.write(bid, [1, 2])
+        assert array.read(bid) == [1, 2]
+        assert array.counter.reads == 1
+        assert array.counter.read_steps == 1
+
+    def test_round_robin_allocation_spreads_disks(self):
+        array = DiskArray(block_capacity=4, num_disks=3)
+        disks = [array.disk_of(array.allocate()) for _ in range(6)]
+        assert disks == [0, 1, 2, 0, 1, 2]
+
+    def test_explicit_disk_allocation(self):
+        array = DiskArray(block_capacity=4, num_disks=3)
+        bid = array.allocate(disk=2)
+        assert array.disk_of(bid) == 2
+
+    def test_allocation_to_bad_disk_rejected(self):
+        array = DiskArray(block_capacity=4, num_disks=2)
+        with pytest.raises(ConfigurationError):
+            array.allocate(disk=5)
+
+    def test_parallel_read_counts_max_per_disk_steps(self):
+        array = DiskArray(block_capacity=4, num_disks=4)
+        ids = [array.allocate(disk=i) for i in range(4)]
+        for bid in ids:
+            array.write(bid, [bid])
+        array.counter.reset()
+        payloads = array.parallel_read(ids)
+        assert payloads == [[bid] for bid in ids]
+        assert array.counter.reads == 4
+        assert array.counter.read_steps == 1  # one block per disk
+
+    def test_parallel_read_same_disk_is_serial(self):
+        array = DiskArray(block_capacity=4, num_disks=4)
+        ids = [array.allocate(disk=0) for _ in range(3)]
+        for bid in ids:
+            array.write(bid, [])
+        array.counter.reset()
+        array.parallel_read(ids)
+        assert array.counter.read_steps == 3
+
+    def test_parallel_write_counts_steps(self):
+        array = DiskArray(block_capacity=4, num_disks=2)
+        a = array.allocate(disk=0)
+        b = array.allocate(disk=1)
+        c = array.allocate(disk=1)
+        array.counter.reset()
+        array.parallel_write([(a, [1]), (b, [2]), (c, [3])])
+        assert array.counter.writes == 3
+        assert array.counter.write_steps == 2  # disk 1 holds two blocks
+
+    def test_parallel_write_atomicity_on_overflow(self):
+        """If any write in a batch is invalid, no block is modified."""
+        array = DiskArray(block_capacity=2, num_disks=2)
+        a = array.allocate(disk=0)
+        b = array.allocate(disk=1)
+        array.write(a, [0])
+        with pytest.raises(BlockOverflowError):
+            array.parallel_write([(a, [1]), (b, [1, 2, 3])])
+        assert array.peek(a) == [0]
+
+    def test_empty_parallel_batches_cost_nothing(self):
+        array = DiskArray(block_capacity=4, num_disks=2)
+        array.parallel_read([])
+        array.parallel_write([])
+        assert array.counter.read_steps == 0
+        assert array.counter.write_steps == 0
+
+    def test_free_then_access_raises(self):
+        array = DiskArray(block_capacity=4, num_disks=2)
+        bid = array.allocate()
+        array.free(bid)
+        with pytest.raises(BlockNotAllocatedError):
+            array.disk_of(bid)
+
+    def test_invalid_disk_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskArray(block_capacity=4, num_disks=0)

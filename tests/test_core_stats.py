@@ -1,0 +1,60 @@
+"""Tests for I/O statistics plumbing and table formatting."""
+
+from repro.core import IOCounter, IOStats, format_table
+
+
+class TestIOCounter:
+    def test_snapshot_is_immutable_copy(self):
+        counter = IOCounter()
+        counter.reads = 3
+        snap = counter.snapshot()
+        counter.reads = 10
+        assert snap.reads == 3
+
+    def test_reset(self):
+        counter = IOCounter(reads=5, writes=2, read_steps=5, write_steps=2)
+        counter.reset()
+        assert counter.snapshot() == IOStats()
+
+
+class TestIOStats:
+    def test_total_and_steps(self):
+        stats = IOStats(reads=3, writes=4, read_steps=2, write_steps=1)
+        assert stats.total == 7
+        assert stats.total_steps == 3
+
+    def test_subtraction(self):
+        after = IOStats(reads=10, writes=8, read_steps=10, write_steps=8)
+        before = IOStats(reads=4, writes=3, read_steps=4, write_steps=3)
+        delta = after - before
+        assert delta == IOStats(reads=6, writes=5, read_steps=6,
+                                write_steps=5)
+
+    def test_addition(self):
+        a = IOStats(reads=1, writes=2, read_steps=1, write_steps=2)
+        b = IOStats(reads=3, writes=4, read_steps=3, write_steps=4)
+        assert a + b == IOStats(reads=4, writes=6, read_steps=4,
+                                write_steps=6)
+
+    def test_equality_and_hash_semantics(self):
+        assert IOStats() == IOStats()
+        assert IOStats(reads=1) != IOStats()
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["bbb", 222]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].endswith("n")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equally wide
+
+    def test_handles_non_string_cells(self):
+        text = format_table(["x"], [[3.14], [None]])
+        assert "3.14" in text
+        assert "None" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

@@ -1,0 +1,41 @@
+"""Smoke tests: the fast examples must run end-to-end.
+
+Only the quick examples are exercised here (the graph and parallel-disk
+examples take minutes and are covered by the benchmarks that share their
+code paths).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=600,  # generous: CI boxes may run the suite in parallel
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart_reports_exact_match(self):
+        out = run_example("quickstart.py")
+        assert "measured / predicted" in out
+        assert "1.000" in out
+
+    def test_database_join_runs_all_three_joins(self):
+        out = run_example("database_join.py")
+        assert "sort-merge join" in out
+        assert "grace hash join" in out
+        assert "block nested loop" in out
+        assert "top customer" in out

@@ -1,0 +1,118 @@
+"""Tests for batched dominance counting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, Machine
+from repro.geometry import dominance_counts, dominance_counts_naive
+
+
+def machine(B=16, m=10):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+def brute_force(points, queries):
+    return {
+        index: sum(1 for px, py in points if px <= qx and py <= qy)
+        for index, (qx, qy) in enumerate(queries)
+    }
+
+
+def random_instance(n_points, n_queries, seed, extent=1_000):
+    rng = random.Random(seed)
+    points = [(rng.randrange(extent), rng.randrange(extent))
+              for _ in range(n_points)]
+    queries = [(rng.randrange(extent), rng.randrange(extent))
+               for _ in range(n_queries)]
+    return points, queries
+
+
+FNS = [dominance_counts, dominance_counts_naive]
+
+
+class TestDominance:
+    @pytest.mark.parametrize("fn", FNS)
+    def test_random_instance(self, fn):
+        points, queries = random_instance(1_500, 400, seed=1)
+        m = machine()
+        assert fn(m, points, queries) == brute_force(points, queries)
+
+    @pytest.mark.parametrize("fn", FNS)
+    def test_boundaries_are_closed(self, fn):
+        points = [(5, 5)]
+        queries = [(5, 5), (4, 5), (5, 4), (6, 6)]
+        m = machine()
+        assert fn(m, points, queries) == {0: 1, 1: 0, 2: 0, 3: 1}
+
+    @pytest.mark.parametrize("fn", FNS)
+    def test_empty_points(self, fn):
+        m = machine()
+        assert fn(m, [], [(1, 1)]) == {0: 0}
+
+    @pytest.mark.parametrize("fn", FNS)
+    def test_empty_queries(self, fn):
+        m = machine()
+        assert fn(m, [(1, 1)], []) == {}
+
+    def test_degenerate_shared_x(self):
+        points = [(5, y) for y in range(300)]
+        queries = [(5, 150), (4, 999), (6, 10)]
+        m = machine()
+        assert dominance_counts(m, points, queries) == {
+            0: 151, 1: 0, 2: 11
+        }
+
+    def test_degenerate_shared_y(self):
+        points = [(x, 7) for x in range(300)]
+        queries = [(150, 7), (150, 6), (299, 8)]
+        m = machine()
+        assert dominance_counts(m, points, queries) == {
+            0: 151, 1: 0, 2: 300
+        }
+
+    def test_forces_recursion(self):
+        points, queries = random_instance(4_000, 1_000, seed=2)
+        m = machine(B=16, m=10)  # M = 160 << 5000 events
+        assert dominance_counts(m, points, queries) == brute_force(
+            points, queries
+        )
+
+    def test_machine_too_small_rejected(self):
+        m = Machine(block_size=16, memory_blocks=4)
+        with pytest.raises(ConfigurationError):
+            dominance_counts(m, [(1, 1)], [(2, 2)])
+
+    def test_no_leaks(self):
+        points, queries = random_instance(2_000, 300, seed=3)
+        m = machine()
+        before = m.disk.allocated_blocks
+        dominance_counts(m, points, queries)
+        assert m.disk.allocated_blocks == before
+        assert m.budget.in_use == 0
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 25), st.integers(0, 25)),
+                 max_size=80),
+        st.lists(st.tuples(st.integers(0, 25), st.integers(0, 25)),
+                 max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_brute_force(self, points, queries):
+        m = machine(B=8, m=10)
+        assert dominance_counts(m, points, queries) == brute_force(
+            points, queries
+        )
+
+    def test_sweep_beats_naive_at_scale(self):
+        points, queries = random_instance(12_000, 12_000, seed=4,
+                                          extent=100_000)
+        m1 = machine(B=32, m=10)
+        with m1.measure() as io_sweep:
+            dominance_counts(m1, points, queries)
+        m2 = machine(B=32, m=10)
+        with m2.measure() as io_naive:
+            dominance_counts_naive(m2, points, queries)
+        assert io_sweep.total < io_naive.total

@@ -1,0 +1,166 @@
+"""Tests for adjacency storage and external BFS."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, Machine
+from repro.graph import AdjacencyStore, mr_bfs, naive_bfs
+from repro.workloads import connected_random_graph, grid_graph, random_graph
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+def reference_bfs(n, edges, source):
+    g = collections.defaultdict(list)
+    for u, v in edges:
+        g[u].append(v)
+        g[v].append(u)
+    dist = {source: 0}
+    queue = collections.deque([source])
+    while queue:
+        x = queue.popleft()
+        for y in g[x]:
+            if y not in dist:
+                dist[y] = dist[x] + 1
+                queue.append(y)
+    return dist
+
+
+class TestAdjacencyStore:
+    def test_neighbors_sorted_and_complete(self):
+        m = machine()
+        edges = [(0, 1), (0, 2), (1, 2), (3, 0)]
+        adj = AdjacencyStore.from_edges(m, 4, edges)
+        assert adj.neighbors(0) == [1, 2, 3]
+        assert adj.neighbors(1) == [0, 2]
+        assert adj.neighbors(3) == [0]
+
+    def test_degree(self):
+        m = machine()
+        adj = AdjacencyStore.from_edges(m, 4, [(0, 1), (0, 2), (0, 3)])
+        assert adj.degree(0) == 3
+        assert adj.degree(2) == 1
+
+    def test_isolated_vertex(self):
+        m = machine()
+        adj = AdjacencyStore.from_edges(m, 3, [(0, 1)])
+        assert adj.neighbors(2) == []
+        assert adj.degree(2) == 0
+
+    def test_self_loops_dropped(self):
+        m = machine()
+        adj = AdjacencyStore.from_edges(m, 2, [(0, 0), (0, 1)])
+        assert adj.neighbors(0) == [1]
+
+    def test_duplicate_edges_collapsed(self):
+        m = machine()
+        adj = AdjacencyStore.from_edges(m, 2, [(0, 1), (0, 1), (1, 0)])
+        assert adj.neighbors(0) == [1]
+        assert adj.neighbors(1) == [0]
+
+    def test_out_of_range_edge_rejected(self):
+        m = machine()
+        with pytest.raises(ConfigurationError):
+            AdjacencyStore.from_edges(m, 2, [(0, 5)])
+
+    def test_out_of_range_query_rejected(self):
+        m = machine()
+        adj = AdjacencyStore.from_edges(m, 2, [(0, 1)])
+        with pytest.raises(ConfigurationError):
+            adj.neighbors(7)
+
+    def test_num_edges(self):
+        m = machine()
+        n, edges = grid_graph(5, 5)
+        adj = AdjacencyStore.from_edges(m, n, edges)
+        assert adj.num_edges == len(edges)
+
+    def test_high_degree_vertex_spans_blocks(self):
+        m = machine(B=8)
+        star = [(0, i) for i in range(1, 50)]
+        adj = AdjacencyStore.from_edges(m, 50, star)
+        assert adj.neighbors(0) == list(range(1, 50))
+
+
+class TestBFSCorrectness:
+    @pytest.mark.parametrize("bfs", [naive_bfs, mr_bfs])
+    def test_matches_reference_on_random_graph(self, bfs):
+        m = machine()
+        n, edges = connected_random_graph(300, seed=5)
+        adj = AdjacencyStore.from_edges(m, n, edges)
+        assert bfs(m, adj, 0) == reference_bfs(n, edges, 0)
+
+    @pytest.mark.parametrize("bfs", [naive_bfs, mr_bfs])
+    def test_matches_reference_on_grid(self, bfs):
+        m = machine()
+        n, edges = grid_graph(12, 17)
+        adj = AdjacencyStore.from_edges(m, n, edges)
+        assert bfs(m, adj, 0) == reference_bfs(n, edges, 0)
+
+    @pytest.mark.parametrize("bfs", [naive_bfs, mr_bfs])
+    def test_disconnected_graph_reaches_only_component(self, bfs):
+        m = machine()
+        edges = [(0, 1), (2, 3)]
+        adj = AdjacencyStore.from_edges(m, 4, edges)
+        assert bfs(m, adj, 0) == {0: 0, 1: 1}
+
+    @pytest.mark.parametrize("bfs", [naive_bfs, mr_bfs])
+    def test_single_vertex(self, bfs):
+        m = machine()
+        adj = AdjacencyStore.from_edges(m, 1, [])
+        assert bfs(m, adj, 0) == {0: 0}
+
+    @pytest.mark.parametrize("bfs", [naive_bfs, mr_bfs])
+    def test_path_graph_distances(self, bfs):
+        m = machine()
+        edges = [(i, i + 1) for i in range(49)]
+        adj = AdjacencyStore.from_edges(m, 50, edges)
+        result = bfs(m, adj, 0)
+        assert result == {i: i for i in range(50)}
+
+    @pytest.mark.parametrize("bfs", [naive_bfs, mr_bfs])
+    def test_bad_source_rejected(self, bfs):
+        m = machine()
+        adj = AdjacencyStore.from_edges(m, 2, [(0, 1)])
+        with pytest.raises(ConfigurationError):
+            bfs(m, adj, 9)
+
+    @given(st.integers(2, 120), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_agreement(self, n, seed):
+        m = machine(B=8, m=6)
+        n, edges = connected_random_graph(n, avg_degree=3, seed=seed)
+        adj = AdjacencyStore.from_edges(m, n, edges)
+        assert mr_bfs(m, adj, 0) == naive_bfs(m, adj, 0)
+
+
+class TestBFSIOBehaviour:
+    def test_mr_bfs_leaves_no_temporary_streams(self):
+        m = machine()
+        n, edges = connected_random_graph(200, seed=6)
+        adj = AdjacencyStore.from_edges(m, n, edges)
+        before = m.disk.allocated_blocks
+        mr_bfs(m, adj, 0)
+        assert m.disk.allocated_blocks == before
+        assert m.budget.in_use == 0
+
+    def test_mr_bfs_beats_naive_on_random_graph_with_tiny_pool(self):
+        """On a random graph naive BFS misses the pool on nearly every
+        vertex; MR-BFS amortizes through sorting."""
+        n, edges = connected_random_graph(3000, avg_degree=8, seed=7)
+        m1 = Machine(block_size=64, memory_blocks=4)
+        adj1 = AdjacencyStore.from_edges(m1, n, edges)
+        m1.reset_stats()
+        naive_bfs(m1, adj1, 0)
+        naive_io = m1.stats().total
+        m2 = Machine(block_size=64, memory_blocks=4)
+        adj2 = AdjacencyStore.from_edges(m2, n, edges)
+        m2.reset_stats()
+        mr_bfs(m2, adj2, 0)
+        mr_io = m2.stats().total
+        assert mr_io < naive_io

@@ -1,0 +1,155 @@
+"""Tests for connected components."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, FileStream, Machine
+from repro.graph import (
+    AdjacencyStore,
+    dfs_components,
+    external_components,
+    semi_external_components,
+)
+from repro.workloads import components_graph, connected_random_graph, grid_graph
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+def partition(labels):
+    groups = {}
+    for vertex, label in labels.items():
+        groups.setdefault(label, set()).add(vertex)
+    return sorted(map(frozenset, groups.values()), key=min)
+
+
+class TestExternalComponents:
+    def test_single_component(self):
+        m = machine()
+        n, edges = connected_random_graph(150, seed=1)
+        labels = external_components(
+            m, n, FileStream.from_records(m, edges)
+        )
+        assert set(labels.values()) == {0}
+        assert len(labels) == n
+
+    def test_multiple_components_match_ground_truth(self):
+        m = machine()
+        n, edges, truth = components_graph(300, 6, seed=2)
+        labels = external_components(
+            m, n, FileStream.from_records(m, edges)
+        )
+        assert partition(labels) == partition(dict(enumerate(truth)))
+
+    def test_labels_are_component_minima(self):
+        m = machine()
+        n, edges, _ = components_graph(200, 4, seed=3)
+        labels = external_components(
+            m, n, FileStream.from_records(m, edges)
+        )
+        for group in partition(labels):
+            assert labels[min(group)] == min(group)
+            assert all(labels[v] == min(group) for v in group)
+
+    def test_isolated_vertices(self):
+        m = machine()
+        labels = external_components(
+            m, 5, FileStream.from_records(m, [(0, 1)])
+        )
+        assert labels == {0: 0, 1: 0, 2: 2, 3: 3, 4: 4}
+
+    def test_no_edges(self):
+        m = machine()
+        labels = external_components(m, 4, FileStream(m).finalize())
+        assert labels == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_self_loops_and_duplicates_ignored(self):
+        m = machine()
+        edges = [(0, 0), (0, 1), (1, 0), (0, 1)]
+        labels = external_components(
+            m, 3, FileStream.from_records(m, edges)
+        )
+        assert labels == {0: 0, 1: 0, 2: 2}
+
+    def test_grid_is_one_component(self):
+        m = machine()
+        n, edges = grid_graph(10, 10)
+        labels = external_components(
+            m, n, FileStream.from_records(m, edges)
+        )
+        assert set(labels.values()) == {0}
+
+    def test_path_graph_long_diameter(self):
+        """A long path stresses the pointer-jumping convergence."""
+        m = machine()
+        n = 500
+        edges = [(i, i + 1) for i in range(n - 1)]
+        labels = external_components(
+            m, n, FileStream.from_records(m, edges)
+        )
+        assert set(labels.values()) == {0}
+
+    def test_out_of_range_edge_rejected(self):
+        m = machine()
+        with pytest.raises(ConfigurationError):
+            external_components(
+                m, 2, FileStream.from_records(m, [(0, 9)])
+            )
+
+    def test_no_leaks(self):
+        m = machine()
+        n, edges, _ = components_graph(200, 4, seed=4)
+        stream = FileStream.from_records(m, edges)
+        before = m.disk.allocated_blocks
+        external_components(m, n, stream)
+        assert m.disk.allocated_blocks == before
+        assert m.budget.in_use == 0
+
+    @given(st.integers(1, 80), st.integers(1, 6), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_ground_truth(self, n, k, seed):
+        k = min(k, n)
+        m = machine(B=8, m=6)
+        n, edges, truth = components_graph(n, k, seed=seed)
+        labels = external_components(
+            m, n, FileStream.from_records(m, edges)
+        )
+        assert partition(labels) == partition(dict(enumerate(truth)))
+
+
+class TestBaselines:
+    def test_all_three_algorithms_agree(self):
+        n, edges, _ = components_graph(250, 5, seed=5)
+        m1 = machine()
+        ext = external_components(
+            m1, n, FileStream.from_records(m1, edges)
+        )
+        m2 = Machine(block_size=64, memory_blocks=8)  # M >= n
+        semi = semi_external_components(
+            m2, n, FileStream.from_records(m2, edges)
+        )
+        m3 = machine()
+        adj = AdjacencyStore.from_edges(m3, n, edges)
+        dfs = dfs_components(m3, adj)
+        assert partition(ext) == partition(semi) == partition(dfs)
+
+    def test_semi_external_needs_v_in_memory(self):
+        m = machine()  # M = 128 < 500 vertices
+        n, edges = connected_random_graph(500, seed=6)
+        from repro.core import MemoryLimitExceeded
+
+        with pytest.raises(MemoryLimitExceeded):
+            semi_external_components(
+                m, n, FileStream.from_records(m, edges)
+            )
+
+    def test_semi_external_is_one_scan(self):
+        m = Machine(block_size=16, memory_blocks=64)  # M = 1024
+        n, edges = connected_random_graph(500, seed=7)
+        stream = FileStream.from_records(m, edges)
+        with m.measure() as io:
+            semi_external_components(m, n, stream)
+        assert io.reads == stream.num_blocks
+        assert io.writes == 0

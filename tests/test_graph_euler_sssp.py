@@ -1,0 +1,220 @@
+"""Tests for Euler-tour tree labelling and external Dijkstra."""
+
+import collections
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, Machine
+from repro.graph import (
+    AdjacencyStore,
+    build_euler_tour,
+    external_dijkstra,
+    semi_external_dijkstra,
+    tree_depths,
+    weighted_list_ranking,
+)
+from repro.workloads import connected_random_graph
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+def random_tree(n, seed=0):
+    rng = random.Random(seed)
+    edges = [(rng.randrange(v), v) for v in range(1, n)]
+    rng.shuffle(edges)
+    return edges
+
+
+def reference_depths(n, edges, root):
+    adjacency = collections.defaultdict(list)
+    for u, v in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    depth, parent = {root: 0}, {root: -1}
+    queue = collections.deque([root])
+    while queue:
+        x = queue.popleft()
+        for y in adjacency[x]:
+            if y not in depth:
+                depth[y] = depth[x] + 1
+                parent[y] = x
+                queue.append(y)
+    return depth, parent
+
+
+class TestWeightedListRanking:
+    def test_prefix_sums(self):
+        m = machine()
+        triples = [(0, 1, 5), (1, 2, -2), (2, -1, 7)]
+        assert weighted_list_ranking(m, triples) == {0: 0, 1: 5, 2: 3}
+
+    def test_unit_weights_match_list_ranking(self):
+        from repro.graph import list_ranking
+        from repro.workloads import random_linked_list
+
+        pairs = random_linked_list(300, seed=1)
+        m1, m2 = machine(), machine()
+        assert weighted_list_ranking(
+            m1, [(a, b, 1) for a, b in pairs]
+        ) == list_ranking(m2, pairs)
+
+
+class TestEulerTour:
+    def test_tour_covers_all_arcs_once(self):
+        m = machine()
+        edges = random_tree(40, seed=2)
+        pairs, endpoints = build_euler_tour(m, 40, edges, root=0)
+        assert len(pairs) == 78  # 2(n-1)
+        successor = dict(pairs)
+        tails = [a for a, s in pairs if s == -1]
+        assert len(tails) == 1
+        heads = set(successor) - set(successor.values())
+        node = heads.pop()
+        seen = []
+        while node != -1:
+            seen.append(node)
+            node = successor[node]
+        assert sorted(seen) == sorted(endpoints)
+
+    def test_non_tree_edge_count_rejected(self):
+        m = machine()
+        with pytest.raises(ConfigurationError):
+            build_euler_tour(m, 3, [(0, 1)], root=0)
+
+    def test_self_loop_rejected(self):
+        m = machine()
+        with pytest.raises(ConfigurationError):
+            build_euler_tour(m, 2, [(0, 0)], root=0)
+
+
+class TestTreeDepths:
+    @pytest.mark.parametrize("n,root", [(2, 0), (5, 0), (60, 3), (500, 7)])
+    def test_matches_bfs(self, n, root):
+        m = machine()
+        edges = random_tree(n, seed=n)
+        depths, parents = tree_depths(m, n, edges, root=root)
+        ref_d, ref_p = reference_depths(n, edges, root)
+        assert depths == ref_d
+        assert parents == ref_p
+
+    def test_single_vertex(self):
+        m = machine()
+        assert tree_depths(m, 1, [], root=0) == ({0: 0}, {0: -1})
+
+    def test_path_tree(self):
+        m = machine()
+        edges = [(i, i + 1) for i in range(99)]
+        depths, parents = tree_depths(m, 100, edges, root=0)
+        assert depths == {i: i for i in range(100)}
+        assert parents[50] == 49
+
+    def test_star_tree(self):
+        m = machine()
+        edges = [(0, i) for i in range(1, 50)]
+        depths, _ = tree_depths(m, 50, edges, root=0)
+        assert depths[0] == 0
+        assert all(depths[i] == 1 for i in range(1, 50))
+
+    @given(st.integers(2, 150), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_bfs(self, n, seed):
+        m = machine(B=8, m=8)
+        edges = random_tree(n, seed=seed)
+        root = seed % n
+        depths, parents = tree_depths(m, n, edges, root=root)
+        ref_d, ref_p = reference_depths(n, edges, root)
+        assert depths == ref_d
+        assert parents == ref_p
+
+
+def weighted_graph(n, avg_degree, seed):
+    _, edges = connected_random_graph(n, avg_degree, seed=seed)
+    rng = random.Random(seed + 1)
+    return [(u, v, rng.randint(1, 20)) for u, v in edges]
+
+
+def reference_dijkstra(n, weighted_edges, source):
+    adjacency = collections.defaultdict(list)
+    for u, v, w in weighted_edges:
+        adjacency[u].append((v, w))
+        adjacency[v].append((u, w))
+    dist = {}
+    heap = [(0, source)]
+    while heap:
+        d, x = heapq.heappop(heap)
+        if x in dist:
+            continue
+        dist[x] = d
+        for y, w in adjacency[x]:
+            if y not in dist:
+                heapq.heappush(heap, (d + w, y))
+    return dist
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("fn", [external_dijkstra,
+                                    semi_external_dijkstra])
+    def test_matches_reference(self, fn):
+        m = machine(m=16)
+        wedges = weighted_graph(300, 4, seed=5)
+        adjacency = AdjacencyStore.from_weighted_edges(m, 300, wedges)
+        assert fn(m, adjacency, 0) == reference_dijkstra(300, wedges, 0)
+
+    @pytest.mark.parametrize("fn", [external_dijkstra,
+                                    semi_external_dijkstra])
+    def test_disconnected(self, fn):
+        m = machine(m=16)
+        adjacency = AdjacencyStore.from_weighted_edges(
+            m, 4, [(0, 1, 3), (2, 3, 4)]
+        )
+        assert fn(m, adjacency, 0) == {0: 0, 1: 3}
+
+    def test_unit_weights_match_bfs_distances(self):
+        from repro.graph import mr_bfs
+
+        m = machine(m=16)
+        _, edges = connected_random_graph(200, seed=6)
+        weighted = AdjacencyStore.from_weighted_edges(
+            m, 200, [(u, v, 1) for u, v in edges]
+        )
+        unweighted = AdjacencyStore.from_edges(m, 200, edges)
+        assert external_dijkstra(m, weighted, 0) == mr_bfs(
+            m, unweighted, 0
+        )
+
+    def test_negative_weight_rejected(self):
+        m = machine(m=16)
+        adjacency = AdjacencyStore.from_weighted_edges(
+            m, 2, [(0, 1, -5)]
+        )
+        with pytest.raises(ConfigurationError):
+            external_dijkstra(m, adjacency, 0)
+
+    def test_bad_source_rejected(self):
+        m = machine(m=16)
+        adjacency = AdjacencyStore.from_weighted_edges(m, 2, [(0, 1, 1)])
+        with pytest.raises(ConfigurationError):
+            external_dijkstra(m, adjacency, 5)
+
+    def test_parallel_edges_take_cheapest(self):
+        m = machine(m=16)
+        adjacency = AdjacencyStore.from_weighted_edges(
+            m, 2, [(0, 1, 9), (0, 1, 2)]
+        )
+        assert external_dijkstra(m, adjacency, 0)[1] == 2
+
+    @given(st.integers(2, 120), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_reference(self, n, seed):
+        m = machine(B=8, m=16)
+        wedges = weighted_graph(n, 3, seed=seed)
+        adjacency = AdjacencyStore.from_weighted_edges(m, n, wedges)
+        assert external_dijkstra(m, adjacency, 0) == reference_dijkstra(
+            n, wedges, 0
+        )

@@ -1,0 +1,127 @@
+"""Tests for list ranking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, Machine
+from repro.graph import list_ranking, pointer_chase_ranking
+from repro.workloads import random_linked_list
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+def reference_ranks(pairs):
+    successor = dict(pairs)
+    targets = {s for _, s in pairs if s != -1}
+    head = next(v for v in successor if v not in targets)
+    ranks = {}
+    node, rank = head, 0
+    while node != -1:
+        ranks[node] = rank
+        node = successor[node]
+        rank += 1
+    return ranks
+
+
+class TestPointerChase:
+    def test_matches_reference(self):
+        m = machine()
+        pairs = random_linked_list(500, seed=1)
+        assert pointer_chase_ranking(m, pairs, 500) == reference_ranks(pairs)
+
+    def test_costs_about_one_io_per_hop(self):
+        m = machine(B=16, m=4)
+        pairs = random_linked_list(2000, seed=2)
+        with m.measure() as io:
+            pointer_chase_ranking(m, pairs, 2000)
+        assert io.reads > 1500  # nearly every hop misses
+
+    def test_sequential_layout_is_cheap(self):
+        """A list stored in logical order degenerates to a scan."""
+        m = machine(B=16, m=4)
+        pairs = [(i, i + 1) for i in range(1999)] + [(1999, -1)]
+        with m.measure() as io:
+            pointer_chase_ranking(m, pairs, 2000)
+        assert io.reads < 2 * (2000 // 16) + 10
+
+    def test_wrong_count_rejected(self):
+        m = machine()
+        with pytest.raises(ConfigurationError):
+            pointer_chase_ranking(m, [(0, -1)], 2)
+
+    def test_multiple_heads_rejected(self):
+        m = machine()
+        pairs = [(0, -1), (1, -1)]  # two lists
+        with pytest.raises(ConfigurationError):
+            pointer_chase_ranking(m, pairs, 2)
+
+
+class TestContractionRanking:
+    def test_matches_reference_small(self):
+        m = machine()
+        pairs = random_linked_list(50, seed=3)
+        assert list_ranking(m, pairs) == reference_ranks(pairs)
+
+    def test_matches_reference_with_recursion(self):
+        # N = 2000 >> M = 128 forces several contraction rounds.
+        m = machine()
+        pairs = random_linked_list(2000, seed=4)
+        assert list_ranking(m, pairs) == reference_ranks(pairs)
+
+    def test_matches_pointer_chase(self):
+        m1, m2 = machine(), machine()
+        pairs = random_linked_list(1200, seed=5)
+        assert list_ranking(m1, pairs) == pointer_chase_ranking(
+            m2, pairs, 1200
+        )
+
+    def test_single_node(self):
+        m = machine()
+        assert list_ranking(m, [(0, -1)]) == {0: 0}
+
+    def test_two_nodes(self):
+        m = machine()
+        assert list_ranking(m, [(1, 0), (0, -1)]) == {1: 0, 0: 1}
+
+    def test_empty(self):
+        m = machine()
+        assert list_ranking(m, []) == {}
+
+    def test_sequential_list(self):
+        m = machine()
+        pairs = [(i, i + 1) for i in range(999)] + [(999, -1)]
+        ranks = list_ranking(m, pairs)
+        assert ranks == {i: i for i in range(1000)}
+
+    def test_reverse_stored_list(self):
+        m = machine()
+        pairs = [(i, i - 1) for i in range(1000, 0, -1)] + [(0, -1)]
+        ranks = list_ranking(m, pairs)
+        assert ranks[1000] == 0
+        assert ranks[0] == 1000
+
+    def test_no_leaks(self):
+        m = machine()
+        pairs = random_linked_list(1500, seed=6)
+        before = m.disk.allocated_blocks
+        list_ranking(m, pairs)
+        assert m.disk.allocated_blocks == before
+        assert m.budget.in_use == 0
+
+    def test_different_seeds_agree(self):
+        pairs = random_linked_list(800, seed=7)
+        results = {
+            frozenset(list_ranking(machine(), pairs, seed=s).items())
+            for s in range(3)
+        }
+        assert len(results) == 1
+
+    @given(st.integers(1, 400), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_reference(self, n, seed):
+        m = machine(B=8, m=6)
+        pairs = random_linked_list(n, seed=seed)
+        assert list_ranking(m, pairs) == reference_ranks(pairs)

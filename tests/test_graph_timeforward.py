@@ -1,0 +1,194 @@
+"""Tests for time-forward processing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, Machine
+from repro.graph import (
+    dag_longest_paths,
+    evaluate_circuit,
+    time_forward_process,
+)
+
+
+def machine(B=16, m=16):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+def random_dag(n, avg_out=2.5, seed=0):
+    rng = random.Random(seed)
+    edges = set()
+    target = min(int(n * avg_out), n * (n - 1) // 2)
+    while len(edges) < target:
+        u = rng.randrange(n - 1)
+        v = rng.randrange(u + 1, n)
+        edges.add((u, v))
+    return sorted(edges)
+
+
+class TestGenericEngine:
+    def test_sum_of_ancestor_contributions(self):
+        m = machine()
+        edges = [(0, 2), (1, 2), (2, 3)]
+
+        def compute(v, incoming):
+            return v + sum(incoming)
+
+        result = time_forward_process(m, 4, edges, compute)
+        assert result == {0: 0, 1: 1, 2: 3, 3: 6}
+
+    def test_in_degree_counting(self):
+        m = machine()
+        edges = random_dag(300, seed=1)
+        result = time_forward_process(
+            m, 300, edges, lambda v, incoming: len(incoming)
+        )
+        expected = {v: 0 for v in range(300)}
+        for _, v in edges:
+            expected[v] += 1
+        assert result == expected
+
+    def test_no_edges(self):
+        m = machine()
+        result = time_forward_process(m, 3, [], lambda v, i: v * 2)
+        assert result == {0: 0, 1: 2, 2: 4}
+
+    def test_non_topological_edge_rejected(self):
+        m = machine()
+        with pytest.raises(ConfigurationError):
+            time_forward_process(m, 3, [(2, 1)], lambda v, i: 0)
+
+    def test_out_of_range_edge_rejected(self):
+        m = machine()
+        with pytest.raises(ConfigurationError):
+            time_forward_process(m, 3, [(0, 9)], lambda v, i: 0)
+
+    def test_incoming_values_arrive_in_predecessor_order(self):
+        m = machine()
+        edges = [(0, 3), (1, 3), (2, 3)]
+
+        def compute(v, incoming):
+            return incoming if v == 3 else f"from-{v}"
+
+        result = time_forward_process(m, 4, edges, compute)
+        assert result[3] == ["from-0", "from-1", "from-2"]
+
+    def test_no_leaks(self):
+        m = machine()
+        edges = random_dag(400, seed=2)
+        before = m.disk.allocated_blocks
+        time_forward_process(m, 400, edges, lambda v, i: 1)
+        assert m.disk.allocated_blocks == before
+        assert m.budget.in_use == 0
+
+
+class TestLongestPaths:
+    def test_path_graph(self):
+        m = machine()
+        edges = [(i, i + 1) for i in range(9)]
+        assert dag_longest_paths(m, 10, edges) == {i: i for i in range(10)}
+
+    def test_diamond(self):
+        m = machine()
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        assert dag_longest_paths(m, 4, edges) == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_matches_dynamic_programming(self):
+        m = machine()
+        n = 500
+        edges = random_dag(n, seed=3)
+        result = dag_longest_paths(m, n, edges)
+        expected = {v: 0 for v in range(n)}
+        for u, v in sorted(edges):
+            expected[v] = max(expected[v], expected[u] + 1)
+        assert result == expected
+
+    @given(st.integers(2, 120), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_dp(self, n, seed):
+        m = machine(B=8, m=12)
+        edges = random_dag(n, seed=seed)
+        result = dag_longest_paths(m, n, edges)
+        expected = {v: 0 for v in range(n)}
+        for u, v in sorted(edges):
+            expected[v] = max(expected[v], expected[u] + 1)
+        assert result == expected
+
+
+class TestCircuitEvaluation:
+    def test_simple_and_or(self):
+        m = machine()
+        gates = [
+            ("input", True), ("input", False), ("input", True),
+            ("and", None),  # 3 = 0 AND 1 -> False
+            ("or", None),   # 4 = 3 OR 2  -> True
+        ]
+        wires = [(0, 3), (1, 3), (2, 4), (3, 4)]
+        values = evaluate_circuit(m, gates, wires)
+        assert values[3] is False
+        assert values[4] is True
+
+    def test_not_gate(self):
+        m = machine()
+        gates = [("input", True), ("not", None)]
+        assert evaluate_circuit(m, gates, [(0, 1)])[1] is False
+
+    def test_not_gate_arity_enforced(self):
+        m = machine()
+        gates = [("input", True), ("input", True), ("not", None)]
+        with pytest.raises(ConfigurationError):
+            evaluate_circuit(m, gates, [(0, 2), (1, 2)])
+
+    def test_gate_without_inputs_rejected(self):
+        m = machine()
+        gates = [("and", None)]
+        with pytest.raises(ConfigurationError):
+            evaluate_circuit(m, gates, [])
+
+    def test_unknown_gate_rejected(self):
+        m = machine()
+        gates = [("xor", None)]
+        with pytest.raises(ConfigurationError):
+            evaluate_circuit(m, gates, [])
+
+    def test_wide_random_circuit_matches_direct_eval(self):
+        rng = random.Random(4)
+        n = 300
+        gates = []
+        wires = []
+        for v in range(n):
+            if v < 20 or rng.random() < 0.1:
+                gates.append(("input", rng.random() < 0.5))
+            else:
+                kind = rng.choice(["and", "or", "not"])
+                gates.append((kind, None))
+                fan_in = 1 if kind == "not" else rng.randint(1, 4)
+                sources = rng.sample(range(v), min(fan_in, v))
+                for u in sorted(sources):
+                    wires.append((u, v))
+        # Guard: every non-input gate got at least one wire.
+        fed = {v for _, v in wires}
+        gates = [
+            g if g[0] == "input" or v in fed else ("input", True)
+            for v, g in enumerate(gates)
+        ]
+        m = machine()
+        values = evaluate_circuit(m, gates, wires)
+
+        incoming = {v: [] for v in range(n)}
+        for u, v in sorted(wires):
+            incoming[v].append(u)
+        expected = {}
+        for v, (kind, payload) in enumerate(gates):
+            if kind == "input":
+                expected[v] = bool(payload)
+            elif kind == "not":
+                expected[v] = not expected[incoming[v][0]]
+            elif kind == "and":
+                expected[v] = all(expected[u] for u in incoming[v])
+            else:
+                expected[v] = any(expected[u] for u in incoming[v])
+        assert values == expected

@@ -1,0 +1,149 @@
+"""Integration tests: pipelines spanning multiple subsystems.
+
+These exercise realistic compositions — sort feeding bulk load, joins
+feeding aggregation, graph results indexed for queries — and check both
+correctness and that I/O and memory accounting stay consistent across
+module boundaries.
+"""
+
+import pytest
+
+from repro.core import FileStream, Machine, sort_io
+from repro.buffer import BufferTree
+from repro.graph import AdjacencyStore, list_ranking, mr_bfs
+from repro.pq import ExternalPriorityQueue
+from repro.relational import Table, group_by, sort_merge_join
+from repro.search import BPlusTree, ExtendibleHashTable
+from repro.sort import external_merge_sort, is_sorted_stream
+from repro.workloads import (
+    connected_random_graph,
+    distinct_ints,
+    foreign_key_relations,
+    random_linked_list,
+    uniform_ints,
+)
+
+
+class TestSortToIndexPipeline:
+    def test_sort_then_bulk_load_then_query(self):
+        """ETL path: unordered records -> external sort -> B+-tree bulk
+        load -> point and range queries."""
+        machine = Machine(block_size=32, memory_blocks=8)
+        keys = distinct_ints(5_000, seed=1)
+        raw = FileStream.from_records(
+            machine, [(k, f"payload-{k}") for k in keys]
+        )
+        ordered = external_merge_sort(machine, raw, key=lambda r: r[0])
+        tree = BPlusTree.bulk_load(machine, iter(ordered))
+        assert len(tree) == 5_000
+        assert tree.get(keys[17]) == f"payload-{keys[17]}"
+        window = [k for k, _ in tree.range_query(100, 200)]
+        assert window == [k for k in range(100, 201)]
+        tree.check_invariants(strict_fill=False)
+
+    def test_sorted_output_feeds_hash_and_tree_identically(self):
+        machine = Machine(block_size=32, memory_blocks=8)
+        keys = distinct_ints(2_000, seed=2)
+        tree = BPlusTree(machine)
+        table = ExtendibleHashTable(machine)
+        for k in keys:
+            tree.insert(k, k * 3)
+            table.insert(k, k * 3)
+        for probe in keys[::97]:
+            assert tree.get(probe) == table.get(probe)
+
+
+class TestDatabasePipeline:
+    def test_join_then_group_by(self):
+        """orders ⋈ customers -> revenue per segment."""
+        machine = Machine(block_size=32, memory_blocks=8)
+        customers, orders = foreign_key_relations(200, 2_000, seed=3)
+        orders = [(k, (i * 13) % 100) for i, (k, _) in enumerate(orders)]
+        left = Table.from_rows(
+            machine, ("cid", "seg"),
+            [(k, k % 5) for k, _ in customers],
+        )
+        right = Table.from_rows(machine, ("cid", "amount"), orders)
+        joined = sort_merge_join(left, right, "cid", "cid")
+        assert len(joined) == 2_000
+        revenue = group_by(joined, "seg", [("sum", "amount"),
+                                           ("count", "amount")])
+        rows = list(revenue.rows())
+        assert sorted(r[0] for r in rows) == [0, 1, 2, 3, 4]
+        assert sum(r[2] for r in rows) == 2_000
+        total = sum(amount for _, amount in orders)
+        assert sum(r[1] for r in rows) == total
+
+    def test_buffer_tree_as_staging_index(self):
+        """Batched ingest through a buffer tree, then range-style export
+        back into a relational table."""
+        machine = Machine(block_size=32, memory_blocks=16)
+        tree = BufferTree(machine)
+        keys = distinct_ints(3_000, seed=4)
+        for k in keys:
+            tree.insert(k, k % 7)
+        table = Table.from_rows(machine, ("k", "v"), tree.items())
+        grouped = group_by(table, "v", [("count", "k")])
+        counts = {r[0]: r[1] for r in grouped.rows()}
+        assert sum(counts.values()) == 3_000
+
+
+class TestGraphPipeline:
+    def test_bfs_distances_indexed_by_btree(self):
+        machine = Machine(block_size=32, memory_blocks=8)
+        n, edges = connected_random_graph(800, seed=5)
+        adjacency = AdjacencyStore.from_edges(machine, n, edges)
+        distances = mr_bfs(machine, adjacency, 0)
+        tree = BPlusTree.bulk_load(
+            machine, iter(sorted(distances.items()))
+        )
+        probe = max(distances, key=distances.get)
+        assert tree.get(probe) == distances[probe]
+
+    def test_list_ranking_feeds_priority_queue(self):
+        """Rank a list externally, then drain nodes in rank order through
+        the external PQ — a miniature time-forward processing setup."""
+        machine = Machine(block_size=32, memory_blocks=16)
+        pairs = random_linked_list(1_000, seed=6)
+        ranks = list_ranking(machine, pairs)
+        with ExternalPriorityQueue(machine) as pq:
+            for node, rank in ranks.items():
+                pq.insert(rank, node)
+            order = [pq.delete_min()[1] for _ in range(len(ranks))]
+        successor = dict(pairs)
+        for first, second in zip(order, order[1:]):
+            assert successor[first] == second
+
+
+class TestAccountingConsistency:
+    def test_pipeline_leaves_budget_clean(self):
+        machine = Machine(block_size=32, memory_blocks=8)
+        data = uniform_ints(2_000, seed=7)
+        stream = FileStream.from_records(machine, data)
+        result = external_merge_sort(machine, stream)
+        assert is_sorted_stream(result)
+        assert machine.budget.in_use == 0
+        assert machine.budget.peak <= machine.M
+
+    def test_io_measured_across_modules_adds_up(self):
+        machine = Machine(block_size=32, memory_blocks=8)
+        data = uniform_ints(3_000, seed=8)
+        stream = FileStream.from_records(machine, data)
+        with machine.measure() as total:
+            with machine.measure() as phase1:
+                ordered = external_merge_sort(machine, stream)
+            with machine.measure() as phase2:
+                BPlusTree.bulk_load(
+                    machine,
+                    iter((k, i) for i, k in enumerate(ordered)),
+                )
+        assert total.total == phase1.total + phase2.total
+
+    def test_disk_usage_bounded_during_sort(self):
+        """Peak disk usage stays O(N/B): intermediates are freed."""
+        machine = Machine(block_size=32, memory_blocks=8)
+        data = uniform_ints(8_000, seed=9)
+        stream = FileStream.from_records(machine, data)
+        external_merge_sort(machine, stream)
+        n_blocks = stream.num_blocks
+        assert machine.disk.high_water_blocks <= 4 * n_blocks

@@ -1,0 +1,211 @@
+"""Tests for external matrix operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, Machine
+from repro.matrix import (
+    ExternalMatrix,
+    multiply_blocked,
+    multiply_naive,
+    transpose_blocked,
+    transpose_by_sort,
+    transpose_naive,
+)
+
+
+def machine(B=8, m=16):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+def sample(machine_, rows, cols):
+    return ExternalMatrix.from_function(
+        machine_, rows, cols, lambda i, j: i * 1000 + j
+    )
+
+
+class TestExternalMatrix:
+    def test_from_rows_round_trip(self):
+        m = machine()
+        data = [[1, 2, 3], [4, 5, 6]]
+        mat = ExternalMatrix.from_rows(m, data)
+        assert mat.to_rows() == data
+
+    def test_from_function(self):
+        m = machine()
+        mat = ExternalMatrix.from_function(m, 3, 4, lambda i, j: i - j)
+        assert mat.to_rows() == [[i - j for j in range(4)] for i in range(3)]
+
+    def test_get_entry(self):
+        m = machine()
+        mat = sample(m, 5, 7)
+        assert mat.get(2, 3) == 2003
+        assert mat.get(4, 6) == 4006
+
+    def test_get_out_of_range(self):
+        m = machine()
+        mat = sample(m, 2, 2)
+        with pytest.raises(ConfigurationError):
+            mat.get(2, 0)
+
+    def test_ragged_rows_rejected(self):
+        m = machine()
+        with pytest.raises(ConfigurationError):
+            ExternalMatrix.from_rows(m, [[1, 2], [3]])
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExternalMatrix(machine(), 0, 5)
+
+    def test_read_tile(self):
+        m = machine()
+        mat = sample(m, 8, 8)
+        tile = mat.read_tile(2, 5, 3, 6)
+        assert tile == [
+            [i * 1000 + j for j in range(3, 6)] for i in range(2, 5)
+        ]
+
+    def test_delete_frees_blocks(self):
+        m = machine()
+        mat = sample(m, 8, 8)
+        before = m.disk.allocated_blocks
+        mat.delete()
+        assert m.disk.allocated_blocks < before
+
+
+class TestTranspose:
+    @pytest.mark.parametrize(
+        "fn", [transpose_naive, transpose_blocked, transpose_by_sort]
+    )
+    def test_correctness_aligned(self, fn):
+        m = machine()
+        mat = sample(m, 16, 24)  # multiples of B=8
+        result = fn(m, mat)
+        assert result.rows == 24 and result.cols == 16
+        assert result.to_rows() == np.array(mat.to_rows()).T.tolist()
+
+    @pytest.mark.parametrize("fn", [transpose_naive, transpose_by_sort])
+    def test_correctness_unaligned(self, fn):
+        m = machine()
+        mat = sample(m, 5, 13)
+        result = fn(m, mat)
+        assert result.to_rows() == np.array(mat.to_rows()).T.tolist()
+
+    def test_blocked_falls_back_when_unaligned(self):
+        m = machine()
+        mat = sample(m, 5, 13)
+        result = transpose_blocked(m, mat)
+        assert result.to_rows() == np.array(mat.to_rows()).T.tolist()
+
+    def test_square_involution(self):
+        m = machine()
+        mat = sample(m, 16, 16)
+        twice = transpose_blocked(m, transpose_blocked(m, mat))
+        assert twice.to_rows() == mat.to_rows()
+
+    def test_blocked_io_is_two_passes(self):
+        m = machine(B=8, m=16)
+        mat = sample(m, 32, 32)  # 128 blocks
+        m.reset_stats()
+        transpose_blocked(m, mat)
+        stats = m.stats()
+        blocks = 32 * 32 // 8
+        assert stats.reads == blocks
+        assert stats.writes == blocks
+
+    def test_blocked_beats_naive_on_large_matrix(self):
+        # m=16 so a B x B tile fits in memory (the one-scan regime).
+        m1 = machine(B=8, m=16)
+        mat1 = sample(m1, 64, 64)
+        m1.reset_stats()
+        transpose_blocked(m1, mat1)
+        blocked = m1.stats().total
+        m2 = machine(B=8, m=16)
+        mat2 = sample(m2, 64, 64)
+        m2.reset_stats()
+        transpose_naive(m2, mat2)
+        naive = m2.stats().total
+        assert blocked == 2 * (64 * 64) // 8  # exactly two passes
+        assert blocked * 3 < naive
+
+    def test_tile_too_big_falls_back_to_sort(self):
+        """When B^2 > M the one-scan regime is impossible; the blocked
+        transpose must fall back to the sort-based permutation and still
+        be correct."""
+        m = machine(B=8, m=6)  # M = 48 < B^2 = 64
+        mat = sample(m, 16, 16)
+        result = transpose_blocked(m, mat)
+        assert result.to_rows() == np.array(mat.to_rows()).T.tolist()
+
+    @given(st.integers(1, 20), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_property_by_sort_any_shape(self, p, q):
+        m = machine(B=4, m=8)
+        mat = ExternalMatrix.from_function(m, p, q, lambda i, j: 31 * i + j)
+        result = transpose_by_sort(m, mat)
+        assert result.to_rows() == np.array(mat.to_rows()).T.tolist()
+
+
+class TestMultiply:
+    def test_small_known_product(self):
+        m = machine()
+        a = ExternalMatrix.from_rows(m, [[1, 2], [3, 4]])
+        b = ExternalMatrix.from_rows(m, [[5, 6], [7, 8]])
+        assert multiply_blocked(m, a, b).to_rows() == [[19, 22], [43, 50]]
+        assert multiply_naive(m, a, b).to_rows() == [[19, 22], [43, 50]]
+
+    def test_identity_product(self):
+        m = machine()
+        a = sample(m, 8, 8)
+        eye = ExternalMatrix.from_function(
+            m, 8, 8, lambda i, j: 1 if i == j else 0
+        )
+        assert multiply_blocked(m, a, eye).to_rows() == a.to_rows()
+
+    def test_dimension_mismatch_rejected(self):
+        m = machine()
+        a = sample(m, 3, 4)
+        b = sample(m, 5, 3)
+        with pytest.raises(ConfigurationError):
+            multiply_blocked(m, a, b)
+        with pytest.raises(ConfigurationError):
+            multiply_naive(m, a, b)
+
+    @pytest.mark.parametrize("dims", [(6, 7, 5), (12, 9, 11), (1, 8, 1)])
+    def test_matches_numpy(self, dims):
+        p, q, r = dims
+        m = machine()
+        a = ExternalMatrix.from_function(m, p, q, lambda i, j: (i + 2 * j) % 7)
+        b = ExternalMatrix.from_function(m, q, r, lambda i, j: (3 * i - j) % 5)
+        expected = (np.array(a.to_rows()) @ np.array(b.to_rows())).tolist()
+        assert multiply_blocked(m, a, b).to_rows() == expected
+        assert multiply_naive(m, a, b).to_rows() == expected
+
+    def test_blocked_beats_naive_io(self):
+        m1 = machine(B=8, m=8)
+        a1, b1 = sample(m1, 24, 24), sample(m1, 24, 24)
+        m1.reset_stats()
+        multiply_blocked(m1, a1, b1)
+        blocked = m1.stats().total
+        m2 = machine(B=8, m=8)
+        a2, b2 = sample(m2, 24, 24), sample(m2, 24, 24)
+        m2.reset_stats()
+        multiply_naive(m2, a2, b2)
+        naive = m2.stats().total
+        assert blocked < naive
+
+    def test_explicit_tile_size(self):
+        m = machine(m=32)
+        a = sample(m, 10, 10)
+        b = sample(m, 10, 10)
+        expected = (np.array(a.to_rows()) @ np.array(b.to_rows())).tolist()
+        assert multiply_blocked(m, a, b, tile=3).to_rows() == expected
+
+    def test_oversized_tile_rejected(self):
+        m = machine(B=8, m=4)
+        a = sample(m, 8, 8)
+        b = sample(m, 8, 8)
+        with pytest.raises(ConfigurationError):
+            multiply_blocked(m, a, b, tile=100)

@@ -1,0 +1,166 @@
+"""Model-compliance suite: algorithms at their minimum memory.
+
+The I/O model's value evaporates if an algorithm quietly holds more than
+``M`` records in RAM.  Every reservation goes through the machine's
+budget, which raises on overflow — so simply *running* each algorithm on
+a minimum-sized machine proves it lives within its documented memory
+footprint (and produces correct output while doing so).  Below the
+documented minimum, algorithms must fail with a clear
+``ConfigurationError``, not a confusing crash.
+"""
+
+import pytest
+
+from repro.core import ConfigurationError, FileStream, Machine
+from repro.buffer import BufferTree
+from repro.geometry import dominance_counts, segment_intersections
+from repro.relational import (
+    Table,
+    block_nested_loop_join,
+    grace_hash_join,
+    sort_merge_join,
+)
+from repro.search import BPlusTree, ExtendibleHashTable
+from repro.sort import (
+    distribution_sort,
+    external_merge_sort,
+    external_string_sort,
+    form_runs_replacement_selection,
+)
+from repro.workloads import distinct_ints, foreign_key_relations
+
+
+class TestMinimumMemoryOperation:
+    """Each algorithm completes correctly at its documented minimum m."""
+
+    def test_merge_sort_with_three_frames(self):
+        m = Machine(block_size=8, memory_blocks=3)
+        data = distinct_ints(500, seed=1)
+        out = external_merge_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+        assert m.budget.peak <= m.M
+
+    def test_merge_sort_degrades_to_more_passes_not_more_memory(self):
+        data = distinct_ints(2_000, seed=2)
+        m_small = Machine(block_size=8, memory_blocks=3)
+        with m_small.measure() as io_small:
+            external_merge_sort(
+                m_small, FileStream.from_records(m_small, data)
+            )
+        m_big = Machine(block_size=8, memory_blocks=32)
+        with m_big.measure() as io_big:
+            external_merge_sort(m_big, FileStream.from_records(m_big, data))
+        assert io_small.total > io_big.total  # paid in passes
+        assert m_small.budget.peak <= m_small.M
+
+    def test_replacement_selection_minimum(self):
+        m = Machine(block_size=8, memory_blocks=3)
+        data = distinct_ints(300, seed=3)
+        runs = form_runs_replacement_selection(
+            m, FileStream.from_records(m, data)
+        )
+        assert sorted(x for r in runs for x in r) == sorted(data)
+        assert m.budget.peak <= m.M
+
+    def test_distribution_sort_minimum(self):
+        m = Machine(block_size=8, memory_blocks=6)
+        data = distinct_ints(600, seed=4)
+        out = distribution_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+        assert m.budget.peak <= m.M
+
+    def test_string_sort_minimum(self):
+        m = Machine(block_size=8, memory_blocks=6)
+        words = [f"w{i % 7}{i % 13}" for i in range(500)]
+        out = external_string_sort(m, FileStream.from_records(m, words))
+        assert list(out) == sorted(words)
+
+    def test_buffer_tree_minimum(self):
+        m = Machine(block_size=8, memory_blocks=6)
+        tree = BufferTree(m)
+        keys = distinct_ints(400, seed=5)
+        for k in keys:
+            tree.insert(k, k)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        assert m.budget.peak <= m.M
+
+    def test_joins_minimum(self):
+        for join in (sort_merge_join, grace_hash_join,
+                     block_nested_loop_join):
+            m = Machine(block_size=8, memory_blocks=6)
+            build, probe = foreign_key_relations(40, 200, seed=6)
+            left = Table.from_rows(m, ("id", "b"), build)
+            right = Table.from_rows(m, ("fk", "p"), probe)
+            result = join(left, right, "id", "fk")
+            assert len(result) == 200
+            assert m.budget.peak <= m.M
+
+    def test_sweep_minimum(self):
+        m = Machine(block_size=8, memory_blocks=9)
+        hs = [(y, 0, 50) for y in range(0, 200, 2)]
+        vs = [(x, 0, 199) for x in range(0, 50, 5)]
+        out = segment_intersections(m, hs, vs)
+        assert len(out) == 100 * 10
+        assert m.budget.peak <= m.M
+
+    def test_dominance_minimum(self):
+        m = Machine(block_size=8, memory_blocks=8)
+        points = [(i % 37, i % 53) for i in range(400)]
+        queries = [(20, 30), (50, 50)]
+        result = dominance_counts(m, points, queries)
+        expected = {
+            j: sum(1 for px, py in points if px <= qx and py <= qy)
+            for j, (qx, qy) in enumerate(queries)
+        }
+        assert result == expected
+
+    def test_search_structures_on_two_frame_pool(self):
+        m = Machine(block_size=8, memory_blocks=2)
+        tree = BPlusTree(m)
+        table = ExtendibleHashTable(m)
+        for k in range(300):
+            tree.insert(k, k)
+            table.insert(k, k)
+        assert tree.get(123) == 123
+        assert table.get(256) == 256
+        tree.check_invariants()
+
+
+class TestBelowMinimumFailsCleanly:
+    """Below documented minimums: a ConfigurationError, never a crash."""
+
+    def test_machine_needs_two_frames(self):
+        with pytest.raises(ConfigurationError):
+            Machine(block_size=8, memory_blocks=1)
+
+    def test_replacement_selection_below_minimum(self):
+        m = Machine(block_size=8, memory_blocks=2)
+        with pytest.raises(ConfigurationError):
+            form_runs_replacement_selection(m, FileStream(m).finalize())
+
+    def test_distribution_sort_below_minimum(self):
+        m = Machine(block_size=8, memory_blocks=5)
+        with pytest.raises(ConfigurationError):
+            distribution_sort(m, FileStream(m).finalize())
+
+    def test_string_sort_below_minimum(self):
+        m = Machine(block_size=8, memory_blocks=5)
+        with pytest.raises(ConfigurationError):
+            external_string_sort(m, FileStream(m).finalize())
+
+    def test_sweep_below_minimum(self):
+        m = Machine(block_size=8, memory_blocks=8)
+        with pytest.raises(ConfigurationError):
+            segment_intersections(m, [(0, 0, 1)], [])
+
+    def test_dominance_below_minimum(self):
+        m = Machine(block_size=8, memory_blocks=7)
+        with pytest.raises(ConfigurationError):
+            dominance_counts(m, [(1, 1)], [(2, 2)])
+
+    def test_budget_peak_is_tracked_for_reporting(self):
+        m = Machine(block_size=8, memory_blocks=4)
+        data = distinct_ints(400, seed=7)
+        external_merge_sort(m, FileStream.from_records(m, data))
+        assert 0 < m.budget.peak <= m.M
+        assert m.budget.in_use == 0

@@ -1,0 +1,153 @@
+"""Tests for the extended relational operators: distinct, top-k, hash
+aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, EMError, Machine, scan_io
+from repro.relational import Table, distinct, group_by, hash_group_by, top_k
+from repro.workloads import duplicate_heavy_ints, uniform_ints
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+class TestDistinct:
+    def test_removes_duplicates(self):
+        m = machine()
+        rows = [(k,) for k in duplicate_heavy_ints(500, distinct=20, seed=1)]
+        d = distinct(Table.from_rows(m, ("k",), rows))
+        assert sorted(d.rows()) == sorted(set(rows))
+
+    def test_no_duplicates_unchanged(self):
+        m = machine()
+        rows = [(k,) for k in range(100)]
+        d = distinct(Table.from_rows(m, ("k",), rows))
+        assert len(d) == 100
+
+    def test_multi_column_rows(self):
+        m = machine()
+        rows = [(1, "a"), (1, "b"), (1, "a"), (2, "a")]
+        d = distinct(Table.from_rows(m, ("k", "v"), rows))
+        assert sorted(d.rows()) == [(1, "a"), (1, "b"), (2, "a")]
+
+    def test_empty_table(self):
+        m = machine()
+        assert len(distinct(Table.from_rows(m, ("k",), []))) == 0
+
+
+class TestTopK:
+    def test_descending_top_k(self):
+        m = machine()
+        t = Table.from_rows(m, ("v",), [(x,) for x in uniform_ints(500, seed=2)])
+        result = [r[0] for r in top_k(t, "v", 10).rows()]
+        assert result == sorted(
+            (x for (x,) in t.rows()), reverse=True
+        )[:10]
+
+    def test_ascending_top_k(self):
+        m = machine()
+        data = uniform_ints(500, seed=3)
+        t = Table.from_rows(m, ("v",), [(x,) for x in data])
+        result = [r[0] for r in top_k(t, "v", 7, descending=False).rows()]
+        assert result == sorted(data)[:7]
+
+    def test_k_larger_than_table(self):
+        m = machine()
+        t = Table.from_rows(m, ("v",), [(3,), (1,), (2,)])
+        assert [r[0] for r in top_k(t, "v", 10).rows()] == [3, 2, 1]
+
+    def test_k_zero(self):
+        m = machine()
+        t = Table.from_rows(m, ("v",), [(1,)])
+        assert len(top_k(t, "v", 0)) == 0
+
+    def test_negative_k_rejected(self):
+        m = machine()
+        t = Table.from_rows(m, ("v",), [(1,)])
+        with pytest.raises(ConfigurationError):
+            top_k(t, "v", -1)
+
+    def test_single_scan_io(self):
+        m = machine()
+        t = Table.from_rows(
+            m, ("v",), [(x,) for x in uniform_ints(800, seed=4)]
+        )
+        with m.measure() as io:
+            top_k(t, "v", 5)
+        assert io.reads == scan_io(800, m.B)
+
+    def test_ties_resolved_deterministically(self):
+        m = machine()
+        t = Table.from_rows(m, ("v", "i"), [(5, i) for i in range(20)])
+        result = list(top_k(t, "v", 3).rows())
+        assert len(result) == 3
+        assert all(r[0] == 5 for r in result)
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=200),
+           st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_sorted_slice(self, data, k):
+        m = machine(B=8)
+        t = Table.from_rows(m, ("v",), [(x,) for x in data])
+        result = [r[0] for r in top_k(t, "v", k).rows()]
+        assert result == sorted(data, reverse=True)[:k]
+
+
+class TestHashGroupBy:
+    def test_matches_sort_based_group_by(self):
+        m1, m2 = machine(), machine()
+        rows = [(k % 9, k) for k in uniform_ints(600, seed=5)]
+        t1 = Table.from_rows(m1, ("k", "v"), rows)
+        t2 = Table.from_rows(m2, ("k", "v"), rows)
+        hashed = hash_group_by(t1, "k", [("sum", "v"), ("count", "v"),
+                                         ("min", "v"), ("max", "v")])
+        sorted_ = group_by(t2, "k", [("sum", "v"), ("count", "v"),
+                                     ("min", "v"), ("max", "v")])
+        assert sorted(hashed.rows()) == sorted(sorted_.rows())
+        assert hashed.columns == sorted_.columns
+
+    def test_empty_table(self):
+        m = machine()
+        t = Table.from_rows(m, ("k", "v"), [])
+        assert len(hash_group_by(t, "k", [("count", "v")])) == 0
+
+    def test_unknown_aggregate_rejected(self):
+        m = machine()
+        t = Table.from_rows(m, ("k", "v"), [(1, 2)])
+        with pytest.raises(ConfigurationError):
+            hash_group_by(t, "k", [("mode", "v")])
+
+    def test_too_many_groups_overflow_detected(self):
+        m = machine(B=8, m=4)  # state capacity = 16 groups/partition
+        rows = [(k, k) for k in range(600)]  # 600 distinct groups
+        t = Table.from_rows(m, ("k", "v"), rows)
+        with pytest.raises(EMError):
+            hash_group_by(t, "k", [("count", "v")])
+
+    def test_cheaper_than_sort_group_by_for_few_groups(self):
+        rows = [(k % 4, k) for k in uniform_ints(3_000, seed=6)]
+        m1 = machine()
+        t1 = Table.from_rows(m1, ("k", "v"), rows)
+        with m1.measure() as io_hash:
+            hash_group_by(t1, "k", [("sum", "v")])
+        m2 = machine()
+        t2 = Table.from_rows(m2, ("k", "v"), rows)
+        with m2.measure() as io_sort:
+            group_by(t2, "k", [("sum", "v")])
+        assert io_hash.total < io_sort.total
+
+    @given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 100)),
+                    max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_python_groupby(self, rows):
+        m = machine(B=8)
+        t = Table.from_rows(m, ("k", "v"), rows)
+        result = {r[0]: r[1] for r in
+                  hash_group_by(t, "k", [("sum", "v")]).rows()}
+        expected = {}
+        for k, v in rows:
+            expected[k] = expected.get(k, 0) + v
+        assert result == expected

@@ -1,0 +1,326 @@
+"""Tests for the disk-resident B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, KeyNotFound, Machine, search_io
+from repro.search import BPlusTree
+from repro.workloads import distinct_ints
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+def build_tree(keys, B=16, m=8, order=None):
+    m_ = machine(B, m)
+    tree = BPlusTree(m_, order=order)
+    for k in keys:
+        tree.insert(k, f"v{k}")
+    return m_, tree
+
+
+class TestBasicOperations:
+    def test_insert_then_get(self):
+        _, tree = build_tree([5, 1, 9])
+        assert tree.get(5) == "v5"
+        assert tree.get(1) == "v1"
+        assert tree.get(9) == "v9"
+
+    def test_get_missing_returns_default(self):
+        _, tree = build_tree([1])
+        assert tree.get(99) is None
+        assert tree.get(99, "absent") == "absent"
+
+    def test_contains(self):
+        _, tree = build_tree([1, 2])
+        assert 1 in tree
+        assert 3 not in tree
+
+    def test_upsert_replaces_value(self):
+        m_, tree = build_tree([7])
+        tree.insert(7, "new")
+        assert tree.get(7) == "new"
+        assert len(tree) == 1
+
+    def test_len_tracks_distinct_keys(self):
+        _, tree = build_tree([3, 1, 4, 1, 5])
+        assert len(tree) == 4
+
+    def test_empty_tree(self):
+        m_ = machine()
+        tree = BPlusTree(m_)
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert list(tree.items()) == []
+        tree.check_invariants()
+
+    def test_items_sorted(self):
+        keys = distinct_ints(500, seed=1)
+        _, tree = build_tree(keys)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_order_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree(machine(), order=2)
+
+    def test_order_exceeding_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree(machine(B=8, m=8), order=20)
+
+
+class TestGrowth:
+    def test_splits_maintain_invariants(self):
+        keys = distinct_ints(2000, seed=2)
+        _, tree = build_tree(keys)
+        tree.check_invariants()
+
+    def test_sequential_inserts(self):
+        _, tree = build_tree(range(1000))
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == list(range(1000))
+
+    def test_reverse_sequential_inserts(self):
+        _, tree = build_tree(range(999, -1, -1))
+        tree.check_invariants()
+        assert len(tree) == 1000
+
+    def test_height_grows_logarithmically(self):
+        m_, tree = build_tree(distinct_ints(3000, seed=3))
+        # order 15 -> height ~ log_15(3000 / 15) + 1
+        assert tree.height <= search_io(3000, 15) + 2
+
+    def test_all_keys_retrievable_after_growth(self):
+        keys = distinct_ints(1500, seed=4)
+        _, tree = build_tree(keys)
+        for k in keys[::37]:
+            assert tree.get(k) == f"v{k}"
+
+
+class TestRangeQueries:
+    def test_range_query_inclusive(self):
+        _, tree = build_tree(range(0, 100, 2))
+        assert [k for k, _ in tree.range_query(10, 20)] == [
+            10, 12, 14, 16, 18, 20
+        ]
+
+    def test_range_query_between_keys(self):
+        _, tree = build_tree(range(0, 100, 10))
+        assert [k for k, _ in tree.range_query(15, 35)] == [20, 30]
+
+    def test_range_query_empty(self):
+        _, tree = build_tree([1, 100])
+        assert list(tree.range_query(2, 99)) == []
+
+    def test_range_query_whole_tree(self):
+        keys = distinct_ints(700, seed=5)
+        _, tree = build_tree(keys)
+        result = [k for k, _ in tree.range_query(min(keys), max(keys))]
+        assert result == sorted(keys)
+
+    def test_range_io_proportional_to_output(self):
+        m_, tree = build_tree(range(5000), B=16, m=4)
+        m_.pool.drop_all()
+        m_.reset_stats()
+        small = list(tree.range_query(0, 99))
+        io_small = m_.stats().reads
+        m_.pool.drop_all()
+        m_.reset_stats()
+        large = list(tree.range_query(0, 1999))
+        io_large = m_.stats().reads
+        assert len(small) == 100 and len(large) == 2000
+        # 20x the output should cost roughly 20x the leaf reads,
+        # not 20x the full search cost.
+        assert io_large < 25 * io_small
+        assert io_large > 5 * io_small
+
+
+class TestDeletion:
+    def test_delete_leaf_entry(self):
+        _, tree = build_tree([1, 2, 3])
+        tree.delete(2)
+        assert tree.get(2) is None
+        assert len(tree) == 2
+
+    def test_delete_missing_raises(self):
+        _, tree = build_tree([1])
+        with pytest.raises(KeyNotFound):
+            tree.delete(99)
+
+    def test_delete_all_keys(self):
+        keys = distinct_ints(800, seed=6)
+        _, tree = build_tree(keys)
+        rng = random.Random(0)
+        shuffled = keys[:]
+        rng.shuffle(shuffled)
+        for k in shuffled:
+            tree.delete(k)
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_delete_keeps_invariants(self):
+        keys = distinct_ints(1200, seed=7)
+        _, tree = build_tree(keys)
+        rng = random.Random(1)
+        to_delete = rng.sample(keys, 800)
+        for i, k in enumerate(to_delete):
+            tree.delete(k)
+            if i % 100 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        remaining = sorted(set(keys) - set(to_delete))
+        assert [k for k, _ in tree.items()] == remaining
+
+    def test_height_shrinks_after_mass_deletion(self):
+        keys = list(range(2000))
+        _, tree = build_tree(keys)
+        tall = tree.height
+        for k in keys[:-5]:
+            tree.delete(k)
+        assert tree.height < tall
+        tree.check_invariants()
+
+    def test_interleaved_insert_delete(self):
+        m_ = machine()
+        tree = BPlusTree(m_)
+        reference = {}
+        rng = random.Random(9)
+        for step in range(3000):
+            k = rng.randrange(300)
+            if k in reference and rng.random() < 0.5:
+                tree.delete(k)
+                del reference[k]
+            else:
+                tree.insert(k, step)
+                reference[k] = step
+        assert dict(tree.items()) == reference
+        tree.check_invariants()
+
+
+class TestBulkLoad:
+    def test_bulk_load_round_trip(self):
+        m_ = machine()
+        items = [(k, k * k) for k in range(1000)]
+        tree = BPlusTree.bulk_load(m_, iter(items))
+        assert list(tree.items()) == items
+        tree.check_invariants(strict_fill=False)
+
+    def test_bulk_load_empty(self):
+        m_ = machine()
+        tree = BPlusTree.bulk_load(m_, iter([]))
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_bulk_load_single_item(self):
+        m_ = machine()
+        tree = BPlusTree.bulk_load(m_, iter([(1, "a")]))
+        assert tree.get(1) == "a"
+
+    def test_bulk_load_rejects_unsorted(self):
+        m_ = machine()
+        with pytest.raises(ConfigurationError):
+            BPlusTree.bulk_load(m_, iter([(2, "a"), (1, "b")]))
+
+    def test_bulk_load_rejects_duplicates(self):
+        m_ = machine()
+        with pytest.raises(ConfigurationError):
+            BPlusTree.bulk_load(m_, iter([(1, "a"), (1, "b")]))
+
+    def test_bulk_load_cheaper_than_inserts(self):
+        items = [(k, k) for k in range(3000)]
+        m1 = machine(m=4)
+        with m1.measure() as io_bulk:
+            BPlusTree.bulk_load(m1, iter(items))
+        m2 = machine(m=4)
+        tree = BPlusTree(m2)
+        with m2.measure() as io_insert:
+            for k, v in items:
+                tree.insert(k, v)
+        assert io_bulk.total < io_insert.total / 2
+
+    def test_bulk_load_then_mutate(self):
+        m_ = machine()
+        tree = BPlusTree.bulk_load(m_, iter([(k, k) for k in range(500)]))
+        tree.insert(1000, "x")
+        tree.delete(250)
+        assert tree.get(1000) == "x"
+        assert tree.get(250) is None
+        assert len(tree) == 500
+        tree.check_invariants(strict_fill=False)
+
+    def test_partial_fill(self):
+        m_ = machine()
+        tree = BPlusTree.bulk_load(
+            m_, iter([(k, k) for k in range(400)]), fill=0.5
+        )
+        assert list(tree.items()) == [(k, k) for k in range(400)]
+
+    def test_invalid_fill_rejected(self):
+        m_ = machine()
+        with pytest.raises(ConfigurationError):
+            BPlusTree.bulk_load(m_, iter([]), fill=0.0)
+
+
+class TestIOBehaviour:
+    def test_cold_search_costs_height_ios(self):
+        m_, tree = build_tree(distinct_ints(4000, seed=8), B=16, m=4)
+        m_.pool.flush_all()
+        for probe in [17, 905, 3621]:
+            m_.pool.drop_all()
+            m_.reset_stats()
+            tree.get(probe)
+            assert m_.stats().reads == tree.height
+
+    def test_warm_search_costs_zero_ios(self):
+        m_, tree = build_tree(distinct_ints(400, seed=8), B=16, m=64)
+        tree.get(17)
+        m_.reset_stats()
+        tree.get(17)
+        assert m_.stats().reads == 0
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(-10**6, 10**6), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_semantics(self, keys):
+        m_ = machine(B=8)
+        tree = BPlusTree(m_)
+        reference = {}
+        for i, k in enumerate(keys):
+            tree.insert(k, i)
+            reference[k] = i
+        assert dict(tree.items()) == reference
+        tree.check_invariants()
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 40)),
+            max_size=250,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_insert_delete_fuzz(self, operations):
+        m_ = machine(B=8)
+        tree = BPlusTree(m_)
+        reference = {}
+        for is_delete, k in operations:
+            if is_delete and k in reference:
+                tree.delete(k)
+                del reference[k]
+            elif not is_delete:
+                tree.insert(k, k)
+                reference[k] = k
+        assert dict(tree.items()) == reference
+        tree.check_invariants()
+
+    @given(st.integers(0, 400), st.integers(0, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_range_query_matches_filter(self, a, b):
+        low, high = min(a, b), max(a, b)
+        keys = distinct_ints(300, seed=11)
+        _, tree = build_tree(keys, B=8)
+        expected = sorted(k for k in keys if low <= k <= high)
+        assert [k for k, _ in tree.range_query(low, high)] == expected

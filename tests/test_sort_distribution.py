@@ -1,0 +1,140 @@
+"""Tests for external distribution sort."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, FileStream, Machine
+from repro.sort import distribution_sort, external_merge_sort, is_sorted_stream
+from repro.workloads import (
+    duplicate_heavy_ints,
+    sorted_ints,
+    uniform_ints,
+    zipf_ints,
+)
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+class TestDistributionSort:
+    def test_sorts_random_input(self):
+        m = machine()
+        data = uniform_ints(3000, seed=21)
+        out = distribution_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+
+    def test_sorts_zipf_skewed_input(self):
+        m = machine()
+        data = zipf_ints(3000, seed=22)
+        out = distribution_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+
+    def test_sorts_duplicate_heavy_input(self):
+        m = machine()
+        data = duplicate_heavy_ints(2000, distinct=3, seed=23)
+        out = distribution_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+
+    def test_pathological_single_outlier(self):
+        """All-equal keys plus one outlier: equality buckets must prevent
+        an infinite partition loop."""
+        m = machine()
+        data = [5] * 2999 + [7]
+        out = distribution_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+
+    def test_already_sorted_input(self):
+        m = machine()
+        data = sorted_ints(2000)
+        out = distribution_sort(m, FileStream.from_records(m, data))
+        assert list(out) == data
+
+    def test_empty_stream(self):
+        m = machine()
+        out = distribution_sort(m, FileStream(m).finalize())
+        assert list(out) == []
+
+    def test_in_memory_case(self):
+        m = machine()
+        data = uniform_ints(50, seed=2)
+        out = distribution_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+
+    def test_stability(self):
+        m = machine()
+        data = [(i % 5, i) for i in range(800)]
+        out = distribution_sort(
+            m, FileStream.from_records(m, data), key=lambda r: r[0]
+        )
+        assert list(out) == sorted(data, key=lambda r: r[0])
+
+    def test_key_function(self):
+        m = machine()
+        data = [(i, 1000 - i) for i in range(500)]
+        out = distribution_sort(
+            m, FileStream.from_records(m, data), key=lambda r: r[1]
+        )
+        assert is_sorted_stream(out, key=lambda r: r[1])
+
+    def test_same_result_as_merge_sort(self):
+        data = zipf_ints(2500, seed=31)
+        m1 = machine()
+        merge_result = list(
+            external_merge_sort(m1, FileStream.from_records(m1, data))
+        )
+        m2 = machine()
+        dist_result = list(
+            distribution_sort(m2, FileStream.from_records(m2, data))
+        )
+        assert merge_result == dist_result
+
+    def test_io_within_constant_factor_of_merge_sort(self):
+        """Same asymptotics: distribution sort should stay within a small
+        constant factor of merge sort on uniform data."""
+        data = uniform_ints(6000, seed=33)
+        m1 = machine()
+        with m1.measure() as io_merge:
+            external_merge_sort(m1, FileStream.from_records(m1, data))
+        m2 = machine()
+        with m2.measure() as io_dist:
+            distribution_sort(m2, FileStream.from_records(m2, data))
+        assert io_dist.total < 4 * io_merge.total
+
+    def test_no_disk_leak(self):
+        m = machine()
+        data = uniform_ints(2000, seed=4)
+        s = FileStream.from_records(m, data)
+        out = distribution_sort(m, s)
+        assert m.disk.allocated_blocks == s.num_blocks + out.num_blocks
+
+    def test_requires_six_memory_blocks(self):
+        m = Machine(block_size=16, memory_blocks=4)
+        with pytest.raises(ConfigurationError):
+            distribution_sort(m, FileStream(m).finalize())
+
+    def test_explicit_fan_out(self):
+        m = machine(m=16)
+        data = uniform_ints(2000, seed=5)
+        out = distribution_sort(
+            m, FileStream.from_records(m, data), fan_out=2
+        )
+        assert list(out) == sorted(data)
+
+    @given(st.lists(st.integers(0, 30), max_size=500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_sorts_any_skew(self, data):
+        m = machine(B=8, m=6)
+        out = distribution_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+        assert m.budget.in_use == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers()), max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_property_stable_on_pairs(self, data):
+        m = machine(B=8, m=6)
+        out = distribution_sort(
+            m, FileStream.from_records(m, data), key=lambda r: r[0]
+        )
+        assert list(out) == sorted(data, key=lambda r: r[0])

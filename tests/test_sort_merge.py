@@ -1,0 +1,255 @@
+"""Tests for the loser tree, merge passes, and external merge sort."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    FileStream,
+    Machine,
+    MemoryLimitExceeded,
+    merge_passes,
+    scan_io,
+    sort_io,
+)
+from repro.sort import (
+    LoserTree,
+    external_merge_sort,
+    is_sorted_stream,
+    merge_streams,
+    two_way_merge_sort,
+)
+from repro.workloads import uniform_ints
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+class TestLoserTree:
+    def test_merges_two_sources(self):
+        tree = LoserTree([iter([1, 3, 5]), iter([2, 4, 6])])
+        assert list(tree) == [1, 2, 3, 4, 5, 6]
+
+    def test_single_source_passthrough(self):
+        assert list(LoserTree([iter([1, 2, 3])])) == [1, 2, 3]
+
+    def test_empty_sources(self):
+        assert list(LoserTree([iter([]), iter([])])) == []
+
+    def test_mixed_empty_and_nonempty(self):
+        tree = LoserTree([iter([]), iter([2, 4]), iter([]), iter([1])])
+        assert list(tree) == [1, 2, 4]
+
+    def test_no_sources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoserTree([])
+
+    def test_stability_ties_go_to_lower_source(self):
+        a = [("x", 0), ("x", 1)]
+        b = [("x", 2)]
+        tree = LoserTree([iter(a), iter(b)], key=lambda r: r[0])
+        assert list(tree) == [("x", 0), ("x", 1), ("x", 2)]
+
+    def test_key_function(self):
+        a = [(3, "a"), (1, "b")]
+        b = [(2, "c")]
+        tree = LoserTree(
+            [iter(sorted(a)), iter(b)], key=lambda r: r[0]
+        )
+        assert [r[0] for r in tree] == [1, 2, 3]
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-1000, 1000), max_size=50),
+            min_size=1,
+            max_size=9,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_concatenation(self, lists):
+        sources = [iter(sorted(chunk)) for chunk in lists]
+        expected = sorted(x for chunk in lists for x in chunk)
+        assert list(LoserTree(sources)) == expected
+
+    @given(st.integers(2, 33), st.integers(0, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_arity_round_robin_split(self, k, n):
+        data = sorted(uniform_ints(n, seed=k))
+        chunks = [data[i::k] for i in range(k)]
+        tree = LoserTree([iter(c) for c in chunks])
+        assert list(tree) == data
+
+
+class TestMergeStreams:
+    def test_merge_two_streams(self):
+        m = machine()
+        a = FileStream.from_records(m, [1, 3, 5])
+        b = FileStream.from_records(m, [2, 4])
+        out = merge_streams(m, [a, b])
+        assert list(out) == [1, 2, 3, 4, 5]
+
+    def test_merge_empty_list(self):
+        m = machine()
+        assert list(merge_streams(m, [])) == []
+
+    def test_io_cost_single_pass(self):
+        m = machine()
+        a = FileStream.from_records(m, sorted(uniform_ints(320, seed=1)))
+        b = FileStream.from_records(m, sorted(uniform_ints(320, seed=2)))
+        with m.measure() as io:
+            merge_streams(m, [a, b])
+        assert io.reads == scan_io(640, m.B)
+        assert io.writes == scan_io(640, m.B)
+
+    def test_fan_in_beyond_memory_rejected_by_budget(self):
+        m = machine(B=16, m=4)  # only 4 frames
+        streams = [
+            FileStream.from_records(m, sorted(uniform_ints(64, seed=i)))
+            for i in range(6)
+        ]
+        with pytest.raises(MemoryLimitExceeded):
+            merge_streams(m, streams)
+
+
+class TestExternalMergeSort:
+    def test_sorts_random_input(self):
+        m = machine()
+        data = uniform_ints(3000, seed=11)
+        out = external_merge_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+
+    def test_in_memory_case_single_pass(self):
+        m = machine()
+        data = uniform_ints(100, seed=1)  # < M = 128
+        s = FileStream.from_records(m, data)
+        with m.measure() as io:
+            out = external_merge_sort(m, s)
+        assert list(out) == sorted(data)
+        assert io.total == 2 * scan_io(100, m.B)
+
+    def test_io_matches_closed_form_bound(self):
+        m = machine()
+        data = uniform_ints(5000, seed=1)
+        s = FileStream.from_records(m, data)
+        with m.measure() as io:
+            external_merge_sort(m, s)
+        assert io.total == sort_io(5000, m.M, m.B)
+
+    def test_two_way_needs_more_io(self):
+        data = uniform_ints(5000, seed=1)
+        m1 = machine()
+        with m1.measure() as io_full:
+            external_merge_sort(m1, FileStream.from_records(m1, data))
+        m2 = machine()
+        with m2.measure() as io_two:
+            two_way_merge_sort(m2, FileStream.from_records(m2, data))
+        assert io_two.total > io_full.total
+        # pass ratio should follow the bound
+        expected_ratio = merge_passes(5000, 128, 16, fan_in=2) / merge_passes(
+            5000, 128, 16
+        )
+        assert io_two.total / io_full.total == pytest.approx(
+            expected_ratio, rel=0.25
+        )
+
+    def test_stability(self):
+        m = machine()
+        data = [(i % 7, i) for i in range(1000)]
+        out = external_merge_sort(
+            m, FileStream.from_records(m, data), key=lambda r: r[0]
+        )
+        result = list(out)
+        assert result == sorted(data, key=lambda r: r[0])  # Timsort stable
+
+    def test_replacement_selection_strategy(self):
+        m = machine()
+        data = uniform_ints(3000, seed=13)
+        out = external_merge_sort(
+            m,
+            FileStream.from_records(m, data),
+            run_strategy="replacement",
+        )
+        assert list(out) == sorted(data)
+
+    def test_replacement_selection_saves_a_pass_near_boundary(self):
+        """With ceil(N/M) runs just above a power of the fan-in, the ~2x
+        longer replacement-selection runs remove one whole merge pass."""
+        data = uniform_ints(6600, seed=13)
+        m1 = machine(B=16, m=8)
+        with m1.measure() as io_load:
+            external_merge_sort(
+                m1, FileStream.from_records(m1, data), run_strategy="load"
+            )
+        m2 = machine(B=16, m=8)
+        with m2.measure() as io_repl:
+            external_merge_sort(
+                m2,
+                FileStream.from_records(m2, data),
+                run_strategy="replacement",
+            )
+        assert io_repl.total < io_load.total
+
+    def test_unknown_strategy_rejected(self):
+        m = machine()
+        s = FileStream.from_records(m, [1])
+        with pytest.raises(ConfigurationError):
+            external_merge_sort(m, s, run_strategy="quantum")
+
+    def test_fan_in_below_two_rejected(self):
+        m = machine()
+        s = FileStream.from_records(m, [1])
+        with pytest.raises(ConfigurationError):
+            external_merge_sort(m, s, fan_in=1)
+
+    def test_empty_stream(self):
+        m = machine()
+        out = external_merge_sort(m, FileStream(m).finalize())
+        assert list(out) == []
+
+    def test_single_record(self):
+        m = machine()
+        out = external_merge_sort(m, FileStream.from_records(m, [42]))
+        assert list(out) == [42]
+
+    def test_all_equal_records(self):
+        m = machine()
+        out = external_merge_sort(m, FileStream.from_records(m, [5] * 999))
+        assert list(out) == [5] * 999
+
+    def test_intermediate_runs_deleted(self):
+        m = machine()
+        data = uniform_ints(5000, seed=1)
+        s = FileStream.from_records(m, data)
+        blocks_before = m.disk.allocated_blocks
+        out = external_merge_sort(m, s)
+        # input + output only; no leaked run blocks
+        assert m.disk.allocated_blocks == blocks_before + out.num_blocks
+
+    def test_keep_input_false_frees_input(self):
+        m = machine()
+        data = uniform_ints(1000, seed=1)
+        s = FileStream.from_records(m, data)
+        out = external_merge_sort(m, s, keep_input=False)
+        assert m.disk.allocated_blocks == out.num_blocks
+
+    @given(st.lists(st.integers(-10**6, 10**6), max_size=600))
+    @settings(max_examples=30, deadline=None)
+    def test_property_sorts_any_input(self, data):
+        m = machine(B=8, m=4)
+        out = external_merge_sort(m, FileStream.from_records(m, data))
+        assert list(out) == sorted(data)
+        assert m.budget.in_use == 0  # no leaked reservations
+
+    @given(
+        st.lists(st.integers(0, 50), max_size=400),
+        st.integers(2, 6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_any_fan_in_sorts(self, data, fan_in):
+        m = machine(B=8, m=8)
+        out = external_merge_sort(
+            m, FileStream.from_records(m, data), fan_in=fan_in
+        )
+        assert list(out) == sorted(data)

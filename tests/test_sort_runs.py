@@ -1,0 +1,144 @@
+"""Tests for run formation strategies."""
+
+import pytest
+
+from repro.core import ConfigurationError, FileStream, Machine, scan_io
+from repro.sort import (
+    average_run_length,
+    form_runs_load_sort,
+    form_runs_replacement_selection,
+    is_sorted_stream,
+)
+from repro.workloads import reversed_ints, sorted_ints, uniform_ints
+
+
+def machine():
+    return Machine(block_size=16, memory_blocks=8)  # B=16, M=128
+
+
+class TestLoadSortRuns:
+    def test_runs_are_sorted(self):
+        m = machine()
+        s = FileStream.from_records(m, uniform_ints(1000, seed=3))
+        runs = form_runs_load_sort(m, s)
+        assert all(is_sorted_stream(r) for r in runs)
+
+    def test_runs_cover_all_records(self):
+        m = machine()
+        data = uniform_ints(1000, seed=3)
+        runs = form_runs_load_sort(m, FileStream.from_records(m, data))
+        merged = sorted(x for r in runs for x in r)
+        assert merged == sorted(data)
+
+    def test_run_count_is_ceil_n_over_m(self):
+        m = machine()
+        s = FileStream.from_records(m, uniform_ints(1000, seed=3))
+        runs = form_runs_load_sort(m, s)
+        assert len(runs) == 8  # ceil(1000/128)
+
+    def test_full_runs_have_m_records(self):
+        m = machine()
+        runs = form_runs_load_sort(
+            m, FileStream.from_records(m, uniform_ints(300, seed=0))
+        )
+        assert [len(r) for r in runs] == [128, 128, 44]
+
+    def test_io_cost_is_one_read_one_write_pass(self):
+        m = machine()
+        s = FileStream.from_records(m, uniform_ints(1000, seed=3))
+        with m.measure() as io:
+            form_runs_load_sort(m, s)
+        blocks = scan_io(1000, 16)
+        assert io.reads == blocks
+        assert io.writes == blocks
+
+    def test_empty_input(self):
+        m = machine()
+        runs = form_runs_load_sort(m, FileStream(m).finalize())
+        assert runs == []
+
+    def test_key_function_respected(self):
+        m = machine()
+        data = [(i, -i) for i in range(200)]
+        runs = form_runs_load_sort(
+            m, FileStream.from_records(m, data), key=lambda r: r[1]
+        )
+        assert all(is_sorted_stream(r, key=lambda r: r[1]) for r in runs)
+
+
+class TestReplacementSelection:
+    def test_runs_are_sorted(self):
+        m = machine()
+        s = FileStream.from_records(m, uniform_ints(1000, seed=5))
+        runs = form_runs_replacement_selection(m, s)
+        assert all(is_sorted_stream(r) for r in runs)
+
+    def test_runs_cover_all_records(self):
+        m = machine()
+        data = uniform_ints(1000, seed=5)
+        runs = form_runs_replacement_selection(
+            m, FileStream.from_records(m, data)
+        )
+        assert sorted(x for r in runs for x in r) == sorted(data)
+
+    def test_average_run_length_near_2m_on_random_input(self):
+        m = machine()
+        heap = m.M - 2 * m.B  # 96
+        s = FileStream.from_records(m, uniform_ints(6000, seed=5))
+        runs = form_runs_replacement_selection(m, s)
+        avg = average_run_length(runs)
+        assert 1.6 * heap <= avg <= 2.6 * heap
+
+    def test_sorted_input_yields_single_run(self):
+        m = machine()
+        runs = form_runs_replacement_selection(
+            m, FileStream.from_records(m, sorted_ints(2000))
+        )
+        assert len(runs) == 1
+        assert len(runs[0]) == 2000
+
+    def test_reversed_input_degrades_to_heap_size_runs(self):
+        m = machine()
+        heap = m.M - 2 * m.B
+        runs = form_runs_replacement_selection(
+            m, FileStream.from_records(m, reversed_ints(2000))
+        )
+        full_runs = runs[:-1]
+        assert all(len(r) == heap for r in full_runs)
+
+    def test_fewer_runs_than_load_sort_on_random_input(self):
+        data = uniform_ints(4000, seed=9)
+        m1 = machine()
+        load = form_runs_load_sort(m1, FileStream.from_records(m1, data))
+        m2 = machine()
+        repl = form_runs_replacement_selection(
+            m2, FileStream.from_records(m2, data)
+        )
+        assert len(repl) < len(load)
+
+    def test_input_smaller_than_heap(self):
+        m = machine()
+        runs = form_runs_replacement_selection(
+            m, FileStream.from_records(m, [3, 1, 2])
+        )
+        assert len(runs) == 1
+        assert list(runs[0]) == [1, 2, 3]
+
+    def test_empty_input(self):
+        m = machine()
+        runs = form_runs_replacement_selection(m, FileStream(m).finalize())
+        assert runs == []
+
+    def test_requires_three_memory_blocks(self):
+        m = Machine(block_size=16, memory_blocks=2)
+        with pytest.raises(ConfigurationError):
+            form_runs_replacement_selection(m, FileStream(m).finalize())
+
+    def test_duplicate_keys_handled(self):
+        m = machine()
+        data = [7] * 500 + [3] * 500
+        runs = form_runs_replacement_selection(
+            m, FileStream.from_records(m, data)
+        )
+        assert sorted(x for r in runs for x in r) == sorted(data)
+        assert all(is_sorted_stream(r) for r in runs)

@@ -1,0 +1,114 @@
+"""Tests for external string sorting."""
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, FileStream, Machine
+from repro.sort import external_merge_sort, external_string_sort
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+def random_words(n, alphabet="abcdef", max_len=12, seed=0):
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choices(alphabet, k=rng.randint(0, max_len)))
+        for _ in range(n)
+    ]
+
+
+class TestStringSort:
+    def test_sorts_random_words(self):
+        words = random_words(2_000, seed=1)
+        m = machine()
+        out = external_string_sort(m, FileStream.from_records(m, words))
+        assert list(out) == sorted(words)
+
+    def test_empty_stream(self):
+        m = machine()
+        assert list(external_string_sort(m, FileStream(m).finalize())) == []
+
+    def test_single_word(self):
+        m = machine()
+        out = external_string_sort(m, FileStream.from_records(m, ["zeta"]))
+        assert list(out) == ["zeta"]
+
+    def test_empty_strings_sort_first(self):
+        words = ["b", "", "a", "", "ab"]
+        m = machine()
+        out = external_string_sort(m, FileStream.from_records(m, words))
+        assert list(out) == ["", "", "a", "ab", "b"]
+
+    def test_prefix_free_vs_prefix_heavy(self):
+        shared = ["wiki/article/" + w for w in random_words(1_500, seed=2)]
+        m = machine()
+        out = external_string_sort(m, FileStream.from_records(m, shared))
+        assert list(out) == sorted(shared)
+
+    def test_massive_duplicates(self):
+        words = ["dup"] * 2_000 + ["aaa", "zzz"]
+        m = machine()
+        out = external_string_sort(m, FileStream.from_records(m, words))
+        assert list(out) == sorted(words)
+
+    def test_one_string_prefix_of_another(self):
+        words = ["abc", "ab", "abcd", "a", "abce"] * 300
+        m = machine()
+        out = external_string_sort(m, FileStream.from_records(m, words))
+        assert list(out) == sorted(words)
+
+    def test_stability_with_key_function(self):
+        pairs = [(w, i) for i, w in
+                 enumerate(random_words(1_000, alphabet="ab", max_len=4,
+                                        seed=3))]
+        m = machine()
+        out = external_string_sort(
+            m, FileStream.from_records(m, pairs), key=lambda r: r[0]
+        )
+        assert list(out) == sorted(pairs, key=lambda r: r[0])
+
+    def test_matches_merge_sort(self):
+        words = random_words(2_500, alphabet=string.ascii_lowercase,
+                             seed=4)
+        m1 = machine()
+        radix = list(
+            external_string_sort(m1, FileStream.from_records(m1, words))
+        )
+        m2 = machine()
+        merged = list(
+            external_merge_sort(m2, FileStream.from_records(m2, words))
+        )
+        assert radix == merged
+
+    def test_machine_too_small_rejected(self):
+        m = Machine(block_size=16, memory_blocks=4)
+        with pytest.raises(ConfigurationError):
+            external_string_sort(m, FileStream(m).finalize())
+
+    def test_no_leaks(self):
+        words = random_words(1_500, seed=5)
+        m = machine()
+        s = FileStream.from_records(m, words)
+        out = external_string_sort(m, s)
+        assert m.disk.allocated_blocks == s.num_blocks + out.num_blocks
+        assert m.budget.in_use == 0
+
+    @given(st.lists(st.text(alphabet="abcz", max_size=8), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_property_sorts_any_input(self, words):
+        m = machine(B=8, m=6)
+        out = external_string_sort(m, FileStream.from_records(m, words))
+        assert list(out) == sorted(words)
+
+    @given(st.lists(st.text(max_size=6), max_size=150))
+    @settings(max_examples=20, deadline=None)
+    def test_property_unicode(self, words):
+        m = machine(B=8, m=6)
+        out = external_string_sort(m, FileStream.from_records(m, words))
+        assert list(out) == sorted(words)

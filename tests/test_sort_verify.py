@@ -1,0 +1,117 @@
+"""Tests for stream verification helpers and stream sync()."""
+
+import pytest
+
+from repro.core import FileStream, Machine, StreamError
+from repro.sort import is_permutation, is_sorted_stream, streams_equal
+
+
+def machine():
+    return Machine(block_size=8, memory_blocks=4)
+
+
+class TestIsSorted:
+    def test_sorted_stream(self):
+        m = machine()
+        assert is_sorted_stream(FileStream.from_records(m, [1, 2, 2, 3]))
+
+    def test_unsorted_stream(self):
+        m = machine()
+        assert not is_sorted_stream(FileStream.from_records(m, [2, 1]))
+
+    def test_empty_and_singleton(self):
+        m = machine()
+        assert is_sorted_stream(FileStream.from_records(m, []))
+        assert is_sorted_stream(FileStream.from_records(m, [7]))
+
+    def test_key_function(self):
+        m = machine()
+        s = FileStream.from_records(m, [(3, "a"), (1, "b")])
+        assert is_sorted_stream(s, key=lambda r: r[1])
+        assert not is_sorted_stream(s, key=lambda r: r[0])
+
+
+class TestStreamComparisons:
+    def test_streams_equal(self):
+        m = machine()
+        a = FileStream.from_records(m, [1, 2, 3])
+        b = FileStream.from_records(m, [1, 2, 3])
+        c = FileStream.from_records(m, [1, 3, 2])
+        assert streams_equal(a, b)
+        assert not streams_equal(a, c)
+
+    def test_streams_equal_length_mismatch(self):
+        m = machine()
+        a = FileStream.from_records(m, [1])
+        b = FileStream.from_records(m, [1, 2])
+        assert not streams_equal(a, b)
+
+    def test_is_permutation(self):
+        m = machine()
+        a = FileStream.from_records(m, [1, 2, 2, 3])
+        b = FileStream.from_records(m, [3, 2, 1, 2])
+        c = FileStream.from_records(m, [3, 2, 1, 1])
+        assert is_permutation(a, b)
+        assert not is_permutation(a, c)
+
+    def test_is_permutation_with_unhashable_records(self):
+        m = machine()
+        a = FileStream.from_records(m, [[1, 2], [3]])
+        b = FileStream.from_records(m, [[3], [1, 2]])
+        assert is_permutation(a, b)
+
+
+class TestStreamSync:
+    def test_sync_releases_writer_frame(self):
+        m = machine()
+        s = FileStream(m)
+        s.append(1)
+        assert m.budget.in_use == m.B
+        s.sync()
+        assert m.budget.in_use == 0
+
+    def test_sync_preserves_contents_and_allows_more_appends(self):
+        m = machine()
+        s = FileStream(m)
+        s.extend([1, 2, 3])
+        s.sync()
+        s.extend([4, 5])
+        s.finalize()
+        assert list(s) == [1, 2, 3, 4, 5]
+
+    def test_sync_creates_short_block(self):
+        m = machine()  # B = 8
+        s = FileStream(m)
+        s.extend([1, 2, 3])
+        s.sync()
+        assert s.num_blocks == 1
+        assert s.read_block(0) == [1, 2, 3]
+
+    def test_sync_empty_buffer_is_noop(self):
+        m = machine()
+        s = FileStream(m)
+        s.sync()
+        assert s.num_blocks == 0
+        assert m.budget.in_use == 0
+
+    def test_sync_on_finalized_stream_raises(self):
+        m = machine()
+        s = FileStream.from_records(m, [1])
+        with pytest.raises(StreamError):
+            s.sync()
+
+    def test_append_block_interleaving_guard(self):
+        m = machine()
+        s = FileStream(m)
+        s.append(1)
+        with pytest.raises(StreamError):
+            s.append_block([2, 3])
+        s.sync()
+        s.append_block([2, 3])  # legal once the buffer is flushed
+        assert list(s.finalize()) == [1, 2, 3]
+
+    def test_append_block_oversized_rejected(self):
+        m = machine()
+        s = FileStream(m)
+        with pytest.raises(StreamError):
+            s.append_block(list(range(100)))

@@ -1,0 +1,109 @@
+"""Tests for external suffix-array construction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Machine
+from repro.text import search_suffix_array, suffix_array, suffix_array_naive
+
+
+def machine(B=16, m=8):
+    return Machine(block_size=B, memory_blocks=m)
+
+
+class TestSuffixArray:
+    def test_banana(self):
+        m = machine()
+        assert suffix_array(m, "banana") == suffix_array_naive("banana")
+        assert suffix_array(m, "banana") == [5, 3, 1, 0, 4, 2]
+
+    def test_empty_and_single(self):
+        m = machine()
+        assert suffix_array(m, "") == []
+        assert suffix_array(m, "x") == [0]
+
+    def test_all_equal_symbols(self):
+        m = machine()
+        text = "aaaaaaaaaa"
+        assert suffix_array(m, text) == list(range(9, -1, -1))
+
+    def test_already_sorted_text(self):
+        m = machine()
+        text = "abcdefgh"
+        assert suffix_array(m, text) == list(range(8))
+
+    def test_random_text_matches_naive(self):
+        rng = random.Random(1)
+        text = "".join(rng.choice("abc") for _ in range(500))
+        m = machine()
+        assert suffix_array(m, text) == suffix_array_naive(text)
+
+    def test_long_text_beyond_memory(self):
+        rng = random.Random(2)
+        text = "".join(rng.choice("ab") for _ in range(3_000))
+        m = machine()  # M = 128 << 3000
+        assert suffix_array(m, text) == suffix_array_naive(text)
+
+    def test_integer_alphabet(self):
+        m = machine()
+        text = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        assert suffix_array(m, text) == suffix_array_naive(text)
+
+    def test_periodic_text(self):
+        m = machine()
+        text = "abab" * 100
+        assert suffix_array(m, text) == suffix_array_naive(text)
+
+    def test_no_leaks(self):
+        m = machine()
+        before = m.disk.allocated_blocks
+        suffix_array(m, "mississippi" * 20)
+        assert m.disk.allocated_blocks == before
+        assert m.budget.in_use == 0
+
+    @given(st.text(alphabet="abz", max_size=120))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_naive(self, text):
+        m = machine(B=8, m=6)
+        assert suffix_array(m, text) == suffix_array_naive(text)
+
+
+class TestSearch:
+    def build(self, text):
+        m = machine()
+        return suffix_array(m, text)
+
+    def test_finds_all_occurrences(self):
+        text = "abracadabra"
+        sa = self.build(text)
+        assert search_suffix_array(text, sa, "abra") == [0, 7]
+        assert search_suffix_array(text, sa, "a") == [0, 3, 5, 7, 10]
+
+    def test_absent_pattern(self):
+        text = "abracadabra"
+        sa = self.build(text)
+        assert search_suffix_array(text, sa, "zebra") == []
+
+    def test_empty_pattern_matches_everywhere(self):
+        text = "abc"
+        sa = self.build(text)
+        assert search_suffix_array(text, sa, "") == [0, 1, 2]
+
+    def test_full_text_pattern(self):
+        text = "hello"
+        sa = self.build(text)
+        assert search_suffix_array(text, sa, "hello") == [0]
+
+    @given(st.text(alphabet="ab", min_size=1, max_size=60),
+           st.text(alphabet="ab", min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_scan(self, text, pattern):
+        sa = self.build(text)
+        expected = [
+            i for i in range(len(text))
+            if text[i:i + len(pattern)] == pattern
+        ]
+        assert search_suffix_array(text, sa, pattern) == expected

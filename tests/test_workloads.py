@@ -1,0 +1,132 @@
+"""Tests for the workload generators."""
+
+from collections import Counter
+
+from repro.workloads import (
+    components_graph,
+    connected_random_graph,
+    distinct_ints,
+    duplicate_heavy_ints,
+    foreign_key_relations,
+    grid_graph,
+    nearly_sorted_ints,
+    orthogonal_segments,
+    random_graph,
+    random_linked_list,
+    relation,
+    reversed_ints,
+    sorted_ints,
+    uniform_ints,
+    zipf_ints,
+)
+
+
+class TestKeyGenerators:
+    def test_uniform_deterministic_by_seed(self):
+        assert uniform_ints(100, seed=1) == uniform_ints(100, seed=1)
+        assert uniform_ints(100, seed=1) != uniform_ints(100, seed=2)
+
+    def test_uniform_respects_range(self):
+        data = uniform_ints(500, seed=3, low=10, high=20)
+        assert all(10 <= x < 20 for x in data)
+
+    def test_distinct_is_permutation(self):
+        data = distinct_ints(200, seed=4)
+        assert sorted(data) == list(range(200))
+
+    def test_sorted_reversed(self):
+        assert sorted_ints(5) == [0, 1, 2, 3, 4]
+        assert reversed_ints(5) == [4, 3, 2, 1, 0]
+
+    def test_nearly_sorted_is_permutation(self):
+        data = nearly_sorted_ints(300, swaps=10, seed=5)
+        assert sorted(data) == list(range(300))
+        assert data != list(range(300))
+
+    def test_zipf_is_skewed(self):
+        data = zipf_ints(5_000, vocab=100, seed=6)
+        counts = Counter(data).most_common()
+        assert counts[0][1] > 10 * counts[-1][1]
+
+    def test_duplicate_heavy(self):
+        data = duplicate_heavy_ints(1_000, distinct=5, seed=7)
+        assert len(set(data)) <= 5
+
+
+class TestLinkedLists:
+    def test_random_linked_list_is_single_chain(self):
+        pairs = random_linked_list(100, seed=8)
+        successor = dict(pairs)
+        assert len(successor) == 100
+        tails = [v for v, s in pairs if s == -1]
+        assert len(tails) == 1
+        heads = set(successor) - {s for s in successor.values() if s != -1}
+        assert len(heads) == 1
+        # Walking visits every node exactly once.
+        node = heads.pop()
+        seen = set()
+        while node != -1:
+            assert node not in seen
+            seen.add(node)
+            node = successor[node]
+        assert len(seen) == 100
+
+
+class TestGraphs:
+    def test_grid_graph_shape(self):
+        n, edges = grid_graph(3, 4)
+        assert n == 12
+        assert len(edges) == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_random_graph_no_loops_or_dupes(self):
+        n, edges = random_graph(100, avg_degree=4, seed=9)
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_connected_random_graph_is_connected(self):
+        import collections
+
+        n, edges = connected_random_graph(200, seed=10)
+        adjacency = collections.defaultdict(list)
+        for u, v in edges:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        seen = {0}
+        queue = collections.deque([0])
+        while queue:
+            x = queue.popleft()
+            for y in adjacency[x]:
+                if y not in seen:
+                    seen.add(y)
+                    queue.append(y)
+        assert len(seen) == n
+
+    def test_components_graph_ground_truth(self):
+        import collections
+
+        n, edges, labels = components_graph(120, 5, seed=11)
+        assert len(labels) == n
+        # No edge crosses components.
+        for u, v in edges:
+            assert labels[u] == labels[v]
+        assert len(set(labels)) == 5
+
+
+class TestGeometryAndRelations:
+    def test_orthogonal_segments_well_formed(self):
+        hs, vs = orthogonal_segments(50, 60, seed=12)
+        assert len(hs) == 50 and len(vs) == 60
+        assert all(x1 <= x2 for _, x1, x2 in hs)
+        assert all(y1 <= y2 for _, y1, y2 in vs)
+
+    def test_relation_shape(self):
+        rows = relation(100, key_range=10, payload="x", seed=13)
+        assert len(rows) == 100
+        assert all(0 <= k < 10 for k, _ in rows)
+        assert rows[0][1].startswith("x")
+
+    def test_foreign_key_relations_referential_integrity(self):
+        build, probe = foreign_key_relations(50, 200, seed=14)
+        build_keys = {k for k, _ in build}
+        assert build_keys == set(range(50))
+        assert all(k in build_keys for k, _ in probe)
