@@ -30,6 +30,18 @@ def report(name: str, title: str, headers, rows) -> str:
     return text
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """With REPRO_IO_SANITIZE=1, print the measured-vs-theory constants
+    accumulated by @io_bound across the whole benchmark run."""
+    from repro.analysis.sanitizer import records, sanitize_enabled, \
+        sanitizer_report
+
+    if sanitize_enabled() and records():
+        print("\n== sanitizer: measured vs theory (worst call per "
+              "algorithm) ==")
+        print(sanitizer_report())
+
+
 @pytest.fixture
 def once(benchmark):
     """Run the timed section exactly once (the experiment itself is

@@ -1,0 +1,54 @@
+"""EM-lint: static and dynamic I/O-model compliance tooling.
+
+The library's contract is that every algorithm pays for its work in
+block transfers through :class:`~repro.core.machine.Machine` and never
+holds more than ``M`` records in internal memory.  This package checks
+that contract from two sides:
+
+* :mod:`repro.analysis.emlint` — an AST-based linter (rules EM001–EM007)
+  that flags code which could bypass the model: unbounded stream
+  materialization, raw file I/O, undeclared bounds, whole-dataset
+  in-memory sorts, unbudgeted accumulation, and private machinery
+  construction.  Legitimate in-memory steps are *documented*, not
+  invisible, via ``# em: ok(<rule>) <reason>`` waiver comments.
+* :mod:`repro.analysis.sanitizer` — an :func:`io_bound` decorator
+  registry turning the survey's fundamental-bounds table into an
+  executable contract: with ``REPRO_IO_SANITIZE=1`` every decorated
+  algorithm asserts measured I/Os ≤ c·theory and reports
+  measured-vs-theory ratios.
+
+Run the linter with ``python tools/emlint.py src/repro`` (or the
+``emlint`` console script).
+"""
+
+from .emlint import Finding, Waiver, lint_paths, lint_source, unwaived
+from .rules import RULES
+from .sanitizer import (
+    IOBoundViolation,
+    SanitizerRecord,
+    clear_records,
+    io_bound,
+    records,
+    registry,
+    sanitize_enabled,
+    sanitizer_report,
+    sized,
+)
+
+__all__ = [
+    "Finding",
+    "Waiver",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "unwaived",
+    "IOBoundViolation",
+    "SanitizerRecord",
+    "io_bound",
+    "registry",
+    "records",
+    "clear_records",
+    "sanitize_enabled",
+    "sanitizer_report",
+    "sized",
+]

@@ -1,0 +1,81 @@
+"""``emlint`` command-line interface.
+
+Usage::
+
+    python tools/emlint.py src/repro          # lint the library
+    emlint --list-rules                       # what each rule means
+    emlint --format json src/repro            # machine-readable output
+    emlint --show-waived src/repro            # audit documented waivers
+
+Exit status: 0 when every finding is waived, 1 when unwaived findings
+remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .emlint import lint_paths, unwaived
+from .rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="emlint",
+        description="AST-based I/O-model compliance linter for the "
+                    "external-memory algorithm library",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format")
+    parser.add_argument(
+        "--show-waived", action="store_true",
+        help="also print findings documented by waivers")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    for path in args.paths:
+        if not os.path.exists(path):
+            parser.error(f"no such file or directory: {path}")
+
+    findings = lint_paths(args.paths)
+    open_findings = unwaived(findings)
+    waived_count = len(findings) - len(open_findings)
+
+    if args.format == "json":
+        print(json.dumps(
+            [f.to_dict() for f in
+             (findings if args.show_waived else open_findings)],
+            indent=2))
+    else:
+        shown = findings if args.show_waived else open_findings
+        for finding in shown:
+            print(finding.render())
+        print(
+            f"emlint: {len(open_findings)} unwaived finding(s), "
+            f"{waived_count} waived"
+        )
+    return 1 if open_findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

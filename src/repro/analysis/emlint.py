@@ -1,0 +1,260 @@
+"""EM-lint engine: file walking, waiver parsing, finding assembly.
+
+The engine parses each module, runs the
+:class:`~repro.analysis.rules.ComplianceVisitor` over its AST, then
+applies *waivers*: ``# em: ok(EM004) sorts one memoryload (≤ M)``
+comments that suppress a finding while documenting why the construct is
+legitimate.  A waiver on its own line covers the next line; an inline
+waiver covers its own line.  Multiple rules may be waived at once:
+``# em: ok(EM001, EM004) reason``.
+
+Waivers are themselves checked (rule EM007): a waiver must use the exact
+syntax, name known rules, carry a non-empty reason, and actually
+suppress something.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: matches a well-formed waiver comment and captures (rules, reason)
+WAIVER_RE = re.compile(
+    r"#\s*em:\s*ok\(\s*([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)\s*\)"
+    r"\s*(.*)\s*$"
+)
+#: anything that *looks* like it wants to be an EM directive
+MARKER_RE = re.compile(r"#\s*em\s*:")
+
+
+@dataclass
+class Finding:
+    """One rule violation (or documented exception, once waived)."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    end_line: int = 0
+    waived: bool = False
+    waiver_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.end_line:
+            self.end_line = self.line
+
+    def render(self) -> str:
+        mark = "waived " if self.waived else ""
+        text = (f"{self.path}:{self.line}:{self.col}: {mark}{self.rule} "
+                f"{self.message}")
+        if self.waived and self.waiver_reason:
+            text += f" [{self.waiver_reason}]"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "waived": self.waived,
+            "waiver_reason": self.waiver_reason,
+        }
+
+
+@dataclass
+class Waiver:
+    """A parsed ``# em: ok(...)`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    standalone: bool
+    #: for a standalone waiver: the next code line, which it covers
+    target_line: int = 0
+    used: bool = field(default=False)
+
+    @property
+    def covered_lines(self) -> Tuple[int, ...]:
+        if self.standalone and self.target_line:
+            return (self.line, self.target_line)
+        return (self.line,)
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule not in self.rules and "*" not in self.rules:
+            return False
+        span = range(finding.line, finding.end_line + 1)
+        return any(line in span for line in self.covered_lines)
+
+
+def parse_waivers(source: str, path: str) -> Tuple[List[Waiver],
+                                                   List[Finding]]:
+    """Extract waivers and EM007 syntax findings from comments."""
+    from .rules import RULES
+
+    waivers: List[Waiver] = []
+    findings: List[Finding] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return [], []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string
+        if not MARKER_RE.search(comment):
+            continue
+        row, col = token.start
+        match = WAIVER_RE.search(comment)
+        if not match:
+            findings.append(Finding(
+                rule="EM007", path=path, line=row, col=col + 1,
+                message=f"malformed waiver comment {comment.strip()!r}; "
+                        "expected '# em: ok(EM00X) reason'",
+            ))
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(","))
+        reason = match.group(2).strip()
+        for rule in rules:
+            if rule != "*" and rule not in RULES:
+                findings.append(Finding(
+                    rule="EM007", path=path, line=row, col=col + 1,
+                    message=f"waiver names unknown rule {rule!r}",
+                ))
+        if not reason:
+            findings.append(Finding(
+                rule="EM007", path=path, line=row, col=col + 1,
+                message="waiver has no reason; document why the "
+                        "construct respects the model",
+            ))
+        prefix = lines[row - 1][:col] if row - 1 < len(lines) else ""
+        standalone = not prefix.strip()
+        target_line = 0
+        if standalone:
+            # A standalone waiver covers the next code line, skipping
+            # blank lines and continuation comments.
+            for offset in range(row, len(lines)):
+                text = lines[offset].strip()
+                if text and not text.startswith("#"):
+                    target_line = offset + 1
+                    break
+        waivers.append(Waiver(
+            line=row,
+            rules=rules,
+            reason=reason,
+            standalone=standalone,
+            target_line=target_line,
+        ))
+    return waivers, findings
+
+
+def classify(path: str) -> str:
+    """Module category for rule scoping (see ComplianceVisitor)."""
+    normalized = path.replace(os.sep, "/")
+    parts = normalized.split("/")
+    if "analysis" in parts:
+        return "exempt"
+    if "core" in parts:
+        return "core"
+    if parts[-1] in ("workloads.py", "conftest.py", "setup.py"):
+        return "support"
+    return "algorithm"
+
+
+def lint_source(source: str, path: str = "<string>",
+                kind: Optional[str] = None) -> List[Finding]:
+    """Lint one module's source text; returns all findings, waived ones
+    marked as such."""
+    from .rules import ComplianceVisitor
+
+    if kind is None:
+        kind = classify(path)
+    if kind == "exempt":
+        return []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="EM007", path=path, line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"could not parse module: {exc.msg}",
+        )]
+    visitor = ComplianceVisitor(kind, path)
+    visitor.visit(tree)
+    findings = visitor.findings
+    waivers, waiver_findings = parse_waivers(source, path)
+
+    for finding in findings:
+        for waiver in waivers:
+            if waiver.covers(finding):
+                finding.waived = True
+                finding.waiver_reason = waiver.reason
+                waiver.used = True
+                break
+
+    for waiver in waivers:
+        if not waiver.used and waiver.reason:
+            waiver_findings.append(Finding(
+                rule="EM007", path=path, line=waiver.line, col=1,
+                message="waiver suppresses nothing; remove it or fix "
+                        f"the rule list {', '.join(waiver.rules)}",
+            ))
+    # EM007 findings may themselves be waived (e.g. fixture files that
+    # intentionally hold broken waivers).
+    for finding in waiver_findings:
+        for waiver in waivers:
+            if waiver.covers(finding):
+                finding.waived = True
+                finding.waiver_reason = waiver.reason
+                waiver.used = True
+                break
+    findings.extend(waiver_findings)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: str) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git", "results"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        seen.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            seen.append(path)
+    return seen
+
+
+def lint_paths(paths: Iterable[str]) -> List[Finding]:
+    """Lint every Python file under ``paths``."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path))
+    return findings
+
+
+def unwaived(findings: Iterable[Finding]) -> List[Finding]:
+    """The findings that still need fixing (not covered by a waiver)."""
+    return [finding for finding in findings if not finding.waived]

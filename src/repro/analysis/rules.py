@@ -1,0 +1,495 @@
+"""The EM-lint rule set: AST checks for I/O-model compliance.
+
+Each rule flags a Python construct that lets algorithm code bypass the
+I/O model — doing work that a real external-memory machine would have to
+pay block transfers or internal memory for, without charging either.
+The checks are deliberately heuristic (this is a linter, not a type
+system): a flagged line is either *fixed* or *waived* with an
+``# em: ok(<rule>) <reason>`` comment documenting why the in-memory step
+is legitimate (e.g. it touches at most ``M`` records under a budget
+reservation).
+
+Rules
+-----
+
+========  ============================================================
+EM001     Unbounded materialization of a stream: ``list(s)``,
+          ``sorted(s)``, ``tuple(s)``, ``set(s)``, ``Counter(s)`` on a
+          stream-typed value pulls all ``N`` records into RAM at once.
+EM002     Raw file I/O (``open``, ``os.read``, ``mmap`` …) bypasses the
+          simulated disk, so its transfers are never counted.
+EM003     A public algorithm function must take the machine (or a
+          machine-carrying object) as its first parameter and declare
+          its I/O bound in the docstring.
+EM004     Whole-dataset Python-level sort: ``sorted(...)`` / ``.sort()``
+          is O(1) I/Os in simulation but would not be on a real disk;
+          every use must be bounded to ≤ M records and waived.
+EM005     Accumulating an unbounded container while consuming a stream
+          (``xs.append`` in a ``for record in stream`` loop, or a
+          comprehension over a stream) without a ``budget.reserve`` /
+          ``budget.acquire`` charge.
+EM006     Algorithm code constructing its own ``Machine`` / ``DiskArray``
+          / ``BufferPool`` / ``MemoryBudget`` — a private machine resets
+          I/O accounting and dodges the caller's budget.
+EM007     Waiver hygiene: malformed waiver comments, unknown rule ids,
+          missing reasons, and waivers that suppress nothing.
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, List, Optional, Set
+
+from .emlint import Finding
+
+RULES = {
+    "EM001": "unbounded materialization of a stream into RAM",
+    "EM002": "raw file I/O bypassing the simulated disk",
+    "EM003": "public algorithm without machine-first signature or "
+             "declared I/O bound",
+    "EM004": "Python-level whole-dataset sort in algorithm code",
+    "EM005": "unbudgeted accumulation while consuming a stream",
+    "EM006": "algorithm code constructing private model machinery",
+    "EM007": "waiver hygiene (malformed / unknown rule / no reason / "
+             "unused)",
+}
+
+#: builtins that materialize their (first) argument into RAM at once
+MATERIALIZERS = {"list", "sorted", "tuple", "set", "dict", "Counter",
+                 "frozenset"}
+
+#: names that construct a stream (``stream_cls`` is the conventional
+#: parameter through which algorithms accept an alternative class)
+STREAM_CLASSES = {"FileStream", "StripedStream", "stream_cls"}
+
+#: machine-backed containers: appending to these *is* charged, so they
+#: are exempt from EM005 (but materializing them still trips EM001)
+CHARGED_SINKS = STREAM_CLASSES | {
+    "Table", "AdjacencyStore", "ExternalMatrix", "BufferTree",
+    "BPlusTree", "ExtendibleHashTable", "ExternalPriorityQueue",
+    "BTreePriorityQueue", "BlockFile", "ExternalStack", "ExternalQueue",
+}
+
+#: library functions known to return a (finalized) stream
+STREAM_RETURNING = {
+    "external_merge_sort", "two_way_merge_sort", "merge_streams",
+    "distribution_sort", "external_string_sort", "buffer_tree_sort",
+    "permute", "permute_naive", "permute_by_sort",
+    "segment_intersections", "segment_intersections_naive",
+    "order_by", "distinct",
+}
+
+#: acceptable first-parameter annotations for EM003: either the machine
+#: itself or an object that carries one (``obj.machine``)
+MACHINE_CARRIERS = {
+    "Machine", "Table", "FileStream", "StripedStream", "AdjacencyStore",
+    "ExternalMatrix", "BufferTree", "BPlusTree", "ExtendibleHashTable",
+}
+
+#: constructing these inside algorithm code bypasses the caller's
+#: accounting (EM006)
+PRIVATE_MACHINERY = {
+    "Machine", "DiskArray", "BufferPool", "MemoryBudget", "SimulatedDisk",
+}
+
+#: method names that grow a container in place (EM005)
+ACCUMULATORS = {"append", "extend", "add", "insert", "appendleft",
+                "update", "heappush", "push"}
+
+#: a docstring "declares a bound" if it mentions any of these
+#: (case-insensitive): the survey notation or plain-language I/O costs
+BOUND_MARKERS = ("i/o", "o(", "θ(", "scan", "sort", "block transfer",
+                 "cost", "pass")
+
+#: raw-I/O call names (EM002): builtin open plus the os/io/mmap layer
+RAW_IO_MODULES = {"os", "io", "mmap", "gzip", "bz2", "lzma", "shutil"}
+RAW_IO_ATTRS = {"open", "fdopen", "read", "write", "pread", "pwrite",
+                "mmap", "sendfile", "copyfile", "copyfileobj"}
+
+
+def _name_of(node: ast.AST) -> Optional[str]:
+    """Plain identifier of a Name/Attribute node, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Extract the head identifier from an annotation node."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split("[")[0].split(".")[-1].strip()
+    if isinstance(node, ast.Subscript):
+        return _annotation_name(node.value)
+    return None
+
+
+def _looks_like_stream_name(name: str) -> bool:
+    return name == "stream" or name.endswith("_stream") or name == "reader"
+
+
+class _Scope:
+    """Per-function tracking of which names hold streams / charged sinks
+    and whether the function charges the budget itself."""
+
+    def __init__(self, budget_aware: bool = False):
+        self.stream_names: Set[str] = set()
+        self.charged_names: Set[str] = set()
+        self.budget_aware = budget_aware
+
+
+def _calls_acquire(node: ast.AST) -> bool:
+    """Whether the function body contains a ``*.acquire(...)`` call —
+    taken as evidence the author is charging the memory budget by hand."""
+    for child in ast.walk(node):
+        if (isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "acquire"):
+            return True
+    return False
+
+
+class ComplianceVisitor(ast.NodeVisitor):
+    """Walks one module and emits EM001–EM006 findings.
+
+    Args:
+        kind: module category — ``"algorithm"`` (all rules), ``"core"``
+            (EM002 only; the substrate is allowed to materialize),
+            ``"support"`` (EM002 only; e.g. workload generators) or
+            ``"exempt"`` (no rules; the analysis package itself).
+        path: file path used in findings.
+    """
+
+    def __init__(self, kind: str, path: str):
+        self.kind = kind
+        self.path = path
+        self.findings: List[Finding] = []
+        self._scopes: List[_Scope] = [_Scope()]
+        self._budget_depth = 0
+        self._stream_loop_depth = 0
+        self._def_depth = 0
+        self._class_depth = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def _scope(self) -> _Scope:
+        return self._scopes[-1]
+
+    def _algorithm(self) -> bool:
+        return self.kind == "algorithm"
+
+    def _report(self, rule: str, node: ast.AST, message: str,
+                end_line: Optional[int] = None) -> None:
+        self.findings.append(Finding(
+            rule=rule,
+            path=self.path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            end_line=end_line if end_line is not None else getattr(
+                node, "end_lineno", node.lineno),
+            message=message,
+        ))
+
+    def _in_budget_context(self) -> bool:
+        return self._budget_depth > 0 or self._scope.budget_aware
+
+    def _is_stream_expr(self, node: ast.AST) -> bool:
+        """Heuristic: does this expression evaluate to a stream (or a
+        reader over one)?"""
+        if isinstance(node, ast.Name):
+            return any(node.id in s.stream_names for s in self._scopes)
+        if isinstance(node, ast.Attribute):
+            return _looks_like_stream_name(node.attr)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in STREAM_CLASSES | STREAM_RETURNING:
+                    return True
+                if func.id == "iter" and node.args:
+                    return self._is_stream_expr(node.args[0])
+            if isinstance(func, ast.Attribute):
+                if func.attr in ("from_records", "finalize"):
+                    return True
+        return False
+
+    def _is_charged_expr(self, node: ast.AST) -> bool:
+        """Does this expression build a machine-backed container?"""
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in CHARGED_SINKS:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in (
+                    "from_records", "from_rows", "finalize"):
+                return True
+        return self._is_stream_expr(node)
+
+    def _is_charged_name(self, name: str) -> bool:
+        return any(
+            name in s.charged_names or name in s.stream_names
+            for s in self._scopes
+        )
+
+    # ------------------------------------------------------------------
+    # scope management
+    # ------------------------------------------------------------------
+    def _visit_function(self, node) -> None:
+        if (self._algorithm() and self._def_depth == 0
+                and self._class_depth == 0
+                and not node.name.startswith("_")):
+            self._check_em003(node)
+        scope = _Scope(budget_aware=_calls_acquire(node))
+        for arg in list(node.args.posonlyargs) + list(node.args.args):
+            ann = _annotation_name(arg.annotation)
+            if ann in STREAM_CLASSES or _looks_like_stream_name(arg.arg):
+                scope.stream_names.add(arg.arg)
+            elif ann in CHARGED_SINKS:
+                scope.charged_names.add(arg.arg)
+        self._scopes.append(scope)
+        self._def_depth += 1
+        budget_depth, self._budget_depth = self._budget_depth, 0
+        loop_depth, self._stream_loop_depth = self._stream_loop_depth, 0
+        try:
+            self.generic_visit(node)
+        finally:
+            self._scopes.pop()
+            self._def_depth -= 1
+            self._budget_depth = budget_depth
+            self._stream_loop_depth = loop_depth
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._class_depth -= 1
+
+    def visit_With(self, node: ast.With) -> None:
+        reserves = any(
+            isinstance(item.context_expr, ast.Call)
+            and isinstance(item.context_expr.func, ast.Attribute)
+            and item.context_expr.func.attr in ("reserve", "measure")
+            for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+        if reserves:
+            self._budget_depth += 1
+        try:
+            for stmt in node.body:
+                self.visit(stmt)
+        finally:
+            if reserves:
+                self._budget_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        streaming = self._is_stream_expr(node.iter)
+        for target_name in (n.id for n in ast.walk(node.target)
+                            if isinstance(n, ast.Name)):
+            self._scope.stream_names.discard(target_name)
+        if streaming:
+            self._stream_loop_depth += 1
+        try:
+            for stmt in node.body + node.orelse:
+                self.visit(stmt)
+        finally:
+            if streaming:
+                self._stream_loop_depth -= 1
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        is_stream = self._is_stream_expr(node.value)
+        is_charged = self._is_charged_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._scope.stream_names.discard(target.id)
+                self._scope.charged_names.discard(target.id)
+                if is_stream:
+                    self._scope.stream_names.add(target.id)
+                elif is_charged:
+                    self._scope.charged_names.add(target.id)
+            elif isinstance(target, ast.Subscript):
+                self._check_em005_subscript(target)
+                self.visit(target)
+            else:
+                self.visit(target)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        if isinstance(node.target, ast.Name):
+            ann = _annotation_name(node.annotation)
+            if ann in STREAM_CLASSES or (
+                    node.value is not None
+                    and self._is_stream_expr(node.value)):
+                self._scope.stream_names.add(node.target.id)
+            elif ann in CHARGED_SINKS:
+                self._scope.charged_names.add(node.target.id)
+
+    # ------------------------------------------------------------------
+    # rule checks
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self._check_em002_name(node, func)
+            if self._algorithm():
+                fired_em001 = self._check_em001(node, func)
+                if not fired_em001:
+                    self._check_em004_sorted(node, func)
+                self._check_em005_heappush(node, func)
+                self._check_em006(node, func)
+        elif isinstance(func, ast.Attribute):
+            self._check_em002_attr(node, func)
+            if self._algorithm():
+                self._check_em004_method(node, func)
+                self._check_em005_accumulate(node, func)
+        self.generic_visit(node)
+
+    def _check_em001(self, node: ast.Call, func: ast.Name) -> bool:
+        if func.id in MATERIALIZERS and node.args and self._is_stream_expr(
+                node.args[0]):
+            self._report(
+                "EM001", node,
+                f"{func.id}(...) materializes a stream into RAM; "
+                "iterate it blockwise or charge the memory budget",
+            )
+            return True
+        return False
+
+    def _check_em002_name(self, node: ast.Call, func: ast.Name) -> None:
+        if func.id == "open":
+            self._report(
+                "EM002", node,
+                "raw open() bypasses the simulated disk; use "
+                "BlockFile/FileStream so transfers are counted",
+            )
+
+    def _check_em002_attr(self, node: ast.Call,
+                          func: ast.Attribute) -> None:
+        value_name = _name_of(func.value)
+        if value_name in RAW_IO_MODULES and func.attr in RAW_IO_ATTRS:
+            self._report(
+                "EM002", node,
+                f"{value_name}.{func.attr}(...) is raw file I/O; all "
+                "transfers must go through the machine's disk",
+            )
+
+    def _check_em003(self, node) -> None:
+        params = list(node.args.posonlyargs) + list(node.args.args)
+        ok_first = False
+        if params:
+            first = params[0]
+            ann = _annotation_name(first.annotation)
+            ok_first = first.arg == "machine" or ann in MACHINE_CARRIERS
+        if not ok_first:
+            self._report(
+                "EM003", node,
+                f"public algorithm {node.name}() must take the machine "
+                "(or a machine-carrying object) as its first parameter",
+                end_line=node.lineno,
+            )
+        docstring = ast.get_docstring(node) or ""
+        lowered = docstring.lower()
+        if not any(marker in lowered for marker in BOUND_MARKERS):
+            self._report(
+                "EM003", node,
+                f"public algorithm {node.name}() does not declare its "
+                "I/O bound in the docstring",
+                end_line=node.lineno,
+            )
+
+    def _check_em004_sorted(self, node: ast.Call, func: ast.Name) -> None:
+        if func.id == "sorted":
+            self._report(
+                "EM004", node,
+                "sorted(...) is an in-memory whole-dataset sort; bound "
+                "it to ≤ M records (and waive) or sort externally",
+            )
+
+    def _check_em004_method(self, node: ast.Call,
+                            func: ast.Attribute) -> None:
+        if func.attr == "sort":
+            self._report(
+                "EM004", node,
+                ".sort() is an in-memory sort; bound it to ≤ M records "
+                "(and waive) or sort externally",
+            )
+
+    def _check_em005_heappush(self, node: ast.Call,
+                              func: ast.Name) -> None:
+        if (func.id == "heappush" and self._stream_loop_depth > 0
+                and not self._in_budget_context() and node.args
+                and isinstance(node.args[0], ast.Name)
+                and not self._is_charged_name(node.args[0].id)):
+            self._report(
+                "EM005", node,
+                f"heappush into {node.args[0].id!r} while consuming a "
+                "stream is unbudgeted accumulation",
+            )
+
+    def _check_em005_accumulate(self, node: ast.Call,
+                                func: ast.Attribute) -> None:
+        if (func.attr in ACCUMULATORS and func.attr != "heappush"
+                and self._stream_loop_depth > 0
+                and not self._in_budget_context()
+                and isinstance(func.value, ast.Name)
+                and not self._is_charged_name(func.value.id)):
+            self._report(
+                "EM005", node,
+                f"{func.value.id}.{func.attr}(...) inside a stream loop "
+                "accumulates without charging the memory budget",
+            )
+
+    def _check_em005_subscript(self, target: ast.Subscript) -> None:
+        if (self._algorithm() and self._stream_loop_depth > 0
+                and not self._in_budget_context()
+                and isinstance(target.value, ast.Name)
+                and not self._is_charged_name(target.value.id)):
+            self._report(
+                "EM005", target,
+                f"{target.value.id}[...] assignment inside a stream "
+                "loop accumulates without charging the memory budget",
+            )
+
+    def _check_em006(self, node: ast.Call, func: ast.Name) -> None:
+        if func.id in PRIVATE_MACHINERY:
+            self._report(
+                "EM006", node,
+                f"constructing {func.id}(...) inside algorithm code "
+                "bypasses the caller's machine and its accounting",
+            )
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node, "list comprehension")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comprehension(node, "set comprehension")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node, "dict comprehension")
+
+    def _check_comprehension(self, node: Any, label: str) -> None:
+        if self._algorithm() and not self._in_budget_context():
+            for generator in node.generators:
+                if self._is_stream_expr(generator.iter):
+                    self._report(
+                        "EM005", node,
+                        f"{label} over a stream materializes all N "
+                        "records without charging the memory budget",
+                    )
+                    break
+        self.generic_visit(node)

@@ -32,6 +32,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import merge_passes, scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -191,6 +193,8 @@ class BufferTree:
     def _apply_chunk_to_leaf(self, node: _Node, chunk: List[tuple]) -> None:
         """Merge one chunk of operations (already in reserved memory) into
         the leaf's sorted element stream."""
+        # em: ok(EM004) one emptying chunk ≤ a memoryload, reserved by
+        # the chunking caller
         ops = sorted(
             (key, seq, kind, payload) for seq, kind, key, payload in chunk
         )
@@ -337,6 +341,7 @@ class BufferTree:
         self._check_node(self._root, None, None)
         pairs = list(self._iter_node(self._root))
         keys = [k for k, _ in pairs]
+        # em: ok(EM004) test-support invariant check, not an algorithm
         assert keys == sorted(keys), "global key order violated"
         assert len(keys) == len(set(keys)), "duplicate keys stored"
         assert len(keys) == self._size
@@ -350,6 +355,7 @@ class BufferTree:
                 if high is not None:
                     assert key < high
             return
+        # em: ok(EM004) ≤ fan-out pivots per node, RAM-resident routing
         assert node.pivots == sorted(node.pivots)
         assert len(node.children) == len(node.pivots) + 1
         bounds = [low] + list(node.pivots) + [high]
@@ -357,6 +363,17 @@ class BufferTree:
             self._check_node(child, bounds[index], bounds[index + 1])
 
 
+def _buffer_tree_sort_theory(machine: Machine, n: int) -> float:
+    """``O(Sort(N))`` amortized: each record moves down one buffer level
+    per emptying, ``O(log_m(N/M))`` levels deep, plus leaf splits."""
+    if n <= 0:
+        return 0.0
+    levels = 1 + merge_passes(n, machine.M, machine.B)
+    return levels * (sort_io(n, machine.M, machine.B, machine.D)
+                     + 4 * scan_io(n, machine.B, machine.D))
+
+
+@io_bound(_buffer_tree_sort_theory, factor=8.0)
 def buffer_tree_sort(
     machine: Machine,
     stream: FileStream,

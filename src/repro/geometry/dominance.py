@@ -20,6 +20,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Dict, List, Sequence, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import merge_passes, scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -31,6 +33,17 @@ _POINT = 0   # processed before queries at equal y: dominance is closed
 _QUERY = 1
 
 
+def _dominance_theory(machine: Machine, n: int) -> float:
+    """``O(Sort(N))``: one sort-and-scan round per distribution level."""
+    if n <= 0:
+        return 0.0
+    levels = max(1, merge_passes(n, machine.M, machine.B))
+    return levels * (sort_io(n, machine.M, machine.B, machine.D)
+                     + 3 * scan_io(n, machine.B, machine.D))
+
+
+@io_bound(_dominance_theory, factor=4.0,
+          n=lambda machine, points, queries: len(points) + len(queries))
 def dominance_counts(
     machine: Machine,
     points: Sequence[Point],
@@ -110,6 +123,7 @@ def _sample_point_pivots(machine: Machine, events: FileStream,
         for block_index in list(range(0, events.num_blocks, step))[:probes]:
             for y, kind, x, index, partial in events.read_block(block_index):
                 xs.append(x)
+    # em: ok(EM004) ≤ probes·B sampled pivot keys, probed under reserve
     xs = sorted(set(xs))
     if len(xs) <= 1:
         return []

@@ -9,24 +9,50 @@ nested-loop pattern, ``scan(H) + ceil(|H|/M)·scan(V)`` I/Os but
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Iterable, List
 
+from ..analysis.sanitizer import io_bound, sized
+from ..core.bounds import scan_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from .sweep import Horizontal, Vertical
 
 
+def _naive_theory(machine: Machine, n: int, result: FileStream,
+                  call: dict) -> float:
+    """``2·scan(H) + (1 + ceil(|H|/M'))·scan(V) + scan(Z)``: spooling
+    both inputs, then the block nested loop, then the output.  Unsized
+    iterable inputs have no static bound (the envelope is skipped)."""
+    h = sized(call["horizontals"])
+    v = sized(call["verticals"])
+    if h < 0 or v < 0:
+        return float("inf")
+    loads = max(1, -(-h // max(1, machine.M - 3 * machine.B)))
+    return (2 * scan_io(h, machine.B, machine.D)
+            + (1 + loads) * scan_io(v, machine.B, machine.D)
+            + scan_io(len(result), machine.B, machine.D))
+
+
+@io_bound(_naive_theory, factor=2.0,
+          n=lambda machine, horizontals, verticals: max(
+              0, sized(horizontals)) + max(0, sized(verticals)))
 def segment_intersections_naive(
     machine: Machine,
-    horizontals: Sequence[Horizontal],
-    verticals: Sequence[Vertical],
+    horizontals: Iterable[Horizontal],
+    verticals: Iterable[Vertical],
 ) -> FileStream:
     """Report every (horizontal, vertical) intersecting pair by blockwise
-    all-pairs testing."""
-    h_stream = FileStream.from_records(machine, list(horizontals),
+    all-pairs testing.
+
+    Both inputs may be arbitrary iterables: they are spooled straight to
+    disk through stream writers (one buffered frame each, charged to the
+    budget), never materialized in RAM.  Costs ``scan(H) +
+    ceil(|H|/M)·scan(V) + Z/B`` I/Os and ``Θ(|H|·|V|)`` comparisons.
+    """
+    h_stream = FileStream.from_records(machine, horizontals,
                                        name="naive/h")
-    v_stream = FileStream.from_records(machine, list(verticals),
+    v_stream = FileStream.from_records(machine, verticals,
                                        name="naive/v")
     chunk_capacity = machine.M - 3 * machine.B
     if chunk_capacity < 1:

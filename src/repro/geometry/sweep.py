@@ -18,6 +18,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -55,6 +57,26 @@ def _event_stream(
     )
 
 
+def _sweep_theory(machine: Machine, n: int, result: FileStream) -> float:
+    """``O(Sort(N) + Z/B)``: one sort-and-scan round per distribution
+    level plus the output scan.  Levels follow the sweep's own fan-out
+    ``(m-5)/2`` and base capacity, not the merge-sort fan-in."""
+    if n <= 0:
+        return float(2 * scan_io(len(result), machine.B, machine.D))
+    fan = max(2, (machine.m - 5) // 2)
+    base = max(1, machine.M - 3 * machine.B)
+    levels, size = 1, n
+    while size > base:
+        size = -(-size // fan)
+        levels += 1
+    return (levels * (sort_io(n, machine.M, machine.B, machine.D)
+                      + 3 * scan_io(n, machine.B, machine.D))
+            + 2 * scan_io(len(result), machine.B, machine.D))
+
+
+@io_bound(_sweep_theory, factor=4.0,
+          n=lambda machine, horizontals, verticals: (
+              len(horizontals) + len(verticals)))
 def segment_intersections(
     machine: Machine,
     horizontals: Sequence[Horizontal],
@@ -170,6 +192,7 @@ def _sample_vertical_pivots(machine: Machine, events: FileStream,
             for y, kind, data in events.read_block(index):
                 if kind == _VERTICAL:
                     xs.append(data[0])
+    # em: ok(EM004) ≤ probes·B sampled pivot keys, probed under reserve
     xs = sorted(set(xs))
     if len(xs) <= 1:
         return []

@@ -70,6 +70,8 @@ class AdjacencyStore:
         for source, target in ordered:
             if source != current:
                 if current is not None:
+                    # em: ok(EM005) semi-external: the V-entry vertex
+                    # index is RAM-resident (the survey's V ≤ M regime)
                     index[current] = (start, position - start)
                 current = source
                 start = position
@@ -127,6 +129,8 @@ class AdjacencyStore:
         for source, record in ordered:
             if source != current:
                 if current is not None:
+                    # em: ok(EM005) semi-external: the V-entry vertex
+                    # index is RAM-resident (the survey's V ≤ M regime)
                     index[current] = (start, position - start)
                 current = source
                 start = position

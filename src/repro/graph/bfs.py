@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -25,6 +27,17 @@ from ..sort.merge import external_merge_sort
 from .adjacency import AdjacencyStore
 
 
+def _graph_n(machine: Machine, adjacency: AdjacencyStore,
+             source: int) -> int:
+    return adjacency.num_vertices + adjacency.num_edges
+
+
+def _semi_external_theory(machine: Machine, n: int) -> int:
+    """Per-vertex adjacency fetches: ``O(V + E/B)``."""
+    return n + scan_io(n, machine.B, machine.D)
+
+
+@io_bound(_semi_external_theory, factor=4.0, n=_graph_n)
 def semi_external_bfs(machine: Machine, adjacency: AdjacencyStore,
                       source: int) -> Dict[int, int]:
     """Queue BFS with the visited set and queue in memory.
@@ -45,6 +58,7 @@ def semi_external_bfs(machine: Machine, adjacency: AdjacencyStore,
     return distance
 
 
+@io_bound(lambda machine, n: 4 * n, factor=4.0, n=_graph_n)
 def naive_bfs(machine: Machine, adjacency: AdjacencyStore,
               source: int) -> Dict[int, int]:
     """Textbook BFS run *fully* externally: the distance table lives on
@@ -126,6 +140,13 @@ def _subtract_sorted(
             yield value
 
 
+def _mr_bfs_theory(machine: Machine, n: int) -> int:
+    """``O(V + Sort(E))`` — per-level sorts sum to Sort(E), plus a few
+    I/Os of stream bookkeeping per level (≤ V levels)."""
+    return 4 * n + 2 * sort_io(n, machine.M, machine.B, machine.D)
+
+
+@io_bound(_mr_bfs_theory, factor=6.0, n=_graph_n)
 def mr_bfs(machine: Machine, adjacency: AdjacencyStore,
            source: int) -> Dict[int, int]:
     """Munagala–Ranade external BFS.

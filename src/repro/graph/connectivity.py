@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -22,6 +24,10 @@ from ..sort.merge import external_merge_sort
 from .adjacency import AdjacencyStore
 
 
+@io_bound(lambda machine, n: n + scan_io(n, machine.B, machine.D),
+          factor=4.0,
+          n=lambda machine, adjacency: (adjacency.num_vertices
+                                        + adjacency.num_edges))
 def dfs_components(machine: Machine, adjacency: AdjacencyStore) -> Dict[int, int]:
     """Baseline: repeated DFS with in-memory visited set, fetching
     adjacency lists on demand (~1 I/O per vertex, unbatched)."""
@@ -40,6 +46,8 @@ def dfs_components(machine: Machine, adjacency: AdjacencyStore) -> Dict[int, int
     return labels
 
 
+@io_bound(lambda machine, n: scan_io(n, machine.B, machine.D),
+          factor=3.0)
 def semi_external_components(
     machine: Machine,
     num_vertices: int,
@@ -69,13 +77,27 @@ def semi_external_components(
         return {v: find(v) for v in range(num_vertices)}
 
 
+def _external_cc_theory(machine: Machine, n: int) -> int:
+    """``O(Sort(E) · log V)``: each hook-and-contract round pays a
+    constant number of sorts and scans over the surviving edges, and
+    the rounds (plus pointer-jump sub-rounds) are logarithmic."""
+    rounds = max(1, n.bit_length())
+    size = max(1, 2 * n)
+    return rounds * (3 * sort_io(size, machine.M, machine.B, machine.D)
+                     + 4 * scan_io(size, machine.B, machine.D))
+
+
+@io_bound(_external_cc_theory, factor=8.0,
+          n=lambda machine, num_vertices, edges, max_rounds=64: (
+              num_vertices + len(edges)))
 def external_components(
     machine: Machine,
     num_vertices: int,
     edges: FileStream,
     max_rounds: int = 64,
 ) -> Dict[int, int]:
-    """Fully external hook-and-contract connected components.
+    """Fully external hook-and-contract connected components, costing
+    ``O(Sort(E))`` I/Os per round over ``O(log V)`` rounds.
 
     Args:
         num_vertices: vertices are ``0..num_vertices-1``.

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -24,6 +26,15 @@ from ..sort.merge import external_merge_sort
 from .list_ranking import list_ranking, weighted_list_ranking
 
 
+def _tour_theory(machine: Machine, n: int) -> int:
+    """``O(Sort(N))`` over the ``2(n-1)`` arcs plus constant scans."""
+    arcs = max(1, 4 * n)
+    return (2 * sort_io(arcs, machine.M, machine.B, machine.D)
+            + 4 * scan_io(arcs, machine.B, machine.D))
+
+
+@io_bound(_tour_theory, factor=4.0,
+          n=lambda machine, num_vertices, edges, root: num_vertices)
 def build_euler_tour(
     machine: Machine,
     num_vertices: int,
@@ -88,7 +99,10 @@ def build_euler_tour(
                 emit_group()
             group_head = dst
             group = []
+        # em: ok(EM005) semi-external: the 2(V-1)-entry arc table is
+        # RAM-resident like this package's vertex indexes
         arc_endpoints[arc_id] = (src, dst)
+        # em: ok(EM005) one vertex's arriving-arc group (<= degree)
         group.append((src, arc_id))
         arc_id += 1
     if group_head is not None:
@@ -100,6 +114,7 @@ def build_euler_tour(
     # (s, d) is its rank in the (d, s) order; build the lookup by
     # sorting links on the successor's (dst, src) and walking in step
     # with the id order.
+    # em: ok(EM004) sorts the RAM-resident arc-id table (2(V-1) ids)
     order = sorted(
         arc_endpoints, key=lambda a: (arc_endpoints[a][1],
                                       arc_endpoints[a][0])
@@ -119,11 +134,23 @@ def build_euler_tour(
         succ_id = endpoint_to_id[(succ_src, succ_dst)]
         if succ_id == start_id:
             succ_id = -1  # break the cycle where it would re-enter start
+        # em: ok(EM005) semi-external: the 2(V-1)-entry successor list
         successor_pairs.append((this_id, succ_id))
     links.delete()
     return successor_pairs, arc_endpoints
 
 
+def _depths_theory(machine: Machine, n: int) -> int:
+    """Tour build + two list rankings: ``O(Sort(N))`` expected, with a
+    log-factor margin for the randomized contraction rounds."""
+    arcs = max(1, 4 * n)
+    rounds = max(1, arcs.bit_length())
+    return rounds * (sort_io(arcs, machine.M, machine.B, machine.D)
+                     + 2 * scan_io(arcs, machine.B, machine.D))
+
+
+@io_bound(_depths_theory, factor=6.0,
+          n=lambda machine, num_vertices, edges, root=0: num_vertices)
 def tree_depths(
     machine: Machine,
     num_vertices: int,

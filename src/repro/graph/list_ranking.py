@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..analysis.sanitizer import io_bound
 from ..core.blockfile import BlockFile
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -30,6 +32,21 @@ from ..sort.merge import external_merge_sort
 _TAIL = -1
 
 
+def _ranking_theory(machine: Machine, n: int) -> float:
+    """``O(Sort(N))`` expected for the contraction, with a log-factor
+    margin covering the per-level sorts, joins, and coin retries.
+    Unsized inputs (n ≤ 0) have no static bound."""
+    if n <= 0:
+        return float("inf")
+    rounds = max(1, n.bit_length())
+    return rounds * (4 * sort_io(n, machine.M, machine.B, machine.D)
+                     + 6 * scan_io(n, machine.B, machine.D))
+
+
+@io_bound(lambda machine, n: 2 * n + 2 * scan_io(
+              n, machine.B, machine.D),
+          factor=3.0,
+          n=lambda machine, pairs, num_nodes: num_nodes)
 def pointer_chase_ranking(
     machine: Machine,
     pairs: Iterable[Tuple[int, int]],
@@ -76,6 +93,7 @@ def pointer_chase_ranking(
     return ranks
 
 
+@io_bound(_ranking_theory, factor=4.0)
 def list_ranking(
     machine: Machine,
     pairs: Iterable[Tuple[int, int]],
@@ -104,6 +122,7 @@ def list_ranking(
     return ranks
 
 
+@io_bound(_ranking_theory, factor=4.0)
 def weighted_list_ranking(
     machine: Machine,
     triples: Iterable[Tuple[int, int, int]],
@@ -321,6 +340,7 @@ def _rank_in_memory(machine: Machine, records: FileStream) -> FileStream:
                 rank += weight[node]
                 node = successor[node]
         output = FileStream(machine, name="listrank/ranks")
+        # em: ok(EM004) base case: ≤ M - 2B nodes, reserved above
         for node in sorted(ranks):
             output.append((node, ranks[node]))
         return output.finalize()

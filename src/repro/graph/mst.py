@@ -20,11 +20,33 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from ..sort.merge import external_merge_sort
 from .connectivity import _pointer_jump_to_roots
+
+
+def _kruskal_theory(machine: Machine, n: int) -> float:
+    """``Sort(E)`` plus a constant number of scans; unsized edge
+    iterables (n ≤ 0) have no static bound."""
+    if n <= 0:
+        return float("inf")
+    return (sort_io(n, machine.M, machine.B, machine.D)
+            + 3 * scan_io(n, machine.B, machine.D))
+
+
+def _boruvka_theory(machine: Machine, n: int) -> float:
+    """``O(Sort(E) · log V)``: a constant number of sorts and scans over
+    the doubled surviving edges per round, logarithmically many rounds."""
+    if n <= 0:
+        return float("inf")
+    rounds = max(1, n.bit_length())
+    size = 2 * n
+    return rounds * (6 * sort_io(size, machine.M, machine.B, machine.D)
+                     + 8 * scan_io(size, machine.B, machine.D))
 
 
 def _load_edges(
@@ -42,6 +64,7 @@ def _load_edges(
     return stream.finalize()
 
 
+@io_bound(_kruskal_theory, factor=4.0)
 def semi_external_kruskal(
     machine: Machine,
     num_vertices: int,
@@ -79,6 +102,7 @@ def semi_external_kruskal(
     return total, chosen
 
 
+@io_bound(_boruvka_theory, factor=6.0)
 def external_boruvka(
     machine: Machine,
     num_vertices: int,
@@ -124,6 +148,8 @@ def external_boruvka(
         last_vertex = None
         for src, dst, w, eid in ordered:
             if src != last_vertex:
+                # em: ok(EM005) semi-external: ≤ V-1 chosen edge ids,
+                # the package's RAM-resident index convention
                 chosen_ids.add(eid)
                 parents.append((src, dst))  # hook toward the chosen edge
                 last_vertex = src
@@ -191,6 +217,7 @@ def external_boruvka(
                     else endpoint
                 )
                 record = list(edge)
+                # em: ok(EM005) one 4-field edge record, O(1) space
                 record[index] = new_endpoint
                 mapped.append(tuple(record))
             root_iter.close()
@@ -224,6 +251,7 @@ def external_boruvka(
     total = 0
     for u, v, w, eid in originals:
         if eid in chosen_ids:
+            # em: ok(EM005) semi-external: the ≤ V-1 MST output edges
             chosen.append((u, v, w))
             total += w
     originals.delete()

@@ -16,18 +16,36 @@ from __future__ import annotations
 import heapq
 from typing import Any, Dict
 
+from ..analysis.sanitizer import io_bound
 from ..core.blockfile import BlockFile
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..pq.sequence_heap import ExternalPriorityQueue
 from .adjacency import AdjacencyStore
 
 
+def _graph_n(machine: Machine, adjacency: AdjacencyStore,
+             source: int) -> int:
+    return adjacency.num_vertices + adjacency.num_edges
+
+
+def _external_dijkstra_theory(machine: Machine, n: int) -> int:
+    """``O(V + E)`` settled-table block accesses plus ``O(Sort(E))``
+    amortized priority-queue traffic."""
+    return (2 * n
+            + 2 * sort_io(max(1, n), machine.M, machine.B, machine.D)
+            + 2 * scan_io(n, machine.B, machine.D))
+
+
+@io_bound(_external_dijkstra_theory, factor=4.0, n=_graph_n)
 def external_dijkstra(machine: Machine, adjacency: AdjacencyStore,
                       source: int) -> Dict[int, Any]:
     """Dijkstra with an external PQ and an on-disk settled table.
 
     Requires non-negative edge weights (checked as they stream by).
+    Costs ``O(V + E)`` settled-table block accesses plus ``O(Sort(E))``
+    amortized priority-queue I/Os.
     """
     if not 0 <= source < adjacency.num_vertices:
         raise ConfigurationError(f"source {source} out of range")
@@ -74,6 +92,8 @@ def external_dijkstra(machine: Machine, adjacency: AdjacencyStore,
     return result
 
 
+@io_bound(lambda machine, n: n + scan_io(n, machine.B, machine.D),
+          factor=4.0, n=_graph_n)
 def semi_external_dijkstra(machine: Machine, adjacency: AdjacencyStore,
                            source: int) -> Dict[int, Any]:
     """Baseline: binary-heap Dijkstra with all bookkeeping in memory;

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..analysis.sanitizer import io_bound, sized
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -26,6 +28,22 @@ from ..pq.sequence_heap import ExternalPriorityQueue
 from ..sort.merge import external_merge_sort
 
 
+def _tfp_theory(machine: Machine, n: int) -> float:
+    """``O(Sort(E))`` for the edge sort and the batched priority-queue
+    traffic, plus per-vertex bookkeeping.  Unsized edge iterables
+    (n ≤ 0) have no static bound."""
+    if n <= 0:
+        return float("inf")
+    return (n + 2 * sort_io(n, machine.M, machine.B, machine.D)
+            + 4 * scan_io(n, machine.B, machine.D))
+
+
+def _tfp_n(machine: Machine, num_vertices: int, edges, compute) -> int:
+    e = sized(edges)
+    return -1 if e < 0 else num_vertices + e
+
+
+@io_bound(_tfp_theory, factor=6.0, n=_tfp_n)
 def time_forward_process(
     machine: Machine,
     num_vertices: int,
@@ -80,13 +98,17 @@ def time_forward_process(
     return results
 
 
+@io_bound(_tfp_theory, factor=6.0,
+          n=lambda machine, num_vertices, edges: _tfp_n(
+              machine, num_vertices, edges, None))
 def dag_longest_paths(
     machine: Machine,
     num_vertices: int,
     edges: Iterable[Tuple[int, int]],
 ) -> Dict[int, int]:
     """Longest-path length (in edges) ending at each vertex of a DAG in
-    topological numbering."""
+    topological numbering — ``O(Sort(E))`` I/Os via time-forward
+    processing."""
 
     def compute(vertex: int, incoming: List[int]) -> int:
         return 1 + max(incoming) if incoming else 0
@@ -94,12 +116,16 @@ def dag_longest_paths(
     return time_forward_process(machine, num_vertices, edges, compute)
 
 
+@io_bound(_tfp_theory, factor=6.0,
+          n=lambda machine, gates, wires: _tfp_n(
+              machine, len(gates), wires, None))
 def evaluate_circuit(
     machine: Machine,
     gates: List[Tuple[str, Any]],
     wires: Iterable[Tuple[int, int]],
 ) -> Dict[int, bool]:
-    """Evaluate a boolean circuit given in topological order.
+    """Evaluate a boolean circuit given in topological order at the
+    ``O(Sort(E))`` time-forward processing cost.
 
     Args:
         gates: per vertex, ``("input", bool)``, ``("and", None)``,

@@ -21,11 +21,23 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, List, Optional, Sequence
 
+from ..analysis.sanitizer import io_bound
 from ..core.blockfile import BlockFile
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from ..sort.merge import external_merge_sort
+
+
+def _matrix_n(machine: Machine, matrix: "ExternalMatrix") -> int:
+    return matrix.rows * matrix.cols
+
+
+def _permute_theory(machine: Machine, n: int) -> int:
+    """General-permutation regime: ``O(Sort(N))`` plus the I/O scans."""
+    return (sort_io(n, machine.M, machine.B, machine.D)
+            + 4 * scan_io(n, machine.B, machine.D))
 
 
 class ExternalMatrix:
@@ -152,6 +164,8 @@ class ExternalMatrix:
 # ----------------------------------------------------------------------
 # transpose
 # ----------------------------------------------------------------------
+@io_bound(lambda machine, n: n + 2 * scan_io(n, machine.B, machine.D),
+          factor=2.0, n=_matrix_n)
 def transpose_naive(machine: Machine, matrix: ExternalMatrix) -> ExternalMatrix:
     """Transpose with the RAM-model column loop.
 
@@ -176,6 +190,7 @@ def transpose_naive(machine: Machine, matrix: ExternalMatrix) -> ExternalMatrix:
     return result
 
 
+@io_bound(_permute_theory, factor=3.0, n=_matrix_n)
 def transpose_blocked(machine: Machine,
                       matrix: ExternalMatrix) -> ExternalMatrix:
     """Transpose by moving ``B × B`` tiles through memory.
@@ -213,6 +228,7 @@ def transpose_blocked(machine: Machine,
     return result
 
 
+@io_bound(_permute_theory, factor=3.0, n=_matrix_n)
 def transpose_by_sort(machine: Machine,
                       matrix: ExternalMatrix) -> ExternalMatrix:
     """Transpose as a general permutation routed by an external sort:
@@ -230,16 +246,17 @@ def transpose_by_sort(machine: Machine,
     )
     result = ExternalMatrix(machine, q, p)
     B = machine.block_size
-    buffer: List[Any] = []
-    index = 0
-    for _, value in ordered:
-        buffer.append(value)
-        if len(buffer) == B:
+    with machine.budget.reserve(B):
+        buffer: List[Any] = []
+        index = 0
+        for _, value in ordered:
+            buffer.append(value)
+            if len(buffer) == B:
+                result.blocks.write_block(index, buffer)
+                index += 1
+                buffer = []
+        if buffer:
             result.blocks.write_block(index, buffer)
-            index += 1
-            buffer = []
-    if buffer:
-        result.blocks.write_block(index, buffer)
     ordered.delete()
     return result
 
@@ -247,6 +264,9 @@ def transpose_by_sort(machine: Machine,
 # ----------------------------------------------------------------------
 # multiply
 # ----------------------------------------------------------------------
+@io_bound(lambda machine, n: n + 2 * scan_io(n, machine.B, machine.D),
+          factor=2.0,
+          n=lambda machine, a, b: a.rows * a.cols * b.cols)
 def multiply_naive(machine: Machine, a: ExternalMatrix,
                    b: ExternalMatrix) -> ExternalMatrix:
     """Multiply with the RAM-model triple loop through the buffer pool.
@@ -278,6 +298,17 @@ def multiply_naive(machine: Machine, a: ExternalMatrix,
     return result
 
 
+def _blocked_multiply_theory(machine: Machine, n: int,
+                             call: dict) -> float:
+    """``O(n³/(B·t))`` tile traffic for ``n³ = p·q·r`` multiply-adds,
+    plus the result writes."""
+    t = call.get("tile") or max(1, math.isqrt(machine.M // 3))
+    return (4 * n / (machine.B * t)
+            + 4 * scan_io(n, machine.B, machine.D))
+
+
+@io_bound(_blocked_multiply_theory, factor=4.0,
+          n=lambda machine, a, b, tile=None: a.rows * a.cols * b.cols)
 def multiply_blocked(machine: Machine, a: ExternalMatrix,
                      b: ExternalMatrix,
                      tile: Optional[int] = None) -> ExternalMatrix:

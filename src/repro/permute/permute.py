@@ -21,26 +21,77 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
 
+from ..analysis.sanitizer import io_bound
 from ..core.blockfile import BlockFile
-from ..core.bounds import sort_io
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from ..sort.merge import external_merge_sort
 
 
+#: bits of permutation-validation bitmap charged as one budget record
+#: (a record is at least one machine word)
+_BITS_PER_RECORD = 64
+
+
 def _check_lengths(stream: FileStream, targets: Sequence[int]) -> None:
-    if len(stream) != len(targets):
+    """Validate that ``targets`` is a permutation of ``0..N-1`` with
+    budget-charged working space instead of O(N) in-RAM copies.
+
+    Instead of materializing ``sorted(targets)`` plus ``list(range(N))``,
+    a seen-bitmap (one budget record per 64 bits) marks each target; a
+    bitmap that does not fit the available budget is windowed over the
+    value range, re-scanning the in-memory ``targets`` vector once per
+    window.  No I/O is performed; working memory is whatever the budget
+    can spare, down to a single record.
+    """
+    n = len(stream)
+    if n != len(targets):
         raise ConfigurationError(
             f"permutation length {len(targets)} does not match stream "
             f"length {len(stream)}"
         )
-    if sorted(targets) != list(range(len(targets))):
-        raise ConfigurationError(
-            "targets must be a permutation of 0..N-1"
-        )
+    if n == 0:
+        return
+    machine = stream.machine
+    bitmap_records = (n + _BITS_PER_RECORD - 1) // _BITS_PER_RECORD
+    reserve = max(1, min(bitmap_records, machine.budget.available))
+    with machine.budget.reserve(reserve):
+        window_bits = reserve * _BITS_PER_RECORD
+        for base in range(0, n, window_bits):
+            high = min(base + window_bits, n)
+            seen = bytearray((high - base + 7) // 8)
+            for target in targets:
+                if base == 0 and not 0 <= target < n:
+                    raise ConfigurationError(
+                        "targets must be a permutation of 0..N-1; "
+                        f"{target} is out of range"
+                    )
+                if not base <= target < high:
+                    continue
+                offset = target - base
+                mask = 1 << (offset & 7)
+                if seen[offset >> 3] & mask:
+                    raise ConfigurationError(
+                        "targets must be a permutation of 0..N-1; "
+                        f"{target} appears more than once"
+                    )
+                seen[offset >> 3] |= mask
 
 
+def _naive_theory(machine: Machine, n: int) -> int:
+    """2 I/Os per record plus the input scan and the output copy."""
+    return 2 * n + 4 * scan_io(n, machine.B, machine.D)
+
+
+def _by_sort_theory(machine: Machine, n: int) -> int:
+    """One external sort of the tagged records plus tag/strip scans."""
+    return (sort_io(n, machine.M, machine.B, machine.D)
+            + 4 * scan_io(n, machine.B, machine.D))
+
+
+@io_bound(_naive_theory, factor=2.0)
 def permute_naive(
     machine: Machine,
     stream: FileStream,
@@ -92,6 +143,7 @@ def permute_naive(
     return result.finalize()
 
 
+@io_bound(_by_sort_theory, factor=3.0)
 def permute_by_sort(
     machine: Machine,
     stream: FileStream,
@@ -116,6 +168,9 @@ def permute_by_sort(
     return result.finalize()
 
 
+@io_bound(lambda machine, n: min(_naive_theory(machine, n),
+                                 _by_sort_theory(machine, n)),
+          factor=3.0)
 def permute(
     machine: Machine,
     stream: FileStream,
@@ -135,6 +190,8 @@ def permute(
     return permute_by_sort(machine, stream, targets, validate=False)
 
 
+# em: ok(EM003) pure in-RAM permutation generator: builds the target
+# vector the model treats as given; performs no I/O
 def bit_reversal_permutation(n_bits: int) -> List[int]:
     """The FFT's bit-reversal permutation on ``2**n_bits`` positions —
     the survey's canonical *hard* permutation (no locality at any block

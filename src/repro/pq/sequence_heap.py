@@ -181,6 +181,8 @@ class ExternalPriorityQueue:
 
     def _spill_heap(self) -> None:
         """Write the insertion heap as a sorted run into level 0."""
+        # em: ok(EM004) insertion heap ≤ insertion_capacity, reserved
+        # for the queue's lifetime at construction
         records = sorted(self._heap)
         self._heap = []
         stream = FileStream(self.machine, name="pq/run")

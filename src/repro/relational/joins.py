@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError, EMError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -25,6 +27,36 @@ from ..sort.merge import external_merge_sort
 from .table import Table
 
 _MAX_HASH_RECURSION = 8
+
+
+def _join_n(left: Table, right: Table, left_column: str,
+            right_column: str, name: str = "", **kwargs) -> int:
+    return len(left.stream) + len(right.stream)
+
+
+def _smj_theory(machine: Machine, n: int, result: Table) -> int:
+    """``Sort(R) + Sort(S)`` plus the merge and output scans."""
+    return (2 * sort_io(n, machine.M, machine.B, machine.D)
+            + 4 * scan_io(n, machine.B, machine.D)
+            + scan_io(len(result.stream), machine.B, machine.D))
+
+
+def _ghj_theory(machine: Machine, n: int, result: Table) -> int:
+    """``~3·(scan(R) + scan(S))`` — partition write, partition read,
+    probe — plus the output scan; recursion multiplies the constant."""
+    return (3 * scan_io(n, machine.B, machine.D) + 2 * machine.m
+            + scan_io(len(result.stream), machine.B, machine.D))
+
+
+def _bnl_theory(machine: Machine, n: int, result: Table,
+                call: dict) -> int:
+    """``scan(R) + ceil(|R|/M')·scan(S) + output``."""
+    left_n = len(call["left"].stream)
+    right_n = len(call["right"].stream)
+    loads = max(1, -(-left_n // max(1, machine.M - 3 * machine.B)))
+    return (scan_io(left_n, machine.B, machine.D)
+            + loads * scan_io(right_n, machine.B, machine.D)
+            + scan_io(len(result.stream), machine.B, machine.D))
 
 
 def _joined_columns(left: Table, right: Table) -> List[str]:
@@ -93,6 +125,7 @@ def merge_join_iterators(
                 budget.release(len(group))
 
 
+@io_bound(_smj_theory, factor=3.0, n=_join_n)
 def sort_merge_join(
     left: Table,
     right: Table,
@@ -122,6 +155,7 @@ def sort_merge_join(
     return result
 
 
+@io_bound(_bnl_theory, factor=2.0, n=_join_n)
 def block_nested_loop_join(
     left: Table,
     right: Table,
@@ -163,8 +197,13 @@ def block_nested_loop_join(
     )
 
 
+@io_bound(lambda machine, n: 3 * scan_io(n, machine.B, machine.D)
+          + 2 * machine.m,
+          factor=3.0,
+          n=lambda table, key_column, aggregates, name="hgrouped": len(
+              table.stream))
 def hash_group_by(
-    table,
+    table: Table,
     key_column: str,
     aggregates,
     name: str = "hgrouped",
@@ -187,6 +226,7 @@ def hash_group_by(
         if agg_name not in AGGREGATES:
             raise ConfigurationError(
                 f"unknown aggregate {agg_name!r}; "
+                # em: ok(EM004) fixed aggregate-name table, error message
                 f"choose from {sorted(AGGREGATES)}"
             )
         specs.append(
@@ -238,6 +278,7 @@ def hash_group_by(
     return _Table(machine, columns, out.finalize(), name=name)
 
 
+@io_bound(_ghj_theory, factor=8.0, n=_join_n)
 def grace_hash_join(
     left: Table,
     right: Table,
@@ -250,7 +291,8 @@ def grace_hash_join(
     """Grace hash join: hash-partition both inputs, then join each
     partition pair with an in-memory hash table on the (smaller) left
     side.  Oversized partitions are recursively re-partitioned with a
-    different hash salt."""
+    different hash salt.  Costs ``~3·(scan(R) + scan(S))`` I/Os per
+    partitioning level plus the output scan."""
     machine = left.machine
     left_key = left.key_fn(left_column)
     right_key = right.key_fn(right_column)

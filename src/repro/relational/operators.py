@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -17,6 +19,24 @@ from ..sort.merge import external_merge_sort
 from .table import Table
 
 
+def _table_n(table: Table, *args, **kwargs) -> int:
+    return len(table.stream)
+
+
+def _scan_out_theory(machine: Machine, n: int, result: Table) -> int:
+    """One input scan plus the output write."""
+    return (scan_io(n, machine.B, machine.D)
+            + scan_io(len(result.stream), machine.B, machine.D))
+
+
+def _sort_out_theory(machine: Machine, n: int, result: Table) -> int:
+    """One external sort plus the pre/post scans and the output write."""
+    return (sort_io(n, machine.M, machine.B, machine.D)
+            + 2 * scan_io(n, machine.B, machine.D)
+            + scan_io(len(result.stream), machine.B, machine.D))
+
+
+@io_bound(_scan_out_theory, factor=2.0, n=_table_n)
 def select(
     table: Table,
     predicate: Callable[[Tuple], bool],
@@ -31,6 +51,7 @@ def select(
     return Table(machine, table.columns, out.finalize(), name=name)
 
 
+@io_bound(_scan_out_theory, factor=2.0, n=_table_n)
 def project(
     table: Table,
     columns: Sequence[str],
@@ -45,6 +66,7 @@ def project(
     return Table(machine, columns, out.finalize(), name=name)
 
 
+@io_bound(_sort_out_theory, factor=3.0, n=_table_n)
 def order_by(
     table: Table,
     column: str,
@@ -85,6 +107,7 @@ AGGREGATES: Dict[str, Aggregate] = {
 """Built-in aggregate functions by name."""
 
 
+@io_bound(_sort_out_theory, factor=3.0, n=_table_n)
 def distinct(
     table: Table,
     name: str = "distinct",
@@ -103,6 +126,7 @@ def distinct(
     return Table(machine, table.columns, out.finalize(), name=name)
 
 
+@io_bound(_scan_out_theory, factor=2.0, n=_table_n)
 def top_k(
     table: Table,
     column: str,
@@ -136,6 +160,7 @@ def top_k(
                 heapq.heappush(heap, entry)
             elif heap and entry > heap[0]:
                 heapq.heapreplace(heap, entry)
+        # em: ok(EM004) k-record heap, reserved above
         winners = [row for _, _, row in sorted(heap, reverse=True)]
     out = FileStream(machine, name=f"table/{name}")
     for row in winners:
@@ -161,6 +186,7 @@ class _Reversed:
         return other.value == self.value
 
 
+@io_bound(_sort_out_theory, factor=3.0, n=_table_n)
 def group_by(
     table: Table,
     key_column: str,
@@ -184,6 +210,7 @@ def group_by(
         if agg_name not in AGGREGATES:
             raise ConfigurationError(
                 f"unknown aggregate {agg_name!r}; "
+                # em: ok(EM004) fixed aggregate-name table, error message
                 f"choose from {sorted(AGGREGATES)}"
             )
         specs.append(

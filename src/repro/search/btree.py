@@ -516,6 +516,7 @@ class BPlusTree:
             )
         # Leaf chain must be globally sorted and complete.
         chained = [key for key, _ in self.items()]
+        # em: ok(EM004) test-support invariant check, not an algorithm
         assert chained == sorted(chained), "leaf chain out of order"
         assert len(chained) == self._size
 
@@ -524,6 +525,7 @@ class BPlusTree:
         node = self._node(block_id)
         entries = node[1:]
         keys = [entry[0] for entry in entries]
+        # em: ok(EM004) one node's ≤ order keys, test-support check
         assert keys == sorted(keys), f"node {block_id} keys unsorted"
         if not is_root and getattr(self, "_strict_fill", True):
             assert len(entries) >= self._min_fill(node), (

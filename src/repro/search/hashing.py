@@ -113,6 +113,8 @@ class ExtendibleHashTable:
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
         """Yield every ``(key, value)`` pair (unordered)."""
+        # em: ok(EM004) the directory is RAM-resident by design
+        # (2^depth block ids, a factor B smaller than the data)
         for block_id in sorted(set(self._directory)):
             chain = block_id
             while chain != _NO_OVERFLOW:

@@ -25,6 +25,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -49,7 +51,7 @@ def _sample_pivots(
     with machine.budget.reserve(len(probe_indices) * machine.B):
         for index in probe_indices:
             keys.extend(key(record) for record in stream.read_block(index))
-    keys.sort()
+    keys.sort()  # em: ok(EM004) pivot sample of ≤ (m-2)·B keys, reserved
     distinct: List[Any] = []
     for k in keys:
         if not distinct or distinct[-1] != k:
@@ -100,6 +102,8 @@ def _partition(
     return result
 
 
+@io_bound(lambda machine, n: sort_io(n, machine.M, machine.B, machine.D),
+          factor=6.0)
 def distribution_sort(
     machine: Machine,
     stream: FileStream,
@@ -155,12 +159,14 @@ def distribution_sort(
             else:
                 with machine.budget.reserve(len(current)):
                     records = list(current)
+                    # em: ok(EM004) tiny bucket ≤ M - 2B records, reserved
                     records.sort(key=key)
                     for record in records:
                         output.append(record)
         elif len(current) <= threshold:
             with machine.budget.reserve(len(current)):
                 records = list(current)
+                # em: ok(EM004) base-case bucket ≤ M - 2B records, reserved
                 records.sort(key=key)
                 for record in records:
                     output.append(record)

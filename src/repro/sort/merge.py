@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, List, Optional
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -128,6 +130,10 @@ class LoserTree:
         return record
 
 
+@io_bound(lambda machine, n: 2 * scan_io(n, machine.B, machine.D),
+          factor=2.0,
+          n=lambda machine, streams, **kwargs: sum(
+              len(stream) for stream in streams))
 def merge_streams(
     machine: Machine,
     streams: List[FileStream],
@@ -158,6 +164,14 @@ RUN_STRATEGIES = {
 }
 
 
+def _merge_sort_theory(machine: Machine, n: int, call: dict) -> int:
+    """``Sort(N)`` with the call's actual merge arity (``fan_in=2``
+    reproduces the binary baseline's extra passes)."""
+    fan_in = call.get("fan_in") or 0
+    return sort_io(n, machine.M, machine.B, machine.D, fan_in=fan_in)
+
+
+@io_bound(_merge_sort_theory, factor=3.0)
 def external_merge_sort(
     machine: Machine,
     stream: FileStream,
@@ -190,6 +204,7 @@ def external_merge_sort(
     if run_strategy not in RUN_STRATEGIES:
         raise ConfigurationError(
             f"unknown run strategy {run_strategy!r}; "
+            # em: ok(EM004) two-entry strategy-name dict in an error message
             f"choose from {sorted(RUN_STRATEGIES)}"
         )
     arity = fan_in if fan_in is not None else machine.fan_in

@@ -11,11 +11,16 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import sort_io
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from .merge import external_merge_sort
 
 
+@io_bound(lambda machine, n: sort_io(n, machine.M, machine.B, machine.D,
+                                     fan_in=2),
+          factor=3.0)
 def two_way_merge_sort(
     machine: Machine,
     stream: FileStream,

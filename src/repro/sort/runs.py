@@ -18,14 +18,25 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
 
 
+# em: ok(EM003) pure key helper: no machine, no I/O
 def identity(record: Any) -> Any:
     """Default key function: the record is its own key."""
     return record
+
+
+def _run_formation_theory(machine: Machine, n: int) -> int:
+    """One read pass plus one write pass: ``2·scan(N)``."""
+    return 2 * scan_io(n, machine.B, machine.D)
+
+
+@io_bound(_run_formation_theory, factor=2.0)
 
 
 def form_runs_load_sort(
@@ -50,7 +61,7 @@ def form_runs_load_sort(
         end = min(start + blocks_per_run, num_blocks)
         with machine.budget.reserve((end - start) * machine.B):
             chunk = stream.read_block_range(start, end)
-            chunk.sort(key=key)
+            chunk.sort(key=key)  # em: ok(EM004) one memoryload ≤ m·B, reserved
             run = stream_cls(machine, name=f"run/{len(runs)}")
             for offset in range(0, len(chunk), machine.B):
                 run.append_block(chunk[offset:offset + machine.B])
@@ -58,13 +69,15 @@ def form_runs_load_sort(
     return runs
 
 
+@io_bound(_run_formation_theory, factor=3.0)
 def form_runs_replacement_selection(
     machine: Machine,
     stream: FileStream,
     key: Optional[Callable[[Any], Any]] = None,
     stream_cls=FileStream,
 ) -> List[FileStream]:
-    """Form runs by replacement selection.
+    """Form runs by replacement selection: one read and one write pass
+    (``2·scan(N)`` I/Os, plus one short block per run).
 
     The selection heap holds ``M - 2B`` records (one frame is the input
     buffer, one the output buffer).  A record read from the input replaces
@@ -134,6 +147,7 @@ def form_runs_replacement_selection(
     return runs
 
 
+# em: ok(EM003) in-RAM statistic over run handles; reads no blocks
 def average_run_length(runs: List[FileStream]) -> float:
     """Mean run length in records (0.0 for no runs) — the statistic the
     replacement-selection experiment reports."""

@@ -15,10 +15,20 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io
 from ..core.exceptions import ConfigurationError, EMError
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from .runs import identity
+
+
+def _select_theory(machine: Machine, n: int) -> int:
+    """A geometric series of partition scans: ``O(scan(N))``."""
+    return scan_io(n, machine.B, machine.D)
+
+
+@io_bound(_select_theory, factor=12.0)
 
 
 def external_select(
@@ -48,6 +58,7 @@ def external_select(
         n = len(current)
         if n <= machine.M - 2 * machine.B:
             with machine.budget.reserve(n):
+                # em: ok(EM001) base case: ≤ M - 2B records, reserved above
                 records = sorted(current, key=key)
                 result = records[offset]
             if owned:
@@ -100,16 +111,18 @@ def _sample_median_key(
     with machine.budget.reserve(probes * machine.B):
         for index in list(range(0, stream.num_blocks, step))[:probes]:
             keys.extend(key(r) for r in stream.read_block(index))
-    keys.sort()
+    keys.sort()  # em: ok(EM004) pivot sample of ≤ (m-3)·B keys, reserved
     return keys[len(keys) // 2]
 
 
+@io_bound(_select_theory, factor=12.0)
 def external_median(
     machine: Machine,
     stream: FileStream,
     key: Optional[Callable[[Any], Any]] = None,
 ) -> Any:
-    """The (lower) median record: ``external_select(N // 2)``."""
+    """The (lower) median record: ``external_select(N // 2)``, at the
+    same ``O(scan(N))`` I/O cost."""
     if len(stream) == 0:
         raise EMError("median of an empty stream")
     return external_select(machine, stream, len(stream) // 2, key=key)

@@ -19,12 +19,16 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from .runs import identity
 
 
+@io_bound(lambda machine, n: sort_io(n, machine.M, machine.B, machine.D),
+          factor=8.0)
 def external_string_sort(
     machine: Machine,
     stream: FileStream,
@@ -61,6 +65,7 @@ def external_string_sort(
         if len(bucket) <= threshold:
             with machine.budget.reserve(len(bucket)):
                 records = list(bucket)
+                # em: ok(EM004) base-case bucket ≤ M - 2B records, reserved
                 records.sort(key=key)
                 for record in records:
                     output.append(record)
@@ -108,6 +113,7 @@ def _sample_chars(
                 text = key(record)
                 if len(text) > depth:
                     chars.append(text[depth])
+    # em: ok(EM004) ≤ probes·B sampled characters, reserved above
     distinct = sorted(set(chars))
     if len(distinct) <= fan_out:
         return distinct

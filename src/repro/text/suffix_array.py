@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence
 
+from ..analysis.sanitizer import io_bound
+from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
@@ -30,6 +32,16 @@ from ..sort.merge import external_merge_sort
 _MISSING = -1  # rank of the empty suffix beyond the text end
 
 
+def _sa_theory(machine: Machine, n: int) -> float:
+    """``O(Sort(N))`` per doubling round, ``ceil(log2 N)`` rounds."""
+    if n <= 1:
+        return 0.0
+    rounds = max(1, n.bit_length())
+    return rounds * (3 * sort_io(n, machine.M, machine.B, machine.D)
+                     + 6 * scan_io(n, machine.B, machine.D))
+
+
+@io_bound(_sa_theory, factor=4.0)
 def suffix_array(machine: Machine, text: Sequence[Any]) -> List[int]:
     """Return the suffix array of ``text``: starting positions of all
     suffixes in lexicographic order.
@@ -78,6 +90,8 @@ def suffix_array(machine: Machine, text: Sequence[Any]) -> List[int]:
     # ranks is sorted by position; the suffix array inverts it.
     result: List[int] = [0] * n
     for position, rank in ranks:
+        # em: ok(EM005) the N-integer suffix array is the declared
+        # in-RAM result (see docstring); working data stays on streams
         result[rank] = position
     ranks.delete()
     return result
@@ -135,11 +149,14 @@ def _double(machine: Machine, ranks: FileStream, n: int, k: int):
     return by_position, distinct
 
 
+# em: ok(EM003) in-memory reference oracle for tests, outside the model
 def suffix_array_naive(text: Sequence[Any]) -> List[int]:
     """Quadratic in-memory reference: sort positions by suffix."""
+    # em: ok(EM004) in-memory reference oracle for tests
     return sorted(range(len(text)), key=lambda i: tuple(text[i:]))
 
 
+# em: ok(EM003) in-memory query helper over a built index, no machine
 def search_suffix_array(
     text: Sequence[Any],
     sa: List[int],
@@ -179,4 +196,4 @@ def search_suffix_array(
             low = mid + 1
         else:
             high = mid
-    return sorted(sa[first:low])
+    return sorted(sa[first:low])  # em: ok(EM004) occ result positions

@@ -30,6 +30,19 @@ class TestScan:
     def test_parallel_disks_divide(self):
         assert scan_io(64, 8, D=4) == 2
 
+    def test_parallel_disks_round_up_twice(self):
+        # 65 records -> 9 blocks -> ceil(9/4) = 3 rounds of D=4 disks:
+        # both the block count and the stripe count round up.
+        assert scan_io(65, 8, D=4) == 3
+
+    def test_parallel_disks_never_below_one_round(self):
+        assert scan_io(1, 8, D=64) == 1
+
+    def test_more_disks_never_hurt(self):
+        costs = [scan_io(1000, 8, D=d) for d in (1, 2, 4, 8)]
+        assert costs == sorted(costs, reverse=True)
+        assert scan_io(0, 8, D=8) == 0
+
     def test_single_record(self):
         assert scan_io(1, 8) == 1
 
@@ -53,6 +66,24 @@ class TestMergePasses:
         n, M, B = 16384, 128, 8
         assert merge_passes(n, M, B, fan_in=2) > merge_passes(n, M, B)
 
+    def test_fan_in_override_exact_counts(self):
+        # N=16384, M=128 -> 128 runs.  fan_in=2: 128->64->...->1 is 7
+        # merge levels (+1 run-formation pass); fan_in=128 finishes in one.
+        assert merge_passes(16384, 128, 8, fan_in=2) == 8
+        assert merge_passes(16384, 128, 8, fan_in=128) == 2
+
+    def test_fan_in_zero_means_default(self):
+        assert merge_passes(16384, 128, 8, fan_in=0) == merge_passes(
+            16384, 128, 8)
+
+    def test_larger_fan_in_never_needs_more_passes(self):
+        n, M, B = 1 << 18, 128, 8
+        passes = [merge_passes(n, M, B, fan_in=f) for f in (2, 4, 8, 15)]
+        assert passes == sorted(passes, reverse=True)
+
+    def test_single_record_is_one_pass(self):
+        assert merge_passes(1, M=128, B=8) == 1
+
     def test_passes_grow_logarithmically(self):
         M, B = 64, 8
         p1 = merge_passes(1 << 10, M, B)
@@ -71,6 +102,20 @@ class TestSort:
     def test_zero(self):
         assert sort_io(0, 128, 8) == 0
 
+    def test_fits_in_memory_single_pass(self):
+        # N <= M: one run-formation pass, i.e. read + write the input once.
+        assert sort_io(100, M=128, B=8) == 2 * scan_io(100, 8)
+
+    def test_fan_in_override_propagates(self):
+        N, M, B = 16384, 128, 8
+        assert sort_io(N, M, B, fan_in=2) == (
+            2 * scan_io(N, B) * merge_passes(N, M, B, fan_in=2))
+
+    def test_parallel_disks_divide_each_pass(self):
+        N, M, B = 16384, 128, 8
+        assert sort_io(N, M, B, D=4) == (
+            2 * scan_io(N, B, D=4) * merge_passes(N, M, B))
+
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ConfigurationError):
             sort_io(100, M=4, B=8)  # M < B
@@ -85,6 +130,10 @@ class TestSearchOutput:
 
     def test_output_adds_reporting_scans(self):
         assert output_io(10**6, B=100, Z=1000) == 3 + 10
+
+    def test_empty_structures_still_cost_the_root_probe(self):
+        assert search_io(0, B=100) == 1
+        assert output_io(0, B=100, Z=0) == 1
 
 
 class TestPermute:
@@ -129,3 +178,7 @@ class TestAmortizedBounds:
 
     def test_list_ranking_equals_sort(self):
         assert list_ranking_io(4096, 256, 16) == sort_io(4096, 256, 16)
+
+    def test_zero_records_cost_nothing(self):
+        assert permute_io(0, 64, 8) == 0
+        assert list_ranking_io(0, 64, 8) == 0

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""EM-lint launcher: ``python tools/emlint.py [paths...]``.
+
+Thin wrapper around :mod:`repro.analysis.cli` that works from a source
+checkout without installation (it prepends ``src/`` to ``sys.path``).
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
