@@ -11,6 +11,12 @@ that contract from two sides:
   in-memory sorts, unbudgeted accumulation, and private machinery
   construction.  Legitimate in-memory steps are *documented*, not
   invisible, via ``# em: ok(<rule>) <reason>`` waiver comments.
+* :mod:`repro.analysis.flow` — the whole-program side (rules
+  EM101–EM105, ``emlint --flow``): per-function CFGs with exception
+  edges, a project call graph with stream/budget taint summaries, and
+  a fixpoint that catches budget leaks, nested full scans, cross-call
+  stream materialization, unguarded reservations and machine aliasing,
+  with SARIF 2.1.0 output and a CI baseline workflow.
 * :mod:`repro.analysis.sanitizer` — an :func:`io_bound` decorator
   registry turning the survey's fundamental-bounds table into an
   executable contract: with ``REPRO_IO_SANITIZE=1`` every decorated
@@ -22,7 +28,13 @@ Run the linter with ``python tools/emlint.py src/repro`` (or the
 """
 
 from .emlint import Finding, Waiver, lint_paths, lint_source, unwaived
-from .rules import RULES
+from .flow import (
+    lint_paths_flow,
+    lint_sources_flow,
+    to_sarif,
+    write_baseline,
+)
+from .rules import FLOW_RULES, RULES
 from .sanitizer import (
     IOBoundViolation,
     SanitizerRecord,
@@ -39,9 +51,14 @@ __all__ = [
     "Finding",
     "Waiver",
     "RULES",
+    "FLOW_RULES",
     "lint_paths",
+    "lint_paths_flow",
     "lint_source",
+    "lint_sources_flow",
+    "to_sarif",
     "unwaived",
+    "write_baseline",
     "IOBoundViolation",
     "SanitizerRecord",
     "io_bound",

@@ -2,13 +2,17 @@
 
 Usage::
 
-    python tools/emlint.py src/repro          # lint the library
+    python tools/emlint.py src/repro          # per-line rules
+    emlint --flow src/repro                   # + EM100 flow rules
+    emlint --flow --sarif out.sarif src/repro # SARIF 2.1.0 log
+    emlint --flow --baseline em.json src/repro  # fail only on NEW
+    emlint --flow --write-baseline em.json src/repro  # accept current
     emlint --list-rules                       # what each rule means
     emlint --format json src/repro            # machine-readable output
     emlint --show-waived src/repro            # audit documented waivers
 
-Exit status: 0 when every finding is waived, 1 when unwaived findings
-remain, 2 on usage errors.
+Exit status: 0 when every finding is waived (or baselined), 1 when
+unwaived findings remain, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ import sys
 from typing import List, Optional
 
 from .emlint import lint_paths, unwaived
-from .rules import RULES
+from .rules import FLOW_RULES, RULES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +45,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the interprocedural EM100-series rules "
+             "(CFG + call-graph dataflow)")
+    parser.add_argument(
+        "--sarif", metavar="FILE",
+        help="write a SARIF 2.1.0 log of all findings to FILE")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings recorded in this baseline file; only "
+             "new findings fail the run")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record the current unwaived findings as the accepted "
+             "baseline and exit 0")
     return parser
 
 
@@ -49,7 +68,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule, description in sorted(RULES.items()):
+        catalogue = dict(RULES)
+        catalogue.update(FLOW_RULES)
+        for rule, description in sorted(catalogue.items()):
             print(f"{rule}  {description}")
         return 0
 
@@ -57,9 +78,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not os.path.exists(path):
             parser.error(f"no such file or directory: {path}")
 
-    findings = lint_paths(args.paths)
+    if args.flow:
+        from .flow import lint_paths_flow
+        findings = lint_paths_flow(args.paths)
+    else:
+        findings = lint_paths(args.paths)
     open_findings = unwaived(findings)
     waived_count = len(findings) - len(open_findings)
+
+    if args.sarif:
+        from .flow.sarif import to_sarif
+        catalogue = dict(RULES)
+        if args.flow:
+            catalogue.update(FLOW_RULES)
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(to_sarif(findings, catalogue), handle, indent=2)
+            handle.write("\n")
+
+    if args.write_baseline:
+        from .flow.baseline import write_baseline
+        count = write_baseline(open_findings, args.write_baseline)
+        print(f"emlint: baseline written to {args.write_baseline} "
+              f"({count} finding(s) accepted)")
+        return 0
+
+    known_count = 0
+    if args.baseline:
+        from .flow.baseline import split_by_baseline
+        open_findings, known = split_by_baseline(
+            open_findings, args.baseline)
+        known_count = len(known)
 
     if args.format == "json":
         print(json.dumps(
@@ -70,10 +118,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         shown = findings if args.show_waived else open_findings
         for finding in shown:
             print(finding.render())
-        print(
-            f"emlint: {len(open_findings)} unwaived finding(s), "
-            f"{waived_count} waived"
-        )
+        summary = (f"emlint: {len(open_findings)} unwaived finding(s), "
+                   f"{waived_count} waived")
+        if args.baseline:
+            summary += f", {known_count} baselined"
+        print(summary)
     return 1 if open_findings else 0
 
 

@@ -21,7 +21,7 @@ import os
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 #: matches a well-formed waiver comment and captures (rules, reason)
 WAIVER_RE = re.compile(
@@ -44,6 +44,8 @@ class Finding:
     end_line: int = 0
     waived: bool = False
     waiver_reason: str = ""
+    #: interprocedural evidence (call chain and path), one hop per entry
+    trace: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.end_line:
@@ -58,7 +60,7 @@ class Finding:
         return text
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -67,6 +69,9 @@ class Finding:
             "waived": self.waived,
             "waiver_reason": self.waiver_reason,
         }
+        if self.trace:
+            data["trace"] = list(self.trace)
+        return data
 
 
 @dataclass
@@ -79,7 +84,16 @@ class Waiver:
     standalone: bool
     #: for a standalone waiver: the next code line, which it covers
     target_line: int = 0
-    used: bool = field(default=False)
+    #: rule ids this waiver actually suppressed (usage is per rule id,
+    #: not per comment: ``ok(EM001,EM004)`` may be half dead)
+    used_rules: Set[str] = field(default_factory=set)
+
+    @property
+    def used(self) -> bool:
+        return bool(self.used_rules)
+
+    def mark_used(self, rule: str) -> None:
+        self.used_rules.add(rule)
 
     @property
     def covered_lines(self) -> Tuple[int, ...]:
@@ -97,7 +111,9 @@ class Waiver:
 def parse_waivers(source: str, path: str) -> Tuple[List[Waiver],
                                                    List[Finding]]:
     """Extract waivers and EM007 syntax findings from comments."""
-    from .rules import RULES
+    from .rules import FLOW_RULES, RULES
+
+    known_rules = set(RULES) | set(FLOW_RULES)
 
     waivers: List[Waiver] = []
     findings: List[Finding] = []
@@ -126,7 +142,7 @@ def parse_waivers(source: str, path: str) -> Tuple[List[Waiver],
             part.strip() for part in match.group(1).split(","))
         reason = match.group(2).strip()
         for rule in rules:
-            if rule != "*" and rule not in RULES:
+            if rule != "*" and rule not in known_rules:
                 findings.append(Finding(
                     rule="EM007", path=path, line=row, col=col + 1,
                     message=f"waiver names unknown rule {rule!r}",
@@ -171,10 +187,10 @@ def classify(path: str) -> str:
     return "algorithm"
 
 
-def lint_source(source: str, path: str = "<string>",
-                kind: Optional[str] = None) -> List[Finding]:
-    """Lint one module's source text; returns all findings, waived ones
-    marked as such."""
+def static_findings(source: str, path: str = "<string>",
+                    kind: Optional[str] = None) -> List[Finding]:
+    """Run the per-line rules (EM001-EM006) over one module, without
+    any waiver processing."""
     from .rules import ComplianceVisitor
 
     if kind is None:
@@ -191,36 +207,90 @@ def lint_source(source: str, path: str = "<string>",
         )]
     visitor = ComplianceVisitor(kind, path)
     visitor.visit(tree)
-    findings = visitor.findings
-    waivers, waiver_findings = parse_waivers(source, path)
+    return visitor.findings
 
+
+def apply_waivers(findings: Iterable[Finding],
+                  waivers: Iterable[Waiver]) -> None:
+    """Mark findings covered by a waiver, recording which rule ids each
+    waiver suppressed."""
     for finding in findings:
         for waiver in waivers:
             if waiver.covers(finding):
                 finding.waived = True
                 finding.waiver_reason = waiver.reason
-                waiver.used = True
+                waiver.mark_used(finding.rule)
                 break
 
+
+def unused_waiver_findings(waivers: Iterable[Waiver], path: str,
+                           active_rules: Set[str]) -> List[Finding]:
+    """EM007 findings for waiver rule ids that suppressed nothing.
+
+    Usage is tracked per rule id, so ``# em: ok(EM001,EM004) ...`` where
+    only EM001 ever fires is flagged for the dead EM004 entry.  Rule ids
+    outside ``active_rules`` (e.g. flow rules during a per-line-only
+    run) are not judged: the checker that would use them did not run.
+    """
+    findings: List[Finding] = []
     for waiver in waivers:
-        if not waiver.used and waiver.reason:
-            waiver_findings.append(Finding(
-                rule="EM007", path=path, line=waiver.line, col=1,
-                message="waiver suppresses nothing; remove it or fix "
-                        f"the rule list {', '.join(waiver.rules)}",
-            ))
+        if not waiver.reason:
+            continue  # already flagged as malformed at parse time
+        if "*" in waiver.rules:
+            if not waiver.used:
+                findings.append(Finding(
+                    rule="EM007", path=path, line=waiver.line, col=1,
+                    message="waiver suppresses nothing; remove it or "
+                            f"fix the rule list {', '.join(waiver.rules)}",
+                ))
+            continue
+        for rule in waiver.rules:
+            if rule not in active_rules:
+                continue  # unknown ids flagged at parse time; inactive
+                          # ids were never checked this run
+            if rule not in waiver.used_rules:
+                findings.append(Finding(
+                    rule="EM007", path=path, line=waiver.line, col=1,
+                    message=f"waiver rule {rule} suppresses nothing; "
+                            "remove it or fix the rule list "
+                            f"{', '.join(waiver.rules)}",
+                ))
+    return findings
+
+
+def finish_findings(findings: List[Finding], waivers: List[Waiver],
+                    waiver_findings: List[Finding], path: str,
+                    active_rules: Set[str]) -> List[Finding]:
+    """Apply waivers, flag dead waiver entries, and sort."""
+    apply_waivers(findings, waivers)
+    waiver_findings = list(waiver_findings)
+    waiver_findings.extend(
+        unused_waiver_findings(waivers, path, active_rules))
     # EM007 findings may themselves be waived (e.g. fixture files that
     # intentionally hold broken waivers).
-    for finding in waiver_findings:
-        for waiver in waivers:
-            if waiver.covers(finding):
-                finding.waived = True
-                finding.waiver_reason = waiver.reason
-                waiver.used = True
-                break
-    findings.extend(waiver_findings)
+    apply_waivers(waiver_findings, waivers)
+    findings = findings + waiver_findings
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return findings
+
+
+def lint_source(source: str, path: str = "<string>",
+                kind: Optional[str] = None,
+                active_rules: Optional[Set[str]] = None) -> List[Finding]:
+    """Lint one module's source text; returns all findings, waived ones
+    marked as such."""
+    from .rules import RULES
+
+    if kind is None:
+        kind = classify(path)
+    if kind == "exempt":
+        return []
+    findings = static_findings(source, path, kind)
+    waivers, waiver_findings = parse_waivers(source, path)
+    if active_rules is None:
+        active_rules = set(RULES)
+    return finish_findings(findings, waivers, waiver_findings, path,
+                           active_rules)
 
 
 def lint_file(path: str) -> List[Finding]:

@@ -1,0 +1,58 @@
+"""Baseline workflow: fail CI only on *new* findings.
+
+A baseline file is JSON: ``{"version": 1, "fingerprints": {fp: info}}``
+where ``fp`` is the same stable fingerprint SARIF output carries in
+``partialFingerprints`` (rule + path + number-masked message).  Known
+findings are filtered out of the gate; fixing a finding simply leaves a
+stale entry that ``--write-baseline`` prunes on the next refresh.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from ..emlint import Finding
+from .sarif import fingerprint
+
+BASELINE_VERSION = 1
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> int:
+    """Record the given (unwaived) findings as accepted; returns the
+    number of entries written."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for finding in findings:
+        entries[fingerprint(finding)] = {
+            "rule": finding.rule,
+            "path": finding.path.replace("\\", "/"),
+            "message": finding.message,
+        }
+    payload = {"version": BASELINE_VERSION, "fingerprints": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, object]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unrecognized baseline file {path!r}")
+    return dict(payload.get("fingerprints", {}))
+
+
+def split_by_baseline(findings: Iterable[Finding], path: str
+                      ) -> Tuple[List[Finding], List[Finding]]:
+    """(new, known) partition of ``findings`` against the baseline."""
+    known_fps = load_baseline(path)
+    new: List[Finding] = []
+    known: List[Finding] = []
+    for finding in findings:
+        if fingerprint(finding) in known_fps:
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

@@ -1,0 +1,370 @@
+"""Per-function control-flow graphs built from ``ast``.
+
+The graph is statement-granular: every simple statement and every
+compound-statement header (``if`` test, ``for`` iterator, ``while``
+test, ``with`` items) becomes one node.  Three synthetic nodes frame the
+function: ENTRY, EXIT (normal return / fall-off) and EXC_EXIT (an
+exception escaping the function).
+
+Exception edges are what make the graph useful for leak analysis: any
+statement that contains a call (or ``raise`` / ``assert``) gets an edge
+to the innermost enclosing handler chain, threading through ``finally``
+bodies, and ultimately to EXC_EXIT when nothing catches.  ``finally``
+bodies are duplicated per continuation kind (normal, exceptional,
+return/break/continue) so a ``release`` in a ``finally`` absorbs the
+exceptional path without creating false normal-to-exceptional paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+ENTRY = "entry"
+EXIT = "exit"
+EXC_EXIT = "exc_exit"
+STMT = "stmt"
+JUNCTION = "junction"  # synthetic per-try exception collector
+
+
+class Node:
+    __slots__ = ("index", "kind", "stmt", "lineno", "label")
+
+    def __init__(self, index: int, kind: str,
+                 stmt: Optional[ast.AST] = None, label: str = "") -> None:
+        self.index = index
+        self.kind = kind
+        self.stmt = stmt
+        self.lineno = getattr(stmt, "lineno", 0)
+        self.label = label or kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.index} {self.label} L{self.lineno}>"
+
+
+class CFG:
+    """A statement-level control-flow graph for one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self.succ: Dict[int, Set[int]] = {}
+        #: subset of ``succ`` edges that model exception propagation
+        self.exc_succ: Dict[int, Set[int]] = {}
+        self.entry = self._new(ENTRY).index
+        self.exit = self._new(EXIT).index
+        self.exc_exit = self._new(EXC_EXIT).index
+
+    def _new(self, kind: str, stmt: Optional[ast.AST] = None,
+             label: str = "") -> Node:
+        node = Node(len(self.nodes), kind, stmt, label)
+        self.nodes.append(node)
+        self.succ[node.index] = set()
+        self.exc_succ[node.index] = set()
+        return node
+
+    def add_edge(self, src: int, dst: int, exceptional: bool = False) -> None:
+        self.succ[src].add(dst)
+        if exceptional:
+            self.exc_succ[src].add(dst)
+
+    def stmt_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.kind == STMT]
+
+    def reachable(self, starts: Sequence[int],
+                  removed: Set[int]) -> Set[int]:
+        """Nodes reachable from ``starts`` when ``removed`` nodes (and
+        their outgoing edges) are deleted from the graph."""
+        seen: Set[int] = set()
+        stack = [s for s in starts if s not in removed]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self.succ[node]:
+                if nxt not in removed and nxt not in seen:
+                    stack.append(nxt)
+        return seen
+
+    def find_path(self, start: int, goal: int,
+                  removed: Set[int]) -> List[int]:
+        """One concrete path from ``start`` to ``goal`` avoiding
+        ``removed`` nodes, for finding traces.  Empty when unreachable."""
+        if start in removed:
+            return []
+        parents: Dict[int, int] = {start: start}
+        queue = [start]
+        while queue:
+            node = queue.pop(0)
+            if node == goal:
+                path = [node]
+                while parents[node] != node:
+                    node = parents[node]
+                    path.append(node)
+                return list(reversed(path))
+            for nxt in sorted(self.succ[node]):
+                if nxt not in removed and nxt not in parents:
+                    parents[nxt] = node
+                    queue.append(nxt)
+        return []
+
+
+def _can_raise(stmt: ast.stmt) -> bool:
+    """Conservative: statements that may transfer to a handler."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            return True
+        # yield hands control out; the generator may never be resumed,
+        # but GC-driven close() runs finally blocks, which is the same
+        # path an exception would take.
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+class _Scope:
+    """One entry of the builder's lexical stack."""
+
+    TRY = "try"
+    LOOP = "loop"
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        # TRY fields
+        self.junction: int = -1          # exception collector node
+        self.finally_body: List[ast.stmt] = []
+        # LOOP fields
+        self.header: int = -1
+        self.after_frontier: List[int] = []
+
+
+class Builder:
+    """Builds a :class:`CFG` from a function definition."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.cfg = CFG()
+        self.scopes: List[_Scope] = []
+
+    def build(self) -> CFG:
+        body = list(getattr(self.func, "body", []))
+        frontier = self._block(body, [self.cfg.entry])
+        for node in frontier:
+            self.cfg.add_edge(node, self.cfg.exit)
+        return self.cfg
+
+    # -- scope helpers ------------------------------------------------
+
+    def _exception_target(self, from_scope: int) -> int:
+        """Where an exception raised at scope depth ``from_scope`` goes:
+        the innermost try junction below that depth, else EXC_EXIT."""
+        for scope in reversed(self.scopes[:from_scope]):
+            if scope.kind == _Scope.TRY:
+                return scope.junction
+        return self.cfg.exc_exit
+
+    # -- statement dispatch -------------------------------------------
+
+    def _block(self, stmts: Sequence[ast.stmt],
+               frontier: List[int]) -> List[int]:
+        """Wire ``stmts`` sequentially.  ``frontier`` is the set of
+        predecessor nodes flowing in.  Returns the outgoing frontier
+        (empty when the block cannot fall through)."""
+        current: Optional[List[int]] = list(frontier)
+        for stmt in stmts:
+            _entry, current = self._stmt(stmt, current)
+            if current is None:
+                # unreachable code after return/raise/...: still build
+                # nodes (they may hold waivable constructs) but with no
+                # incoming edges
+                current = []
+        return current if current is not None else []
+
+    def _stmt(self, stmt: ast.stmt,
+              frontier: Optional[List[int]]
+              ) -> Tuple[List[int], Optional[List[int]]]:
+        """Wire one statement.  Returns (entry nodes, out frontier);
+        out frontier ``None`` means control never falls through."""
+        handler = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if handler is not None:
+            return handler(stmt, frontier)
+        return self._simple(stmt, frontier)
+
+    def _join(self, node: Node, frontier: Optional[List[int]]) -> None:
+        for pred in frontier or []:
+            self.cfg.add_edge(pred, node.index)
+
+    def _wire_raise(self, node: Node) -> None:
+        target = self._exception_target(len(self.scopes))
+        self.cfg.add_edge(node.index, target, exceptional=True)
+
+    def _simple(self, stmt: ast.stmt,
+                frontier: Optional[List[int]]
+                ) -> Tuple[List[int], Optional[List[int]]]:
+        node = self.cfg._new(STMT, stmt, type(stmt).__name__)
+        self._join(node, frontier)
+        if _can_raise(stmt):
+            self._wire_raise(node)
+        return [node.index], [node.index]
+
+    # simple statements with special continuations -------------------
+
+    def _stmt_Return(self, stmt: ast.Return, frontier):
+        node = self.cfg._new(STMT, stmt, "Return")
+        self._join(node, frontier)
+        if _can_raise(stmt):
+            self._wire_raise(node)
+        self._finish_unwind(node.index, "func")
+        return [node.index], None
+
+    def _finish_unwind(self, from_node: int, stop: str,
+                       loop_target: str = "") -> None:
+        """Wire ``from_node`` through finally copies to its target."""
+        frontier: List[int] = [from_node]
+        for i in range(len(self.scopes) - 1, -1, -1):
+            scope = self.scopes[i]
+            if scope.kind == _Scope.LOOP and stop == "loop":
+                for node in frontier:
+                    if loop_target == "break":
+                        scope.after_frontier.append(node)
+                    else:
+                        self.cfg.add_edge(node, scope.header)
+                return
+            if scope.kind == _Scope.TRY and scope.finally_body:
+                saved = self.scopes
+                self.scopes = self.scopes[:i]
+                frontier = self._block(scope.finally_body, frontier)
+                self.scopes = saved
+                if not frontier:
+                    return  # finally body itself never falls through
+        if stop == "func":
+            for node in frontier:
+                self.cfg.add_edge(node, self.cfg.exit)
+
+    def _stmt_Raise(self, stmt: ast.Raise, frontier):
+        node = self.cfg._new(STMT, stmt, "Raise")
+        self._join(node, frontier)
+        self._wire_raise(node)
+        return [node.index], None
+
+    def _stmt_Break(self, stmt: ast.Break, frontier):
+        node = self.cfg._new(STMT, stmt, "Break")
+        self._join(node, frontier)
+        self._finish_unwind(node.index, "loop", "break")
+        return [node.index], None
+
+    def _stmt_Continue(self, stmt: ast.Continue, frontier):
+        node = self.cfg._new(STMT, stmt, "Continue")
+        self._join(node, frontier)
+        self._finish_unwind(node.index, "loop", "continue")
+        return [node.index], None
+
+    # compound statements --------------------------------------------
+
+    def _stmt_If(self, stmt: ast.If, frontier):
+        node = self.cfg._new(STMT, stmt, "If")
+        self._join(node, frontier)
+        if _can_raise(ast.Expr(value=stmt.test)):
+            self._wire_raise(node)
+        then_out = self._block(stmt.body, [node.index])
+        if stmt.orelse:
+            else_out = self._block(stmt.orelse, [node.index])
+        else:
+            else_out = [node.index]
+        return [node.index], then_out + else_out
+
+    def _loop(self, stmt, header_label: str, frontier):
+        node = self.cfg._new(STMT, stmt, header_label)
+        self._join(node, frontier)
+        self._wire_raise(node)  # iterator / test may raise
+        scope = _Scope(_Scope.LOOP)
+        scope.header = node.index
+        self.scopes.append(scope)
+        body_out = self._block(stmt.body, [node.index])
+        self.scopes.pop()
+        for pred in body_out:
+            self.cfg.add_edge(pred, node.index)
+        after = [node.index] + scope.after_frontier
+        if stmt.orelse:
+            after = self._block(stmt.orelse, [node.index]) \
+                + scope.after_frontier
+        return [node.index], after
+
+    def _stmt_For(self, stmt: ast.For, frontier):
+        return self._loop(stmt, "For", frontier)
+
+    def _stmt_AsyncFor(self, stmt, frontier):  # pragma: no cover
+        return self._loop(stmt, "For", frontier)
+
+    def _stmt_While(self, stmt: ast.While, frontier):
+        return self._loop(stmt, "While", frontier)
+
+    def _stmt_With(self, stmt, frontier):
+        node = self.cfg._new(STMT, stmt, "With")
+        self._join(node, frontier)
+        self._wire_raise(node)  # __enter__ may raise
+        body_out = self._block(stmt.body, [node.index])
+        return [node.index], body_out
+
+    _stmt_AsyncWith = _stmt_With
+
+    def _stmt_Try(self, stmt: ast.Try, frontier):
+        junction = self.cfg._new(JUNCTION, stmt, "TryJunction")
+        scope = _Scope(_Scope.TRY)
+        scope.junction = junction.index
+        scope.finally_body = list(stmt.finalbody)
+        self.scopes.append(scope)
+        body_out = self._block(stmt.body, list(frontier or []))
+        if stmt.orelse:
+            body_out = self._block(stmt.orelse, body_out)
+        self.scopes.pop()
+
+        # handlers run outside the try scope (their own raises go to the
+        # next enclosing handler, threading this finally)
+        handler_out: List[int] = []
+        for handler in stmt.handlers:
+            handler_out += self._block(handler.body, [junction.index])
+
+        # exceptional finally copy: uncaught exceptions (or exceptions
+        # with no handler at all) run finally then keep propagating
+        propagate_target = self._exception_target(len(self.scopes))
+        if scope.finally_body:
+            pad = self.cfg._new(JUNCTION, stmt, "FinallyPad")
+            self.cfg.add_edge(junction.index, pad.index,
+                              exceptional=True)
+            copy_out = self._block(scope.finally_body, [pad.index])
+            for node in copy_out:
+                self.cfg.add_edge(node, propagate_target,
+                                  exceptional=True)
+        else:
+            self.cfg.add_edge(junction.index, propagate_target,
+                              exceptional=True)
+
+        # normal continuation: body (and else) fall-through plus handler
+        # fall-throughs run finally then continue after the try
+        normal_in = body_out + handler_out
+        if scope.finally_body:
+            after = self._block(scope.finally_body, normal_in)
+        else:
+            after = normal_in
+        return [junction.index], after
+
+    # nested definitions: a node, but no descent (separate CFGs)
+
+    def _stmt_FunctionDef(self, stmt, frontier):
+        return self._simple_no_raise(stmt, frontier)
+
+    _stmt_AsyncFunctionDef = _stmt_FunctionDef
+    _stmt_ClassDef = _stmt_FunctionDef
+
+    def _simple_no_raise(self, stmt, frontier):
+        node = self.cfg._new(STMT, stmt, type(stmt).__name__)
+        self._join(node, frontier)
+        return [node.index], [node.index]
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the control-flow graph for one function definition."""
+    return Builder(func).build()

@@ -1,0 +1,64 @@
+"""Driver for ``emlint --flow``: whole-program lint over a file set.
+
+Runs the per-line rules (EM001-EM007) per file, builds the
+:class:`~repro.analysis.flow.summaries.Project` once over every file,
+runs the EM100-series checks, then applies waivers across the combined
+finding set.  Waiver *usage* is judged against the full rule universe
+here, so a waiver that only suppresses a flow rule is not flagged as
+dead during a flow run (and is left alone during per-line-only runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..emlint import (
+    Finding, Waiver, classify, finish_findings, iter_python_files,
+    parse_waivers, static_findings,
+)
+from ..rules import FLOW_RULES, RULES
+from .checks import run_checks
+from .summaries import Project
+
+
+def lint_paths_flow(paths: Iterable[str]) -> List[Finding]:
+    """Lint with both rule families; returns all findings with waived
+    ones marked, sorted by (path, line, col, rule)."""
+    files = list(iter_python_files(paths))
+    sources: List[Tuple[str, str]] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            sources.append((path, handle.read()))
+    return lint_sources_flow(sources)
+
+
+def lint_sources_flow(
+        sources: List[Tuple[str, str]]) -> List[Finding]:
+    """Same as :func:`lint_paths_flow` for in-memory (path, source)
+    pairs — the unit tests' entry point."""
+    per_file: Dict[str, Tuple[List[Finding], List[Waiver],
+                              List[Finding]]] = {}
+    for path, source in sources:
+        if classify(path) == "exempt":
+            continue
+        findings = static_findings(source, path)
+        waivers, waiver_findings = parse_waivers(source, path)
+        per_file[path] = (findings, waivers, waiver_findings)
+
+    project = Project.build(
+        [(path, source) for path, source in sources
+         if classify(path) != "exempt"])
+    for finding in run_checks(project):
+        if finding.path in per_file:
+            per_file[finding.path][0].append(finding)
+        else:  # pragma: no cover - checks only emit for known files
+            per_file.setdefault(
+                finding.path, ([], [], []))[0].append(finding)
+
+    active_rules = set(RULES) | set(FLOW_RULES)
+    combined: List[Finding] = []
+    for path, (findings, waivers, waiver_findings) in per_file.items():
+        combined.extend(finish_findings(
+            findings, waivers, waiver_findings, path, active_rules))
+    combined.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return combined

@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 output for emlint findings.
+
+One run, one driver (``emlint``), full rule metadata, one result per
+finding.  Waived findings are emitted as suppressed results
+(``suppressions: [{kind: inSource}]``) so SARIF viewers show the
+documented exceptions without failing the gate.  Interprocedural
+traces land both in the message and as ``codeFlows`` locations when
+line information can be recovered from the trace text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List
+
+from ..emlint import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_TRACE_LOC_RE = re.compile(r"([\w./\\-]+\.py):(\d+)")
+
+
+def _rule_metadata(rules: Dict[str, str]) -> List[Dict[str, object]]:
+    out = []
+    for rule_id in sorted(rules):
+        out.append({
+            "id": rule_id,
+            "shortDescription": {"text": rules[rule_id]},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return out
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                },
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    "startColumn": max(finding.col, 1),
+                    "endLine": max(finding.end_line, finding.line, 1),
+                },
+            },
+        }],
+        "partialFingerprints": {
+            "emlintFingerprint/v1": fingerprint(finding),
+        },
+    }
+    if finding.waived:
+        result["suppressions"] = [{
+            "kind": "inSource",
+            "justification": finding.waiver_reason,
+        }]
+    if finding.trace:
+        locations = []
+        for hop in finding.trace:
+            match = _TRACE_LOC_RE.search(hop)
+            if not match:
+                continue
+            locations.append({
+                "location": {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": match.group(1).replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": int(match.group(2)),
+                        },
+                    },
+                    "message": {"text": hop},
+                },
+            })
+        if locations:
+            result["codeFlows"] = [{
+                "threadFlows": [{"locations": locations}],
+            }]
+    return result
+
+
+def to_sarif(findings: Iterable[Finding],
+             rules: Dict[str, str],
+             tool_version: str = "0.2.0") -> Dict[str, object]:
+    """Assemble the SARIF 2.1.0 log object (JSON-serializable dict)."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "emlint",
+                    "informationUri": (
+                        "https://example.invalid/emlint"),
+                    "version": tool_version,
+                    "rules": _rule_metadata(rules),
+                },
+            },
+            "results": [_result(f) for f in findings],
+        }],
+    }
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity for baselining: rule + path + the message with
+    line/column numbers masked, so findings survive unrelated edits
+    that shift line numbers."""
+    import hashlib
+
+    masked = re.sub(r"\d+", "#", finding.message)
+    payload = "|".join((finding.rule,
+                        finding.path.replace("\\", "/"), masked))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]

@@ -55,6 +55,21 @@ RULES = {
              "unused)",
 }
 
+#: the EM100 series: whole-program rules that need the CFG/call-graph
+#: engine in :mod:`repro.analysis.flow` (``emlint --flow``)
+FLOW_RULES = {
+    "EM101": "budget leak: acquire/reserve with a path to function exit "
+             "(including exception edges) that skips release",
+    "EM102": "nested full scan: re-scanning a loop-invariant stream "
+             "inside another loop (Theta(N^2/B) I/Os)",
+    "EM103": "interprocedural stream materialization: a stream escapes "
+             "into a callee that materializes it into RAM",
+    "EM104": "reservation/bound mismatch: data-dependent reserve with "
+             "no guard against the declared memory envelope M",
+    "EM105": "machine aliasing: passing a privately built machine where "
+             "the caller's accounting is expected",
+}
+
 #: builtins that materialize their (first) argument into RAM at once
 MATERIALIZERS = {"list", "sorted", "tuple", "set", "dict", "Counter",
                  "frozenset"}

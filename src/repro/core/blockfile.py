@@ -4,6 +4,20 @@
 and naive permuting need to *write* blocks in arbitrary order.  A
 :class:`BlockFile` is a fixed array of ``n`` blocks addressed by index,
 reading and writing directly against the disk (one I/O each).
+
+Direct block traffic stages through one ``B``-record memory frame that
+the file holds from construction until :meth:`close` (or
+:meth:`delete`), accounted against the machine's budget.  Use the file
+as a context manager so the frame is released even when an error occurs
+mid-use::
+
+    with BlockFile(machine, num_blocks, name="out") as bf:
+        bf.write_block(0, records)
+
+After ``close`` the blocks stay on disk and remain addressable through
+:meth:`block_id` (pool-mediated access has its own frame accounting);
+only the direct :meth:`read_block`/:meth:`write_block`/:meth:`scan`
+paths — the ones that need the staging frame — are refused.
 """
 
 from __future__ import annotations
@@ -34,7 +48,50 @@ class BlockFile:
             machine.disk.allocate() for _ in range(num_blocks)
         ]
         self._deleted = False
+        self._closed = False
+        try:
+            machine.budget.acquire(machine.block_size)
+        except BaseException:
+            for block_id in self._block_ids:
+                machine.disk.free(block_id)
+            self._block_ids = []
+            self._deleted = True
+            self._closed = True
+            raise
 
+    # ------------------------------------------------------------------
+    # context manager / lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "BlockFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Release the staging frame (idempotent).
+
+        The blocks stay allocated and :meth:`block_id` keeps working for
+        pool-mediated access; direct reads/writes/scans are refused."""
+        if not self._closed:
+            self.machine.budget.release(self.machine.block_size)
+            self._closed = True
+
+    def delete(self) -> None:
+        """Release the frame and free every block; the file becomes
+        unusable.  Idempotent."""
+        self.close()
+        if self._deleted:
+            return
+        for block_id in self._block_ids:
+            self.machine.disk.free(block_id)
+        self._block_ids = []
+        self._deleted = True
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
     @property
     def num_blocks(self) -> int:
         """Number of blocks in the file."""
@@ -48,33 +105,33 @@ class BlockFile:
 
     def read_block(self, index: int) -> List[Any]:
         """Read block ``index`` (one read I/O)."""
+        self._check_frame()
         self._check_index(index)
         return self.machine.disk.read(self._block_ids[index])
 
     def write_block(self, index: int, records: Sequence[Any]) -> None:
         """Write block ``index`` (one write I/O)."""
+        self._check_frame()
         self._check_index(index)
         self.machine.disk.write(self._block_ids[index], records)
 
     def scan(self) -> Iterator[Any]:
-        """Yield every record in block order (one read I/O per block)."""
-        budget = self.machine.budget
-        budget.acquire(self.machine.block_size)
-        try:
-            for block_id in self._block_ids:
-                for record in self.machine.disk.read(block_id):
-                    yield record
-        finally:
-            budget.release(self.machine.block_size)
+        """Yield every record in block order (one read I/O per block),
+        staging through the file's held frame."""
+        self._check_frame()
+        return self._scan_blocks()
 
-    def delete(self) -> None:
-        """Free every block; the file becomes unusable."""
-        if self._deleted:
-            return
+    def _scan_blocks(self) -> Iterator[Any]:
         for block_id in self._block_ids:
-            self.machine.disk.free(block_id)
-        self._block_ids = []
-        self._deleted = True
+            for record in self.machine.disk.read(block_id):
+                yield record
+
+    def _check_frame(self) -> None:
+        if self._closed:
+            raise StreamError(
+                f"block file {self.name!r} is closed (staging frame "
+                "released); only block_id/pool access remains"
+            )
 
     def _check_index(self, index: int) -> None:
         if self._deleted:
@@ -92,10 +149,19 @@ class BlockFile:
         records: Sequence[Any],
         name: str = "",
     ) -> "BlockFile":
-        """Build a block file holding ``records`` packed ``B`` per block."""
+        """Build a block file holding ``records`` packed ``B`` per block.
+
+        The caller owns the returned (open) file and must ``close`` or
+        ``delete`` it."""
         B = machine.block_size
         num_blocks = (len(records) + B - 1) // B
         block_file = cls(machine, num_blocks, name=name)
-        for index in range(num_blocks):
-            block_file.write_block(index, records[index * B:(index + 1) * B])
+        try:
+            for index in range(num_blocks):
+                block_file.write_block(
+                    index, records[index * B:(index + 1) * B]
+                )
+        except BaseException:
+            block_file.delete()
+            raise
         return block_file

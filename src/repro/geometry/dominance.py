@@ -22,7 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.sanitizer import io_bound
 from ..core.bounds import merge_passes, scan_io, sort_io
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, MemoryLimitExceeded
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from ..sort.merge import external_merge_sort
@@ -141,6 +141,9 @@ def _sample_point_pivots(machine: Machine, events: FileStream,
 def _sweep_in_memory(machine: Machine, events: FileStream,
                      results: Dict[int, int]) -> None:
     """Base case: in-memory sweep with a sorted x list."""
+    if len(events) > machine.M:
+        raise MemoryLimitExceeded(
+            len(events), machine.budget.in_use, machine.M)
     with machine.budget.reserve(len(events)):
         seen_x: List[int] = []
         for y, kind, x, index, partial in events:

@@ -20,7 +20,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from ..analysis.sanitizer import io_bound
 from ..core.bounds import scan_io, sort_io
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, MemoryLimitExceeded
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from ..sort.merge import external_merge_sort
@@ -210,6 +210,9 @@ def _sample_vertical_pivots(machine: Machine, events: FileStream,
 def _sweep_in_memory(machine: Machine, events: FileStream,
                      output: FileStream) -> None:
     """Base case: plain sweep with an in-memory active list."""
+    if len(events) > machine.M:
+        raise MemoryLimitExceeded(
+            len(events), machine.budget.in_use, machine.M)
     with machine.budget.reserve(len(events)):
         active_x: List[int] = []          # sorted x of live verticals
         active_segments: List[List[Vertical]] = []

@@ -86,10 +86,15 @@ class AdjacencyStore:
         packed.finalize()
         ordered.delete()
 
-        # Re-pack into a block file for random access by position.
+        # Re-pack into a block file for random access by position.  The
+        # staging frame is released once packing is done: all later
+        # access goes through the buffer pool via block_id.
         blocks = BlockFile(machine, max(1, packed.num_blocks), name="adj")
-        for block_index in range(packed.num_blocks):
-            blocks.write_block(block_index, packed.read_block(block_index))
+        with blocks:
+            for block_index in range(packed.num_blocks):
+                blocks.write_block(
+                    block_index, packed.read_block(block_index)
+                )
         packed.delete()
         return cls(machine, num_vertices, blocks, index)
 
@@ -141,8 +146,11 @@ class AdjacencyStore:
         packed.finalize()
         ordered.delete()
         blocks = BlockFile(machine, max(1, packed.num_blocks), name="adj")
-        for block_index in range(packed.num_blocks):
-            blocks.write_block(block_index, packed.read_block(block_index))
+        with blocks:
+            for block_index in range(packed.num_blocks):
+                blocks.write_block(
+                    block_index, packed.read_block(block_index)
+                )
         packed.delete()
         return cls(machine, num_vertices, blocks, index)
 

@@ -73,45 +73,45 @@ def naive_bfs(machine: Machine, adjacency: AdjacencyStore,
         raise ConfigurationError(f"source {source} out of range")
     B = machine.block_size
     pool = machine.pool
-    table = BlockFile(
+    with BlockFile(
         machine, (adjacency.num_vertices + B - 1) // B, name="bfs/dist"
-    )
-    for index in range(table.num_blocks):
-        table.write_block(index, [None] * B)
+    ) as table:
+        for index in range(table.num_blocks):
+            table.write_block(index, [None] * B)
 
-    def read_slot(vertex: int):
-        return pool.get(table.block_id(vertex // B))[vertex % B]
+        def read_slot(vertex: int):
+            return pool.get(table.block_id(vertex // B))[vertex % B]
 
-    def write_slot(vertex: int, value: int) -> None:
-        block_id = table.block_id(vertex // B)
-        pool.get(block_id)[vertex % B] = value
-        pool.mark_dirty(block_id)
+        def write_slot(vertex: int, value: int) -> None:
+            block_id = table.block_id(vertex // B)
+            pool.get(block_id)[vertex % B] = value
+            pool.mark_dirty(block_id)
 
-    write_slot(source, 0)
-    current = FileStream.from_records(machine, [source], name="bfs/q0")
-    level = 0
-    while len(current) > 0:
-        level += 1
-        next_level = FileStream(machine, name="bfs/queue")
-        for vertex in current:
-            for neighbor in adjacency.neighbors(vertex):
-                if read_slot(neighbor) is None:
-                    write_slot(neighbor, level)
-                    next_level.append(neighbor)
+        write_slot(source, 0)
+        current = FileStream.from_records(machine, [source], name="bfs/q0")
+        level = 0
+        while len(current) > 0:
+            level += 1
+            next_level = FileStream(machine, name="bfs/queue")
+            for vertex in current:
+                for neighbor in adjacency.neighbors(vertex):
+                    if read_slot(neighbor) is None:
+                        write_slot(neighbor, level)
+                        next_level.append(neighbor)
+            current.delete()
+            current = next_level.finalize()
         current.delete()
-        current = next_level.finalize()
-    current.delete()
 
-    # One clean scan to extract the result.
-    pool.flush_all()
-    distance: Dict[int, int] = {}
-    position = 0
-    for index in range(table.num_blocks):
-        for value in table.read_block(index):
-            if value is not None and position < adjacency.num_vertices:
-                distance[position] = value
-            position += 1
-    table.delete()
+        # One clean scan to extract the result.
+        pool.flush_all()
+        distance: Dict[int, int] = {}
+        position = 0
+        for index in range(table.num_blocks):
+            for value in table.read_block(index):
+                if value is not None and position < adjacency.num_vertices:
+                    distance[position] = value
+                position += 1
+        table.delete()
     return distance
 
 

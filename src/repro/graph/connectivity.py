@@ -17,7 +17,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..analysis.sanitizer import io_bound
 from ..core.bounds import scan_io, sort_io
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, MemoryLimitExceeded
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from ..sort.merge import external_merge_sort
@@ -56,6 +56,10 @@ def semi_external_components(
     """Semi-external union-find: one scan of the edge list with an
     in-memory parent array (valid when ``V <= M``; the survey's
     semi-external regime)."""
+    if num_vertices > machine.M:
+        # Semi-external regime: the parent array must fit in memory.
+        raise MemoryLimitExceeded(
+            num_vertices, machine.budget.in_use, machine.M)
     with machine.budget.reserve(num_vertices):
         parent = list(range(num_vertices))
 

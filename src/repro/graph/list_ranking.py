@@ -23,7 +23,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from ..analysis.sanitizer import io_bound
 from ..core.blockfile import BlockFile
 from ..core.bounds import scan_io, sort_io
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, MemoryLimitExceeded
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from ..search.hashing import _hash_bits
@@ -60,36 +60,39 @@ def pointer_chase_ranking(
     pool.
     """
     B = machine.block_size
-    table = BlockFile(machine, (num_nodes + B - 1) // B, name="listrank")
-    staging: Dict[int, List] = {}
-    successors_seen = set()
-    count = 0
-    for node, successor in pairs:
-        staging.setdefault(node // B, [None] * B)[node % B] = successor
-        if successor != _TAIL:
-            successors_seen.add(successor)
-        count += 1
-    if count != num_nodes:
-        raise ConfigurationError(
-            f"expected {num_nodes} pairs, got {count}"
-        )
-    for block_index, payload in staging.items():
-        table.write_block(block_index, payload)
-    heads = [v for v in range(num_nodes) if v not in successors_seen]
-    if len(heads) != 1:
-        raise ConfigurationError(
-            f"input is not a single linked list (found {len(heads)} heads)"
-        )
+    with BlockFile(
+        machine, (num_nodes + B - 1) // B, name="listrank"
+    ) as table:
+        staging: Dict[int, List] = {}
+        successors_seen = set()
+        count = 0
+        for node, successor in pairs:
+            staging.setdefault(node // B, [None] * B)[node % B] = successor
+            if successor != _TAIL:
+                successors_seen.add(successor)
+            count += 1
+        if count != num_nodes:
+            raise ConfigurationError(
+                f"expected {num_nodes} pairs, got {count}"
+            )
+        for block_index, payload in staging.items():
+            table.write_block(block_index, payload)
+        heads = [v for v in range(num_nodes) if v not in successors_seen]
+        if len(heads) != 1:
+            raise ConfigurationError(
+                f"input is not a single linked list "
+                f"(found {len(heads)} heads)"
+            )
 
-    ranks: Dict[int, int] = {}
-    node = heads[0]
-    rank = 0
-    while node != _TAIL:
-        ranks[node] = rank
-        block = machine.pool.get(table.block_id(node // B))
-        node = block[node % B]
-        rank += 1
-    table.delete()
+        ranks: Dict[int, int] = {}
+        node = heads[0]
+        rank = 0
+        while node != _TAIL:
+            ranks[node] = rank
+            block = machine.pool.get(table.block_id(node // B))
+            node = block[node % B]
+            rank += 1
+        table.delete()
     return ranks
 
 
@@ -316,6 +319,9 @@ def _rank_recursive(
 
 def _rank_in_memory(machine: Machine, records: FileStream) -> FileStream:
     """Base case: the list fits in memory; walk it directly."""
+    if len(records) > machine.M:
+        raise MemoryLimitExceeded(
+            len(records), machine.budget.in_use, machine.M)
     with machine.budget.reserve(len(records)):
         successor: Dict[int, int] = {}
         weight: Dict[int, int] = {}

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Tuple
 
 from ..analysis.sanitizer import io_bound
 from ..core.bounds import scan_io, sort_io
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, MemoryLimitExceeded
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from ..sort.merge import external_merge_sort
@@ -75,6 +75,10 @@ def semi_external_kruskal(
     Cost: ``Sort(E)`` plus one scan.  Requires ``V <= M`` (the
     semi-external regime); the memory budget enforces it.
     """
+    if num_vertices > machine.M:
+        # Semi-external regime: the union-find array must fit in memory.
+        raise MemoryLimitExceeded(
+            num_vertices, machine.budget.in_use, machine.M)
     stream = _load_edges(machine, num_vertices, edges)
     by_weight = external_merge_sort(
         machine, stream, key=lambda e: (e[2], e[3]), keep_input=False

@@ -51,44 +51,45 @@ def external_dijkstra(machine: Machine, adjacency: AdjacencyStore,
         raise ConfigurationError(f"source {source} out of range")
     B = machine.block_size
     pool = machine.pool
-    table = BlockFile(
+    with BlockFile(
         machine, (adjacency.num_vertices + B - 1) // B, name="sssp/dist"
-    )
-    for index in range(table.num_blocks):
-        table.write_block(index, [None] * B)
+    ) as table:
+        for index in range(table.num_blocks):
+            table.write_block(index, [None] * B)
 
-    def settled(vertex: int):
-        return pool.get(table.block_id(vertex // B))[vertex % B]
+        def settled(vertex: int):
+            return pool.get(table.block_id(vertex // B))[vertex % B]
 
-    def settle(vertex: int, distance) -> None:
-        block_id = table.block_id(vertex // B)
-        pool.get(block_id)[vertex % B] = distance
-        pool.mark_dirty(block_id)
+        def settle(vertex: int, distance) -> None:
+            block_id = table.block_id(vertex // B)
+            pool.get(block_id)[vertex % B] = distance
+            pool.mark_dirty(block_id)
 
-    with ExternalPriorityQueue(machine) as queue:
-        queue.insert(0, source)
-        while len(queue) > 0:
-            distance, vertex = queue.delete_min()
-            if settled(vertex) is not None:
-                continue  # lazy deletion of a stale entry
-            settle(vertex, distance)
-            for neighbor, weight in adjacency.neighbors(vertex):
-                if weight < 0:
-                    raise ConfigurationError(
-                        f"negative edge weight {weight} at vertex {vertex}"
-                    )
-                if settled(neighbor) is None:
-                    queue.insert(distance + weight, neighbor)
+        with ExternalPriorityQueue(machine) as queue:
+            queue.insert(0, source)
+            while len(queue) > 0:
+                distance, vertex = queue.delete_min()
+                if settled(vertex) is not None:
+                    continue  # lazy deletion of a stale entry
+                settle(vertex, distance)
+                for neighbor, weight in adjacency.neighbors(vertex):
+                    if weight < 0:
+                        raise ConfigurationError(
+                            f"negative edge weight {weight} "
+                            f"at vertex {vertex}"
+                        )
+                    if settled(neighbor) is None:
+                        queue.insert(distance + weight, neighbor)
 
-    pool.flush_all()
-    result: Dict[int, Any] = {}
-    position = 0
-    for index in range(table.num_blocks):
-        for value in table.read_block(index):
-            if value is not None and position < adjacency.num_vertices:
-                result[position] = value
-            position += 1
-    table.delete()
+        pool.flush_all()
+        result: Dict[int, Any] = {}
+        position = 0
+        for index in range(table.num_blocks):
+            for value in table.read_block(index):
+                if value is not None and position < adjacency.num_vertices:
+                    result[position] = value
+                position += 1
+        table.delete()
     return result
 
 

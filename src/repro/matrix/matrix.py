@@ -202,7 +202,8 @@ def transpose_blocked(machine: Machine,
     """
     B = machine.block_size
     p, q = matrix.rows, matrix.cols
-    tile_fits = B * B <= machine.M - machine.B
+    # A full tile plus the input and output block-file frames must fit.
+    tile_fits = B * B <= machine.M - 2 * machine.B
     aligned = p % B == 0 and q % B == 0
     if not (tile_fits and aligned):
         return transpose_by_sort(machine, matrix)
@@ -324,14 +325,15 @@ def multiply_blocked(machine: Machine, a: ExternalMatrix,
         t = tile
     else:
         # Resident set: an accumulator band (t·r), an A tile (t²), and a
-        # B tile (t²), plus one output frame.
+        # B tile (t²), plus the three block-file frames (a, b, result).
         t = max(1, int(math.isqrt(machine.M // 3)))
-        while t > 1 and t * r + 2 * t * t + machine.B > machine.M:
+        while t > 1 and t * r + 2 * t * t + 3 * machine.B > machine.M:
             t -= 1
-    if t * r + 2 * t * t + machine.B > machine.M:
+    if t * r + 2 * t * t + 3 * machine.B > machine.M:
         raise ConfigurationError(
-            f"tile size {t} needs {t * r + 2 * t * t + machine.B} resident "
-            f"records for a {p}x{q} @ {q}x{r} multiply, M={machine.M}"
+            f"tile size {t} needs {t * r + 2 * t * t + 3 * machine.B} "
+            f"resident records for a {p}x{q} @ {q}x{r} multiply, "
+            f"M={machine.M}"
         )
     # Accumulator tiles are built in memory row-band by row-band and
     # written once at the end of each (i-band, j-band) pass.

@@ -112,10 +112,10 @@ def permute_naive(
     n = len(stream)
     B = machine.block_size
     num_blocks = (n + B - 1) // B
-    output = BlockFile(machine, num_blocks, name="permute/out")
     sizes = [min(B, n - index * B) for index in range(num_blocks)]
 
-    with machine.budget.reserve(machine.block_size):  # the cached frame
+    # The block file's staging frame doubles as the cached output frame.
+    with BlockFile(machine, num_blocks, name="permute/out") as output:
         cached_index: Optional[int] = None
         cached_frame: List[Any] = []
 
@@ -136,10 +136,10 @@ def permute_naive(
         if cached_index is not None:
             output.write_block(cached_index, cached_frame)
 
-    result = FileStream(machine, name="permuted")
-    for index in range(num_blocks):
-        result.append_block(output.read_block(index))
-    output.delete()
+        result = FileStream(machine, name="permuted")
+        for index in range(num_blocks):
+            result.append_block(output.read_block(index))
+        output.delete()
     return result.finalize()
 
 

@@ -108,15 +108,20 @@ def merge_join_iterators(
         elif lk > rk:
             right_row = next(right_iter, None)
         else:
-            # Buffer the right group for this key.
+            # Buffer the right group for this key.  Everything after
+            # the first acquire runs under try/finally so a key
+            # callable (or the consumer) raising mid-group cannot leak
+            # the buffered records' budget; acquire-before-append keeps
+            # len(group) equal to the acquired count at all times.
             group = [right_row]
             budget.acquire(1)
-            right_row = next(right_iter, None)
-            while right_row is not None and right_key(right_row) == lk:
-                group.append(right_row)
-                budget.acquire(1)
-                right_row = next(right_iter, None)
             try:
+                right_row = next(right_iter, None)
+                while right_row is not None \
+                        and right_key(right_row) == lk:
+                    budget.acquire(1)
+                    group.append(right_row)
+                    right_row = next(right_iter, None)
                 while left_row is not None and left_key(left_row) == lk:
                     for match in group:
                         yield left_row, match
@@ -189,6 +194,8 @@ def block_nested_loop_join(
                 exhausted = True
             if not build:
                 break
+            # em: ok(EM102) the ceil(|R|/M) rescans of S ARE the block
+            # nested loop algorithm; its declared bound charges them
             for right_row in right.rows():
                 for left_row in build.get(right_key(right_row), ()):
                     out.append(tuple(left_row) + tuple(right_row))

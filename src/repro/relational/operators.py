@@ -12,7 +12,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..analysis.sanitizer import io_bound
 from ..core.bounds import scan_io, sort_io
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, MemoryLimitExceeded
 from ..core.machine import Machine
 from ..core.stream import FileStream
 from ..sort.merge import external_merge_sort
@@ -144,6 +144,9 @@ def top_k(
     machine = table.machine
     if k < 0:
         raise ConfigurationError(f"k must be >= 0, got {k}")
+    if k > machine.M:
+        # The k-record heap must itself fit in memory.
+        raise MemoryLimitExceeded(k, machine.budget.in_use, machine.M)
     key_fn = table.key_fn(column)
     with machine.budget.reserve(max(1, k)):
         heap: List[Tuple] = []  # (comparable key, seq, row)

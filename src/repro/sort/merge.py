@@ -207,7 +207,14 @@ def external_merge_sort(
             # em: ok(EM004) two-entry strategy-name dict in an error message
             f"choose from {sorted(RUN_STRATEGIES)}"
         )
-    arity = fan_in if fan_in is not None else machine.fan_in
+    if fan_in is not None:
+        arity = fan_in
+    else:
+        # One input frame per run plus one output frame must fit in the
+        # *available* budget: callers holding resident frames (an open
+        # block file) lower the arity instead of overflowing M.
+        arity = max(2, min(machine.fan_in,
+                           machine.budget.available // machine.B - 1))
     if arity < 2:
         raise ConfigurationError(f"merge fan-in must be >= 2, got {arity}")
 

@@ -47,7 +47,9 @@ def form_runs_load_sort(
 ) -> List[FileStream]:
     """Split ``stream`` into sorted runs of ``M`` records each.
 
-    Each memoryload occupies the full memory budget (``m`` blocks); blocks
+    Each memoryload occupies the *available* memory budget (up to ``m``
+    blocks) — callers holding resident frames (an open block file, a
+    priority queue) shorten the runs rather than overflow ``M``.  Blocks
     are read and written directly so no extra staging frames are needed.
     Costs one read and one write I/O per block of input.
 
@@ -56,7 +58,9 @@ def form_runs_load_sort(
     key = key or identity
     runs: List[FileStream] = []
     num_blocks = stream.num_blocks
-    blocks_per_run = machine.m
+    blocks_per_run = max(
+        1, min(machine.m, machine.budget.available // machine.B)
+    )
     for start in range(0, num_blocks, blocks_per_run):
         end = min(start + blocks_per_run, num_blocks)
         with machine.budget.reserve((end - start) * machine.B):
@@ -94,7 +98,14 @@ def form_runs_replacement_selection(
             "(input frame + output frame + selection heap); "
             f"machine has m={machine.m}"
         )
-    heap_capacity = machine.M - 2 * machine.B
+    heap_capacity = (min(machine.M, machine.budget.available)
+                     - 2 * machine.B)
+    if heap_capacity < 1:
+        raise ConfigurationError(
+            "replacement selection needs a free frame beyond the input "
+            f"and output buffers; only {machine.budget.available} of "
+            f"M={machine.M} records are unreserved"
+        )
     runs: List[FileStream] = []
     reader = iter(stream)
     sequence = 0  # tie-break so records never compare with each other

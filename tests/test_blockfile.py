@@ -45,14 +45,68 @@ class TestBlockFile:
         assert list(bf.scan()) == list(range(20))
         assert bf.num_blocks == 3
 
-    def test_scan_reserves_one_frame(self):
+    def test_holds_one_frame_from_construction(self):
         m = machine()
         bf = BlockFile.from_records(m, list(range(20)))
+        assert m.budget.in_use == m.B
         it = bf.scan()
         next(it)
-        assert m.budget.in_use == m.B
+        assert m.budget.in_use == m.B  # scan stages through the held frame
         it.close()
+        bf.close()
         assert m.budget.in_use == 0
+
+    def test_close_is_idempotent_and_blocks_direct_io(self):
+        m = machine()
+        bf = BlockFile(m, 2)
+        bf.write_block(1, [42])
+        bf.close()
+        bf.close()
+        assert m.budget.in_use == 0
+        with pytest.raises(StreamError):
+            bf.read_block(1)
+        with pytest.raises(StreamError):
+            bf.write_block(0, [1])
+        with pytest.raises(StreamError):
+            bf.scan()
+        # Pool-mediated access keeps working after close.
+        assert m.pool.get(bf.block_id(1)) == [42]
+        bf.delete()
+
+    def test_context_manager_releases_frame(self):
+        m = machine()
+        with BlockFile(m, 2) as bf:
+            bf.write_block(0, [1, 2])
+            assert m.budget.in_use == m.B
+        assert m.budget.in_use == 0
+
+    def test_context_manager_releases_frame_on_error(self):
+        m = machine()
+        with pytest.raises(RuntimeError):
+            with BlockFile(m, 2) as bf:
+                bf.write_block(0, [1])
+                raise RuntimeError("mid-use failure")
+        assert m.budget.in_use == 0
+
+    def test_delete_releases_frame(self):
+        m = machine()
+        bf = BlockFile(m, 3)
+        bf.delete()
+        assert m.budget.in_use == 0
+        bf.delete()  # still idempotent
+        assert m.budget.in_use == 0
+
+    def test_construction_rejected_when_budget_full(self):
+        from repro.core import MemoryLimitExceeded
+
+        m = machine()
+        m.budget.acquire(m.M)  # budget exhausted
+        blocks_before = m.disk.allocated_blocks
+        with pytest.raises(MemoryLimitExceeded):
+            BlockFile(m, 2)
+        # No disk blocks leaked by the failed construction.
+        assert m.disk.allocated_blocks == blocks_before
+        m.budget.release(m.M)
 
     def test_delete_frees_blocks(self):
         m = machine()

@@ -341,10 +341,27 @@ class TestWaivers:
             """
             def _drain(machine, stream):
                 # em: ok(EM001, EM004) bounded base case under reserve
-                return sorted(stream)
+                return sorted(list(stream))
             """
         )
         assert open_rules(findings) == set()
+        assert fired(findings) == {"EM001", "EM004"}
+
+    def test_multi_rule_waiver_usage_is_per_rule_id(self):
+        # Only EM001 fires on the covered line, so the EM004 entry of
+        # the waiver suppresses nothing and must be flagged (EM007) —
+        # usage is tracked per rule id, not per comment.
+        findings = lint(
+            """
+            def _drain(machine, stream):
+                # em: ok(EM001, EM004) bounded base case under reserve
+                return list(stream)
+            """
+        )
+        assert open_rules(findings) == {"EM007"}
+        [em007] = [f for f in unwaived(findings) if f.rule == "EM007"]
+        assert "EM004" in em007.message
+        assert "suppresses nothing" in em007.message
 
     def test_wildcard_waiver(self):
         findings = lint(

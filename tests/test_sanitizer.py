@@ -269,3 +269,134 @@ class TestHelpers:
         report = sanitizer_report()
         assert "test/report" in report
         assert "ratio" in report
+
+
+class TestMultiDiskMachines:
+    """The sanitizer must charge and bound D > 1 machines correctly:
+    theories see ``machine.D`` and striped traffic counts parallel I/O
+    steps, not per-disk block transfers."""
+
+    def test_striped_workload_within_d2_envelope(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        from repro.core.stream import StripedStream
+
+        d2 = Machine(block_size=8, memory_blocks=8, num_disks=2)
+
+        @io_bound(lambda machine, n: 2 * scan_io(n, machine.B, machine.D),
+                  factor=2.0, label="test/striped",
+                  n=lambda machine, count: count)
+        def striped_write_read(machine, count):
+            stream = StripedStream(machine, name="san/striped")
+            for value in range(count):
+                stream.append(value)
+            stream.finalize()
+            total = sum(1 for _ in stream)
+            stream.delete()
+            return total
+
+        assert striped_write_read(d2, 256) == 256
+        record = records()[-1]
+        assert record.name == "test/striped"
+        # scan(256, B=8, D=2) = 16 steps per direction, not 32.
+        assert record.theory == 2 * scan_io(256, 8, 2) == 32
+        assert record.measured <= record.allowed
+
+    def test_d2_theory_tighter_than_d1(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+
+        @io_bound(lambda machine, n: scan_io(n, machine.B, machine.D),
+                  label="test/d-aware",
+                  n=lambda machine, count: count)
+        def scan_like(machine, count):
+            return write_read(machine, count)
+
+        scan_like(Machine(block_size=8, memory_blocks=8), 128)
+        theory_d1 = records()[-1].theory
+        scan_like(Machine(block_size=8, memory_blocks=8, num_disks=4), 128)
+        theory_d4 = records()[-1].theory
+        assert theory_d4 < theory_d1
+
+    def test_library_algorithm_on_d2_machine(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        from repro.sort.merge import external_merge_sort
+
+        d2 = Machine(block_size=8, memory_blocks=8, num_disks=2)
+        stream = FileStream(d2, name="san/d2-input")
+        for value in range(149, -1, -1):
+            stream.append(value)
+        stream.finalize()
+        result = external_merge_sort(d2, stream, keep_input=False)
+        assert list(result) == list(range(150))
+        result.delete()
+        assert d2.budget.in_use == 0
+
+
+class TestRaiseMidRun:
+    """A decorated algorithm that raises mid-run must leave the budget
+    at its pre-call level — acquired frames travel in context managers
+    or try/finally, never bare."""
+
+    def test_synthetic_raise_restores_budget(self, machine, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+
+        @io_bound(lambda machine, n: scan_io(n, machine.B),
+                  label="test/mid-raise")
+        def explodes(machine, count):
+            machine.budget.acquire(machine.B)
+            try:
+                raise RuntimeError("mid-run failure")
+            finally:
+                machine.budget.release(machine.B)
+
+        before = machine.budget.in_use
+        with pytest.raises(RuntimeError):
+            explodes(machine, 8)
+        assert machine.budget.in_use == before
+
+    def test_external_dijkstra_raise_restores_budget(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        from repro.core.exceptions import ConfigurationError
+        from repro.graph.adjacency import AdjacencyStore
+        from repro.graph.sssp import external_dijkstra
+
+        m = Machine(block_size=8, memory_blocks=16)
+        adjacency = AdjacencyStore.from_weighted_edges(
+            m, 4, [(0, 1, 3), (1, 2, -5), (2, 3, 1)]
+        )
+        before = m.budget.in_use
+        with pytest.raises(ConfigurationError):
+            external_dijkstra(m, adjacency, 0)
+        # The distance table's frame and the PQ's insertion heap are
+        # context-managed, so the failed call holds nothing.
+        assert m.budget.in_use == before
+
+    def test_permute_naive_raise_restores_budget(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        from repro.core.exceptions import StreamError
+        from repro.permute.permute import permute_naive
+
+        m = Machine(block_size=8, memory_blocks=8)
+        stream = FileStream.from_records(m, list(range(24)))
+        bad_targets = [0, 1, 2] + [999] * 21  # out of range mid-run
+        before = m.budget.in_use
+        with pytest.raises(StreamError):
+            permute_naive(m, stream, bad_targets, validate=False)
+        assert m.budget.in_use == before
+
+    def test_raise_mid_run_on_d2_machine(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        from repro.core.blockfile import BlockFile
+
+        d2 = Machine(block_size=8, memory_blocks=8, num_disks=2)
+
+        @io_bound(lambda machine, n: scan_io(n, machine.B, machine.D),
+                  label="test/d2-raise")
+        def writes_then_dies(machine, count):
+            with BlockFile(machine, 2, name="san/d2") as table:
+                table.write_block(0, list(range(count)))
+                raise RuntimeError("mid-run failure")
+
+        before = d2.budget.in_use
+        with pytest.raises(RuntimeError):
+            writes_then_dies(d2, 8)
+        assert d2.budget.in_use == before
