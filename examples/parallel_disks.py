@@ -1,26 +1,41 @@
-"""Disk striping on the Parallel Disk Model.
+"""Scheduled I/O on the Parallel Disk Model.
 
 Run:  python examples/parallel_disks.py
 
 The same dataset is scanned and sorted on machines with 1, 2, 4, and 8
-disks.  Scans parallelize perfectly (one step moves D blocks); sorting
-parallelizes sublinearly because every striped run reader costs D memory
-frames, shrinking the merge fan-in — the survey's observation that plain
-striping forfeits part of the log_{M/B} factor.
+disks.  Scans parallelize perfectly (one step moves D blocks).  Plain
+striping historically made sorting parallelize *sublinearly* — either a
+striped run reader holds D frames and the fan-in shrinks to ~m/D (extra
+passes), or reads arrive one block per step.  The I/O runtime
+(``repro.runtime``) closes that gap with forecasting prefetch and
+write-behind: the sort keeps its full merge arity and its parallel steps
+track the optimal ``ceil(transfers / D)``.
+
+The run is traced: per-phase step counts come from the runtime tracer
+(``machine.runtime.start_trace()`` + ``with machine.trace(...)``), and a
+Chrome trace-event file is written for the D=8 sort — open it in
+``chrome://tracing`` or Perfetto to see the per-disk lanes.
 """
 
+from math import ceil
+
 from repro import Machine, StripedStream
-from repro.core import format_table, merge_passes
+from repro.core import format_table
 from repro.sort import external_merge_sort, is_sorted_stream
 from repro.workloads import uniform_ints
 
-B, M_BLOCKS, N = 64, 32, 60_000
+# 40k records = 625 blocks = 20 full-memory runs: a single merge pass
+# even on the 8-disk machine (whose striped output writer holds D of the
+# m frames during the merge), with spare frames left for prefetch
+# staging and the write-behind window.
+B, M_BLOCKS, N = 64, 32, 40_000
+TRACE_PATH = "parallel_sort_trace.json"
 
 
 def main() -> None:
     print(f"sorting {N} records, B={B}, M={B * M_BLOCKS} records\n")
     rows = []
-    base_scan = base_sort = None
+    base_scan = base_sort = tracer = None
     for num_disks in (1, 2, 4, 8):
         machine = Machine(block_size=B, memory_blocks=M_BLOCKS,
                           num_disks=num_disks)
@@ -32,29 +47,38 @@ def main() -> None:
             pass
         scan_steps = machine.stats().total_steps
 
-        fan_in = max(2, M_BLOCKS // num_disks - 1)
         machine.reset_stats()
+        tracer = machine.runtime.start_trace()
         result = external_merge_sort(
-            machine, stream, stream_cls=StripedStream, fan_in=fan_in
+            machine, stream, stream_cls=StripedStream
         )
+        tracer.stop()
+        stats = machine.stats()
         assert is_sorted_stream(result)
-        sort_steps = machine.stats().total_steps
+        optimal = ceil(stats.total / num_disks)
 
         if num_disks == 1:
-            base_scan, base_sort = scan_steps, sort_steps
+            base_scan, base_sort = scan_steps, stats.total_steps
         rows.append([
             num_disks, scan_steps, f"{base_scan / scan_steps:.2f}x",
-            fan_in, merge_passes(N, machine.M, B, fan_in=fan_in),
-            sort_steps, f"{base_sort / sort_steps:.2f}x",
+            stats.total, stats.total_steps, optimal,
+            f"{stats.total_steps / optimal:.3f}",
+            f"{base_sort / stats.total_steps:.2f}x",
         ])
     print(format_table(
-        ["D", "scan steps", "speedup", "fan-in", "passes", "sort steps",
-         "speedup"],
+        ["D", "scan steps", "speedup", "sort xfers", "sort steps",
+         "optimal", "steps/opt", "speedup"],
         rows,
     ))
-    print("\nScans scale ~linearly with D; sorting pays extra passes as "
-          "the fan-in shrinks — plain striping is not an optimal "
-          "parallel-disk sort, exactly as the survey notes.")
+
+    print("\nPer-phase steps of the D=8 sort (runtime tracer):\n")
+    print(tracer.summary_table())
+    tracer.save(TRACE_PATH)
+    print(f"\nChrome trace written to {TRACE_PATH} "
+          "(load in chrome://tracing or Perfetto).")
+    print("Scans scale ~linearly with D, and the scheduled sort tracks "
+          "its step-optimal schedule (within ~30% even at D=8) — no "
+          "shrunken fan-in, no extra passes.")
 
 
 if __name__ == "__main__":

@@ -180,7 +180,10 @@ def classify(path: str) -> str:
     parts = normalized.split("/")
     if "analysis" in parts:
         return "exempt"
-    if "core" in parts:
+    if "core" in parts or "runtime" in parts:
+        # The runtime (scheduler, prefetch, write-behind, trace) is
+        # substrate like core: it *implements* the charged primitives,
+        # so the algorithm-facing rules do not apply to it.
         return "core"
     if parts[-1] in ("workloads.py", "conftest.py", "setup.py"):
         return "support"

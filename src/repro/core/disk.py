@@ -9,15 +9,20 @@ in this repository are stated in terms of these deterministic counts.
 
 Two devices are provided:
 
-* :class:`SimulatedDisk` — a single disk.
 * :class:`DiskArray` — ``D`` independent disks (the Parallel Disk Model).
   Batched transfers that touch distinct disks count as a single *parallel
   I/O step*; the array tracks steps separately from raw block transfers.
+* :class:`SimulatedDisk` — a single disk: a :class:`DiskArray` fixed at
+  ``D == 1``, kept as a named class for clarity in single-disk code.
+
+A device accepts one optional ``listener`` (the runtime's tracer): every
+transfer method reports ``(op, block_ids, disks, steps)`` to it, which is
+how per-phase trace tallies stay equal to the device's own counters.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .exceptions import (
     BlockNotAllocatedError,
@@ -29,106 +34,6 @@ from .stats import IOCounter
 # A block payload is a plain list of records.  Records are arbitrary Python
 # objects; the substrate measures capacity in records, not bytes.
 Block = List[Any]
-
-
-class SimulatedDisk:
-    """An unbounded store of fixed-capacity blocks with I/O accounting.
-
-    Args:
-        block_capacity: maximum number of records per block (the model
-            parameter ``B``).
-
-    Attributes:
-        counter: the :class:`~repro.core.stats.IOCounter` incremented by
-            every :meth:`read` and :meth:`write`.
-    """
-
-    def __init__(self, block_capacity: int):
-        if block_capacity < 1:
-            raise ConfigurationError(
-                f"block capacity must be >= 1, got {block_capacity}"
-            )
-        self.block_capacity = block_capacity
-        self.counter = IOCounter()
-        self._blocks: Dict[int, Block] = {}
-        self._next_id = 0
-        self._allocated_high_water = 0
-
-    # ------------------------------------------------------------------
-    # allocation
-    # ------------------------------------------------------------------
-    def allocate(self) -> int:
-        """Allocate a fresh, empty block and return its id.
-
-        Allocation itself is free (it models reserving an address on disk,
-        not transferring data).
-        """
-        block_id = self._next_id
-        self._next_id += 1
-        self._blocks[block_id] = []
-        self._allocated_high_water = max(
-            self._allocated_high_water, len(self._blocks)
-        )
-        return block_id
-
-    def free(self, block_id: int) -> None:
-        """Release a block.  Freeing is free of I/O cost."""
-        if block_id not in self._blocks:
-            raise BlockNotAllocatedError(block_id)
-        del self._blocks[block_id]
-
-    def is_allocated(self, block_id: int) -> bool:
-        """Return whether ``block_id`` currently names an allocated block."""
-        return block_id in self._blocks
-
-    @property
-    def allocated_blocks(self) -> int:
-        """Number of blocks currently allocated (disk-space usage)."""
-        return len(self._blocks)
-
-    @property
-    def high_water_blocks(self) -> int:
-        """Peak number of simultaneously allocated blocks."""
-        return self._allocated_high_water
-
-    # ------------------------------------------------------------------
-    # transfers
-    # ------------------------------------------------------------------
-    def read(self, block_id: int) -> Block:
-        """Transfer one block from disk to memory.  Costs one read I/O.
-
-        Returns a shallow copy of the payload, so callers may mutate the
-        result without corrupting the on-disk image.
-        """
-        try:
-            payload = self._blocks[block_id]
-        except KeyError:
-            raise BlockNotAllocatedError(block_id) from None
-        self.counter.reads += 1
-        self.counter.read_steps += 1
-        return list(payload)
-
-    def write(self, block_id: int, records: Sequence[Any]) -> None:
-        """Transfer one block from memory to disk.  Costs one write I/O."""
-        if block_id not in self._blocks:
-            raise BlockNotAllocatedError(block_id)
-        if len(records) > self.block_capacity:
-            raise BlockOverflowError(
-                block_id, len(records), self.block_capacity
-            )
-        self.counter.writes += 1
-        self.counter.write_steps += 1
-        self._blocks[block_id] = list(records)
-
-    def peek(self, block_id: int) -> Block:
-        """Inspect a block **without** charging an I/O.
-
-        For tests and debugging only; algorithm code must use :meth:`read`.
-        """
-        try:
-            return list(self._blocks[block_id])
-        except KeyError:
-            raise BlockNotAllocatedError(block_id) from None
 
 
 class DiskArray:
@@ -146,6 +51,10 @@ class DiskArray:
     """
 
     def __init__(self, block_capacity: int, num_disks: int = 1):
+        if block_capacity < 1:
+            raise ConfigurationError(
+                f"block capacity must be >= 1, got {block_capacity}"
+            )
         if num_disks < 1:
             raise ConfigurationError(
                 f"number of disks must be >= 1, got {num_disks}"
@@ -153,6 +62,7 @@ class DiskArray:
         self.num_disks = num_disks
         self.block_capacity = block_capacity
         self.counter = IOCounter()
+        self.listener = None  # runtime tracer; see module docstring
         self._blocks: Dict[int, Block] = {}
         self._disk_of: Dict[int, int] = {}
         self._next_id = 0
@@ -168,6 +78,9 @@ class DiskArray:
         Args:
             disk: disk index in ``range(D)``; when omitted, disks are used
                 round-robin, which is the striping layout.
+
+        Allocation itself is free (it models reserving an address on disk,
+        not transferring data).
         """
         if disk is None:
             disk = self._rr_next_disk
@@ -184,6 +97,18 @@ class DiskArray:
             self._allocated_high_water, len(self._blocks)
         )
         return block_id
+
+    def stripe_offset(self) -> int:
+        """Starting disk for a new striped file, advanced round-robin.
+
+        Staggering stripe starts keeps concurrently consumed striped
+        files (e.g. the runs of a merge) from all placing their ``i``-th
+        block on the same disk, which would serialize a prefetcher's
+        batches.
+        """
+        offset = self._rr_next_disk
+        self._rr_next_disk = (self._rr_next_disk + 1) % self.num_disks
+        return offset
 
     def free(self, block_id: int) -> None:
         """Release a block (free of I/O cost)."""
@@ -224,6 +149,7 @@ class DiskArray:
             raise BlockNotAllocatedError(block_id) from None
         self.counter.reads += 1
         self.counter.read_steps += 1
+        self._notify("read", (block_id,), 1)
         return list(payload)
 
     def write(self, block_id: int, records: Sequence[Any]) -> None:
@@ -232,6 +158,7 @@ class DiskArray:
         self.counter.writes += 1
         self.counter.write_steps += 1
         self._blocks[block_id] = list(records)
+        self._notify("write", (block_id,), 1)
 
     def parallel_read(self, block_ids: Sequence[int]) -> List[Block]:
         """Read a batch of blocks, exploiting disk parallelism.
@@ -249,8 +176,11 @@ class DiskArray:
                 raise BlockNotAllocatedError(block_id) from None
             per_disk[self._disk_of[block_id]] += 1
             payloads.append(list(payload))
+        steps = max(per_disk) if block_ids else 0
         self.counter.reads += len(block_ids)
-        self.counter.read_steps += max(per_disk) if block_ids else 0
+        self.counter.read_steps += steps
+        if block_ids:
+            self._notify("read", block_ids, steps)
         return payloads
 
     def parallel_write(
@@ -267,11 +197,17 @@ class DiskArray:
             per_disk[self._disk_of[block_id]] += 1
         for block_id, records in writes:
             self._blocks[block_id] = list(records)
+        steps = max(per_disk) if writes else 0
         self.counter.writes += len(writes)
-        self.counter.write_steps += max(per_disk) if writes else 0
+        self.counter.write_steps += steps
+        if writes:
+            self._notify("write", [b for b, _ in writes], steps)
 
     def peek(self, block_id: int) -> Block:
-        """Inspect a block without charging an I/O (tests/debugging only)."""
+        """Inspect a block **without** charging an I/O.
+
+        For tests and debugging only; algorithm code must use :meth:`read`.
+        """
         try:
             return list(self._blocks[block_id])
         except KeyError:
@@ -284,3 +220,27 @@ class DiskArray:
             raise BlockOverflowError(
                 block_id, len(records), self.block_capacity
             )
+
+    def _notify(
+        self, op: str, block_ids: Sequence[int], steps: int
+    ) -> None:
+        if self.listener is not None:
+            disks = [self._disk_of[b] for b in block_ids]
+            self.listener.on_io(op, list(block_ids), disks, steps)
+
+
+class SimulatedDisk(DiskArray):
+    """An unbounded store of fixed-capacity blocks with I/O accounting:
+    a :class:`DiskArray` fixed at a single disk.
+
+    Args:
+        block_capacity: maximum number of records per block (the model
+            parameter ``B``).
+
+    Attributes:
+        counter: the :class:`~repro.core.stats.IOCounter` incremented by
+            every :meth:`read` and :meth:`write`.
+    """
+
+    def __init__(self, block_capacity: int):
+        super().__init__(block_capacity, num_disks=1)

@@ -70,6 +70,7 @@ class Machine:
         self.disk = DiskArray(block_size, num_disks)
         self.pool = BufferPool(self.disk, memory_blocks, policy)
         self.budget = MemoryBudget(block_size * memory_blocks)
+        self._runtime = None  # built lazily by the `runtime` property
 
     # ------------------------------------------------------------------
     # derived parameters
@@ -96,8 +97,36 @@ class Machine:
 
     @property
     def fan_in(self) -> int:
-        """Maximum merge arity: ``m - 1`` input frames plus one output."""
-        return max(2, self.memory_blocks - 1)
+        """Maximum merge arity: ``m - 1`` (one input frame per run, plus
+        one output frame, must fit in ``m``).
+
+        A machine with ``m == 2`` reports fan-in 1: it can hold one input
+        and the output frame, so it cannot merge at all — callers must
+        raise rather than silently exceed the frame budget.
+        """
+        return self.memory_blocks - 1
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self):
+        """The machine's I/O runtime (scheduler, write-behind, tracer),
+        built on first use — see :mod:`repro.runtime`."""
+        if self._runtime is None:
+            from ..runtime import Runtime
+            self._runtime = Runtime(self)
+        return self._runtime
+
+    def trace(self, phase: str):
+        """Attribute the I/O inside the ``with`` block to ``phase``::
+
+            tracer = machine.runtime.start_trace()
+            with machine.trace("merge-pass-1"):
+                ...
+            print(tracer.summary_table())
+        """
+        return self.runtime.tracer.phase(phase)
 
     # ------------------------------------------------------------------
     # measurement
@@ -111,9 +140,9 @@ class Machine:
         """Measure the I/O performed inside a ``with`` block.
 
         Args:
-            flush: when true (default), dirty pool frames are flushed as the
-                block exits so deferred write-backs are charged to the
-                region that dirtied them.
+            flush: when true (default), deferred runtime writes and dirty
+                pool frames are flushed as the block exits so write-backs
+                are charged to the region that dirtied them.
         """
         measurement = Measurement()
         before = self.stats()
@@ -121,6 +150,8 @@ class Machine:
             yield measurement
         finally:
             if flush:
+                if self._runtime is not None:
+                    self._runtime.flush()
                 self.pool.flush_all()
             measurement.stats = self.stats() - before
 

@@ -35,6 +35,7 @@ class MemoryBudget:
                 f"memory capacity must be >= 1, got {capacity}"
             )
         self.capacity = capacity
+        self.reclaimer = None  # see acquire()
         self._in_use = 0
         self._peak = 0
 
@@ -56,11 +57,19 @@ class MemoryBudget:
     def acquire(self, records: int) -> None:
         """Reserve ``records`` of working space.
 
+        If the reservation would overflow and a ``reclaimer`` callback is
+        installed (the machine's runtime: it flushes the write-behind
+        window, whose pinned frames are droppable on demand), it is
+        invoked once and the reservation retried.
+
         Raises:
-            MemoryLimitExceeded: if the reservation would overflow ``M``.
+            MemoryLimitExceeded: if the reservation still overflows ``M``.
         """
         if records < 0:
             raise ConfigurationError("cannot acquire a negative reservation")
+        if self._in_use + records > self.capacity and \
+                self.reclaimer is not None:
+            self.reclaimer()
         if self._in_use + records > self.capacity:
             raise MemoryLimitExceeded(records, self._in_use, self.capacity)
         self._in_use += records

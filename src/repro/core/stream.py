@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
+from ..runtime.prefetch import read_ahead
 from .exceptions import StreamError
 from .machine import Machine
 
@@ -46,6 +47,7 @@ class FileStream:
         self._length = 0
         self._finalized = False
         self._deleted = False
+        self._stripe_offset = machine.disk.stripe_offset()
 
     # ------------------------------------------------------------------
     # writing
@@ -93,6 +95,33 @@ class FileStream:
         self._block_ids.append(block_id)
         self._length += len(records)
 
+    @classmethod
+    def writer_frames(cls, machine: Machine) -> int:
+        """Frames a writer of this stream class will reserve (1 here;
+        ``D`` for :class:`StripedStream`) — lets schedulers plan arity
+        and staging around the writer's budget before it is acquired."""
+        return 1
+
+    @classmethod
+    def reader_frames(cls, machine: Machine) -> int:
+        """Frames a reader of this stream class will reserve (1 here;
+        ``D`` for :class:`StripedStream`)."""
+        return 1
+
+    def reserve_writer(self) -> None:
+        """Acquire the writer's staging reservation now instead of on the
+        first :meth:`append`.
+
+        Idempotent.  Callers that also make opportunistic reservations
+        (the merge's prefetch pins) reserve the writer first so a pinned
+        frame can never starve it.  Released by :meth:`finalize`,
+        :meth:`sync`, or :meth:`delete` as usual.
+        """
+        self._check_writable()
+        if not self._buffer_reserved:
+            self.machine.budget.acquire(self._writer_reserve)
+            self._buffer_reserved = True
+
     def sync(self) -> None:
         """Flush the staging buffer and release its memory frame while
         keeping the stream writable.
@@ -124,6 +153,12 @@ class FileStream:
             self.machine.budget.release(self._writer_reserve)
             self._buffer_reserved = False
         self._finalized = True
+        runtime = self.machine._runtime
+        if runtime is not None:
+            # Deferred write-behind blocks must hit the disk before the
+            # stream is read (and before their pinned frames leak past
+            # the algorithm that wrote them).
+            runtime.writer.flush()
         return self
 
     def _flush_buffer(self) -> None:
@@ -133,10 +168,18 @@ class FileStream:
         self._buffer = []
 
     def _allocate_block(self, index: int) -> int:
-        return self.machine.disk.allocate()
+        # Consecutive blocks cycle the disks from a per-stream staggered
+        # start, so concurrently consumed streams (e.g. merge runs) do
+        # not contend for the same disk on their i-th block.
+        return self.machine.disk.allocate(
+            (index + self._stripe_offset) % self.machine.num_disks
+        )
 
     def _write_block(self, block_id: int, records: List[Any]) -> None:
-        self.machine.disk.write(block_id, records)
+        # Completed blocks go through the runtime's write-behind buffer:
+        # on one disk it writes through immediately (identical counts);
+        # with D disks it defers until D blocks can share one step.
+        self.machine.runtime.writer.put(block_id, records)
 
     def _check_writable(self) -> None:
         if self._deleted:
@@ -167,8 +210,11 @@ class FileStream:
         budget = self.machine.budget
         budget.acquire(self.machine.block_size)
         try:
-            for block_id in self._block_ids:
-                for record in self.machine.disk.read(block_id):
+            # Sequential scans know their future: read_ahead batches each
+            # demanded block with successors on idle disks (no-op at D=1).
+            for payload in read_ahead(self.machine.runtime,
+                                      self._block_ids):
+                for record in payload:
                     yield record
         finally:
             budget.release(self.machine.block_size)
@@ -180,7 +226,7 @@ class FileStream:
                 f"stream {self.name!r} has no block {index} "
                 f"(has {len(self._block_ids)})"
             )
-        return self.machine.disk.read(self._block_ids[index])
+        return self.machine.runtime.read_block(self._block_ids[index])
 
     def read_block_range(self, start: int, stop: int) -> List[Any]:
         """Read blocks ``start..stop-1`` and return their records
@@ -198,10 +244,11 @@ class FileStream:
             )
         records: List[Any] = []
         group = self.machine.num_disks
+        runtime = self.machine.runtime
         for batch_start in range(start, stop, group):
             batch = self._block_ids[batch_start:min(batch_start + group,
                                                     stop)]
-            for payload in self.machine.disk.parallel_read(batch):
+            for payload in runtime.read_batch(batch):
                 records.extend(payload)
         return records
 
@@ -213,6 +260,14 @@ class FileStream:
     def num_blocks(self) -> int:
         """Number of full blocks written so far."""
         return len(self._block_ids)
+
+    @property
+    def block_ids(self) -> tuple:
+        """The stream's block ids in order (read-only) — what the
+        runtime's prefetchers schedule over."""
+        if self._deleted:
+            raise StreamError(f"stream {self.name!r} has been deleted")
+        return tuple(self._block_ids)
 
     @property
     def is_finalized(self) -> bool:
@@ -229,6 +284,11 @@ class FileStream:
         if self._buffer_reserved:
             self.machine.budget.release(self._writer_reserve)
             self._buffer_reserved = False
+        runtime = self.machine._runtime
+        if runtime is not None:
+            # Writing a deferred block after its id is freed (and maybe
+            # reused) would corrupt another stream: drop, don't flush.
+            runtime.writer.discard(self._block_ids)
         for block_id in self._block_ids:
             self.machine.disk.free(block_id)
         self._block_ids = []
@@ -270,8 +330,15 @@ class StripedStream(FileStream):
         self._pending: List[tuple] = []
         self._writer_reserve = machine.block_size * machine.num_disks
 
-    def _allocate_block(self, index: int) -> int:
-        return self.machine.disk.allocate(index % self.machine.num_disks)
+    @classmethod
+    def writer_frames(cls, machine: Machine) -> int:
+        """A striped writer stages one block per disk: ``D`` frames."""
+        return machine.num_disks
+
+    @classmethod
+    def reader_frames(cls, machine: Machine) -> int:
+        """A striped reader holds one stripe: ``D`` frames."""
+        return machine.num_disks
 
     def _write_block(self, block_id: int, records: List[Any]) -> None:
         self._pending.append((block_id, records))
@@ -280,7 +347,8 @@ class StripedStream(FileStream):
 
     def _drain_pending(self) -> None:
         if self._pending:
-            self.machine.disk.parallel_write(self._pending)
+            # One wave per disk-distinct group: D striped blocks = 1 step.
+            self.machine.runtime.scheduler.write_batch(self._pending)
             self._pending = []
 
     def finalize(self) -> "StripedStream":

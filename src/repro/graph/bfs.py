@@ -163,24 +163,25 @@ def mr_bfs(machine: Machine, adjacency: AdjacencyStore,
     level = 0
     while len(current) > 0:
         level += 1
-        neighbor_stream = FileStream(machine, name="bfs/neighbors")
-        for vertex in current:
-            for neighbor in adjacency.neighbors(vertex):
-                neighbor_stream.append(neighbor)
-        neighbor_stream.finalize()
-        ordered = external_merge_sort(
-            machine, neighbor_stream, keep_input=False
-        )
-        next_level = FileStream(machine, name="bfs/next")
-        for vertex in _subtract_sorted(
-            _dedupe_sorted(iter(ordered)), iter(current), iter(previous)
-        ):
-            next_level.append(vertex)
-            distance[vertex] = level
-        next_level.finalize()
-        ordered.delete()
-        previous.delete()
-        previous, current = current, next_level
+        with machine.trace(f"bfs-level-{level}"):
+            neighbor_stream = FileStream(machine, name="bfs/neighbors")
+            for vertex in current:
+                for neighbor in adjacency.neighbors(vertex):
+                    neighbor_stream.append(neighbor)
+            neighbor_stream.finalize()
+            ordered = external_merge_sort(
+                machine, neighbor_stream, keep_input=False
+            )
+            next_level = FileStream(machine, name="bfs/next")
+            for vertex in _subtract_sorted(
+                _dedupe_sorted(iter(ordered)), iter(current), iter(previous)
+            ):
+                next_level.append(vertex)
+                distance[vertex] = level
+            next_level.finalize()
+            ordered.delete()
+            previous.delete()
+            previous, current = current, next_level
     previous.delete()
     current.delete()
     return distance

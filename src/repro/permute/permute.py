@@ -115,7 +115,8 @@ def permute_naive(
     sizes = [min(B, n - index * B) for index in range(num_blocks)]
 
     # The block file's staging frame doubles as the cached output frame.
-    with BlockFile(machine, num_blocks, name="permute/out") as output:
+    with machine.trace("permute-naive"), \
+            BlockFile(machine, num_blocks, name="permute/out") as output:
         cached_index: Optional[int] = None
         cached_frame: List[Any] = []
 
@@ -155,17 +156,19 @@ def permute_by_sort(
     if validate:
         _check_lengths(stream, targets)
     tagged = FileStream(machine, name="permute/tagged")
-    for position, record in enumerate(stream):
-        tagged.append((targets[position], record))
-    tagged.finalize()
+    with machine.trace("tag"):
+        for position, record in enumerate(stream):
+            tagged.append((targets[position], record))
+        tagged.finalize()
     ordered = external_merge_sort(
         machine, tagged, key=lambda pair: pair[0], keep_input=False
     )
     result = FileStream(machine, name="permuted")
-    for _, record in ordered:
-        result.append(record)
-    ordered.delete()
-    return result.finalize()
+    with machine.trace("strip"):
+        for _, record in ordered:
+            result.append(record)
+        ordered.delete()
+        return result.finalize()
 
 
 @io_bound(lambda machine, n: min(_naive_theory(machine, n),

@@ -1,0 +1,79 @@
+"""repro.runtime — scheduled I/O between algorithms and the disk array.
+
+The Parallel Disk Model's bounds (``Θ(N/(DB))`` scan, sort in
+``Θ((N/(DB))·log_{M/B}(N/B))`` steps) assume every step moves one block
+*per disk*.  This package supplies the scheduling that makes algorithms
+actually do that:
+
+* :class:`~repro.runtime.scheduler.IOScheduler` — per-disk request
+  queues drained as single parallel steps, plus pinned-frame accounting
+  so staged blocks never exceed the ``m``-frame budget.
+* :mod:`~repro.runtime.prefetch` — sequential read-ahead for scans and
+  the survey's *forecasting* prefetcher for multi-way merges.
+* :class:`~repro.runtime.writebehind.WriteBehind` — defers completed
+  blocks and flushes up to ``D`` of them per step.
+* :class:`~repro.runtime.trace.Tracer` — per-phase, per-disk, per-step
+  attribution of every transfer, with Chrome trace-event export.
+
+Algorithms reach all of this through ``machine.runtime`` (built lazily)
+and ``with machine.trace("phase"): ...``; on a single disk every
+component degrades to the unbuffered path with bit-identical I/O counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.disk import Block
+from .prefetch import ForecastingPrefetcher, read_ahead
+from .scheduler import IOScheduler
+from .trace import Tracer
+from .writebehind import WriteBehind
+
+__all__ = [
+    "ForecastingPrefetcher",
+    "IOScheduler",
+    "Runtime",
+    "Tracer",
+    "WriteBehind",
+    "read_ahead",
+]
+
+
+class Runtime:
+    """The machine's I/O runtime: scheduler, write-behind, and tracer.
+
+    Constructed lazily by :attr:`repro.core.machine.Machine.runtime`;
+    algorithms should not instantiate it directly.
+    """
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.scheduler = IOScheduler(machine)
+        self.writer = WriteBehind(machine, self.scheduler)
+        self.tracer = Tracer(machine)
+        # Under memory pressure the budget may flush the write-behind
+        # window: its pinned frames are the one staging resource that can
+        # be dropped on demand without wasting a transfer already paid.
+        machine.budget.reclaimer = self.writer.flush
+
+    # ------------------------------------------------------------------
+    def read_block(self, block_id: int) -> Block:
+        """Read one block, observing any deferred write to it first."""
+        self.writer.ensure_flushed(block_id)
+        return self.machine.disk.read(block_id)
+
+    def read_batch(self, block_ids: Sequence[int]) -> List[Block]:
+        """Read a batch through the scheduler (one step per wave),
+        observing deferred writes first."""
+        for block_id in block_ids:
+            self.writer.ensure_flushed(block_id)
+        return self.scheduler.read_batch(block_ids)
+
+    def flush(self) -> None:
+        """Write out every deferred block."""
+        self.writer.flush()
+
+    def start_trace(self) -> Tracer:
+        """Begin a fresh trace; returns the tracer for reporting."""
+        return self.tracer.start()

@@ -1,0 +1,147 @@
+"""The parallel-disk I/O scheduler.
+
+The Parallel Disk Model charges one *step* per batch of transfers that
+touches each disk at most once.  Algorithms that issue single-block
+``read``/``write`` calls therefore pay a full step per block and run at
+``D×`` the optimal step count on a ``D``-disk machine.  The
+:class:`IOScheduler` closes that gap: callers enqueue block requests, and
+:meth:`drain` partitions them into *waves* — at most one request per disk
+— issuing each wave as a single parallel I/O.
+
+The scheduler also owns the *pinned-frame* account used by the prefetcher
+and write-behind buffer.  A pinned frame holds one staged block (``B``
+records) and is charged to the machine's :class:`~repro.core.memory.
+MemoryBudget`; the pin count can never exceed the buffer pool's frame
+budget ``m``, so prefetch depth is bounded by internal memory exactly as
+the model requires.  Pinning is opportunistic: :meth:`try_pin` refuses
+(rather than raises) when no frame is spare, and callers fall back to
+unbuffered transfers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Sequence, Tuple
+
+from ..core.disk import Block
+from ..core.exceptions import ConfigurationError
+
+
+class IOScheduler:
+    """Queues block requests per disk and drains them as parallel steps.
+
+    Args:
+        machine: the machine whose :class:`~repro.core.disk.DiskArray`
+            the scheduler drives.
+
+    Attributes:
+        pinned: number of staged frames currently charged to the budget.
+    """
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.pinned = 0
+        self._read_queues: Dict[int, Deque[int]] = {}
+        self._write_queues: Dict[int, Deque[Tuple[int, List[Any]]]] = {}
+
+    # ------------------------------------------------------------------
+    # request queues
+    # ------------------------------------------------------------------
+    def queue_read(self, block_id: int) -> None:
+        """Enqueue a block read on its home disk's queue."""
+        disk = self.machine.disk.disk_of(block_id)
+        self._read_queues.setdefault(disk, deque()).append(block_id)
+
+    def queue_write(self, block_id: int, records: Sequence[Any]) -> None:
+        """Enqueue a block write on its home disk's queue."""
+        disk = self.machine.disk.disk_of(block_id)
+        self._write_queues.setdefault(disk, deque()).append(
+            (block_id, list(records))
+        )
+
+    def drain(self) -> Dict[int, Block]:
+        """Issue every queued request, one parallel step per wave.
+
+        Each wave takes the head of every non-empty per-disk queue —
+        requests on distinct disks are independent — and issues them with
+        a single ``parallel_read``/``parallel_write``, so a wave costs
+        exactly one step.  Write waves are issued before read waves of the
+        same drain, preserving read-your-writes for requests queued on the
+        same block.
+
+        Returns a mapping from block id to payload for every read drained.
+        """
+        results: Dict[int, Block] = {}
+        disk = self.machine.disk
+        while self._write_queues:
+            wave = [queue.popleft() for queue in self._write_queues.values()]
+            self._write_queues = {
+                d: q for d, q in self._write_queues.items() if q
+            }
+            disk.parallel_write(wave)
+        while self._read_queues:
+            wave = [queue.popleft() for queue in self._read_queues.values()]
+            self._read_queues = {
+                d: q for d, q in self._read_queues.items() if q
+            }
+            for block_id, payload in zip(wave, disk.parallel_read(wave)):
+                results[block_id] = payload
+        return results
+
+    # ------------------------------------------------------------------
+    # batched convenience wrappers
+    # ------------------------------------------------------------------
+    def read_batch(self, block_ids: Sequence[int]) -> List[Block]:
+        """Read ``block_ids`` through the queues, returning payloads in
+        request order.  A batch with at most one block per disk costs one
+        step."""
+        for block_id in block_ids:
+            self.queue_read(block_id)
+        results = self.drain()
+        return [results[block_id] for block_id in block_ids]
+
+    def write_batch(
+        self, writes: Sequence[Tuple[int, Sequence[Any]]]
+    ) -> None:
+        """Write ``(block_id, records)`` pairs through the queues."""
+        for block_id, records in writes:
+            self.queue_write(block_id, records)
+        self.drain()
+
+    # ------------------------------------------------------------------
+    # pinned-frame accounting
+    # ------------------------------------------------------------------
+    def try_pin(self, slack_frames: int = 0) -> bool:
+        """Charge one staged frame (``B`` records) to the memory budget.
+
+        Returns False — without raising — when every one of the ``m``
+        frames is already pinned or the budget has no spare frame; callers
+        then skip the optimisation instead of overflowing ``M``.
+
+        Args:
+            slack_frames: frames that must remain available *after* the
+                pin.  Read-ahead pins are not reclaimable (dropping staged
+                data would waste the transfer already paid), so callers
+                that cannot see every concurrent frame consumer — a scan
+                inside an unknown algorithm — leave ``D`` frames of slack
+                for lazily acquired writer buffers.  Callers that have
+                pre-reserved every consumer (the merge) pin with no slack.
+        """
+        machine = self.machine
+        if self.pinned >= machine.memory_blocks:
+            return False
+        needed = (1 + slack_frames) * machine.block_size
+        if machine.budget.available < needed:
+            return False
+        machine.budget.acquire(machine.block_size)
+        self.pinned += 1
+        return True
+
+    def unpin(self, count: int = 1) -> None:
+        """Return ``count`` staged frames to the memory budget."""
+        if count > self.pinned:
+            raise ConfigurationError(
+                f"unpinning {count} frames but only {self.pinned} pinned"
+            )
+        self.machine.budget.release(count * self.machine.block_size)
+        self.pinned -= count

@@ -1,0 +1,98 @@
+"""Coalescing write-behind buffer.
+
+Sequential writers emit one block at a time, but on a ``D``-disk machine
+the step-optimal schedule holds completed blocks back until ``D`` of them
+— one per disk — are pending, then writes them as a single parallel step.
+:class:`WriteBehind` implements that deferral for every
+:class:`~repro.core.stream.FileStream` on the machine at once, so
+interleaved writers (e.g. the ``k`` output buckets of a distribution pass)
+share the same ``D``-block window.
+
+Deferred blocks occupy pinned frames charged to the machine's memory
+budget (see :class:`~repro.runtime.scheduler.IOScheduler.try_pin`); when
+no frame is spare, or on a single disk where deferral cannot save a step,
+blocks are written through immediately — the transfer and step counts are
+then bit-identical to the unbuffered path.  Rewriting a deferred block
+coalesces in place, saving the superseded transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Set
+
+from .scheduler import IOScheduler
+
+
+class WriteBehind:
+    """Defers block writes and flushes up to ``D`` of them per step.
+
+    Args:
+        machine: the machine whose disk receives the writes.
+        scheduler: the scheduler providing frame pins and parallel drains.
+    """
+
+    def __init__(self, machine, scheduler: IOScheduler):
+        self.machine = machine
+        self.scheduler = scheduler
+        self._pending: Dict[int, List[Any]] = {}
+        self._disks: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def put(self, block_id: int, records: Sequence[Any]) -> None:
+        """Accept one completed block for (possibly deferred) writing."""
+        if block_id in self._pending:
+            # The block is still in the window: coalesce, no new transfer.
+            self._pending[block_id] = list(records)
+            return
+        machine = self.machine
+        if machine.num_disks < 2:
+            machine.disk.write(block_id, records)
+            return
+        if not self.scheduler.try_pin():
+            # No spare frame: flush the current window (returning its
+            # pins) and retry, so a tight budget still batches writes in
+            # window-sized waves rather than one step per block.
+            self.flush()
+            if not self.scheduler.try_pin():
+                machine.disk.write(block_id, records)
+                return
+        disk = machine.disk.disk_of(block_id)
+        if disk in self._disks:
+            # A second block on the same disk cannot share its step;
+            # flush the current window first.  The pin taken above stays
+            # held for the incoming block.
+            self.flush()
+        self._pending[block_id] = list(records)
+        self._disks.add(disk)
+        if len(self._disks) >= machine.num_disks:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write every deferred block, batched as parallel steps."""
+        if not self._pending:
+            return
+        pins = len(self._pending)
+        self.scheduler.write_batch(list(self._pending.items()))
+        self._pending.clear()
+        self._disks.clear()
+        self.scheduler.unpin(pins)
+
+    def discard(self, block_ids: Iterable[int]) -> None:
+        """Drop deferred writes for ``block_ids`` (the stream is being
+        deleted; writing them would resurrect freed blocks)."""
+        dropped = 0
+        for block_id in block_ids:
+            if self._pending.pop(block_id, None) is not None:
+                dropped += 1
+        if dropped:
+            disk_of = self.machine.disk.disk_of
+            self._disks = {disk_of(b) for b in self._pending}
+            self.scheduler.unpin(dropped)
+
+    def ensure_flushed(self, block_id: int) -> None:
+        """Flush the window if ``block_id`` is deferred, so a subsequent
+        read observes the written data."""
+        if block_id in self._pending:
+            self.flush()

@@ -48,7 +48,8 @@ def _sample_pivots(
     step = max(1, num_blocks // probes)
     probe_indices = list(range(0, num_blocks, step))[:probes]
     keys: List[Any] = []
-    with machine.budget.reserve(len(probe_indices) * machine.B):
+    with machine.trace("pivot-sample"), \
+            machine.budget.reserve(len(probe_indices) * machine.B):
         for index in probe_indices:
             keys.extend(key(record) for record in stream.read_block(index))
     keys.sort()  # em: ok(EM004) pivot sample of ≤ (m-2)·B keys, reserved
@@ -85,20 +86,21 @@ def _partition(
         stream_cls(machine, name=f"bucket/{j}")
         for j in range(2 * len(pivots) + 1)
     ]
-    for record in stream:
-        record_key = key(record)
-        index = bisect_left(pivots, record_key)
-        if index < len(pivots) and pivots[index] == record_key:
-            buckets[2 * index + 1].append(record)
-        else:
-            buckets[2 * index].append(record)
-    result = []
-    for j, bucket in enumerate(buckets):
-        bucket.finalize()
-        if len(bucket) == 0:
-            bucket.delete()
-        else:
-            result.append((bucket, j % 2 == 1))
+    with machine.trace("partition"):
+        for record in stream:
+            record_key = key(record)
+            index = bisect_left(pivots, record_key)
+            if index < len(pivots) and pivots[index] == record_key:
+                buckets[2 * index + 1].append(record)
+            else:
+                buckets[2 * index].append(record)
+        result = []
+        for j, bucket in enumerate(buckets):
+            bucket.finalize()
+            if len(bucket) == 0:
+                bucket.delete()
+            else:
+                result.append((bucket, j % 2 == 1))
     return result
 
 
@@ -153,18 +155,20 @@ def distribution_sort(
         if is_equality or len(current) <= machine.B:
             # Equality buckets are all one key (already "sorted"); tiny
             # buckets flush through the output buffer directly.
-            if is_equality:
-                for record in current:
-                    output.append(record)
-            else:
-                with machine.budget.reserve(len(current)):
-                    records = list(current)
-                    # em: ok(EM004) tiny bucket ≤ M - 2B records, reserved
-                    records.sort(key=key)
-                    for record in records:
+            with machine.trace("bucket-output"):
+                if is_equality:
+                    for record in current:
                         output.append(record)
+                else:
+                    with machine.budget.reserve(len(current)):
+                        records = list(current)
+                        # em: ok(EM004) tiny bucket ≤ M - 2B, reserved
+                        records.sort(key=key)
+                        for record in records:
+                            output.append(record)
         elif len(current) <= threshold:
-            with machine.budget.reserve(len(current)):
+            with machine.trace("bucket-output"), \
+                    machine.budget.reserve(len(current)):
                 records = list(current)
                 # em: ok(EM004) base-case bucket ≤ M - 2B records, reserved
                 records.sort(key=key)

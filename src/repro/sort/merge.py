@@ -18,9 +18,10 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional
 
 from ..analysis.sanitizer import io_bound
 from ..core.bounds import scan_io, sort_io
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, StreamError
 from ..core.machine import Machine
 from ..core.stream import FileStream
+from ..runtime.prefetch import ForecastingPrefetcher
 from .runs import form_runs_load_sort, form_runs_replacement_selection, identity
 
 
@@ -130,7 +131,8 @@ class LoserTree:
         return record
 
 
-@io_bound(lambda machine, n: 2 * scan_io(n, machine.B, machine.D),
+# Transfers, not steps: the envelope is D-independent (see runs.py).
+@io_bound(lambda machine, n: 2 * scan_io(n, machine.B),
           factor=2.0,
           n=lambda machine, streams, **kwargs: sum(
               len(stream) for stream in streams))
@@ -147,14 +149,40 @@ def merge_streams(
     ``len(streams) + 1`` must not exceed ``m`` (the memory budget raises
     otherwise).  Costs one read per input block and one write per output
     block.
+
+    On a multi-disk machine the input reads are scheduled by the
+    *forecasting* prefetcher (the run whose newest block has the smallest
+    last key is fetched next, batched one block per idle disk), so the
+    merge approaches ``D`` transfers per parallel step instead of one.
     """
     key = key or identity
     if not streams:
         return stream_cls(machine, name=name).finalize()
-    readers = [iter(stream) for stream in streams]
+    for stream in streams:
+        if not stream.is_finalized:
+            raise StreamError(
+                f"stream {stream.name!r} must be finalized before merging"
+            )
     output = stream_cls(machine, name=name)
-    for record in LoserTree(readers, key=key):
-        output.append(record)
+    # Reserve the output buffer and every reader frame before any
+    # opportunistic prefetch pin is taken: pins consume only true spares
+    # and can never starve a frame the merge is guaranteed to need.
+    output.reserve_writer()
+    # A writer that stages its own full stripe leaves the forecast free
+    # to pin every spare frame; a one-block writer needs D-1 of them
+    # kept available for its write-behind window.
+    pin_slack = (0 if stream_cls.writer_frames(machine) >= machine.num_disks
+                 else machine.num_disks - 1)
+    prefetcher = ForecastingPrefetcher(
+        machine.runtime, [stream.block_ids for stream in streams], key=key,
+        pin_slack=pin_slack,
+    )
+    try:
+        readers = [prefetcher.reader(i) for i in range(len(streams))]
+        for record in LoserTree(readers, key=key):
+            output.append(record)
+    finally:
+        prefetcher.close()
     return output.finalize()
 
 
@@ -164,11 +192,21 @@ RUN_STRATEGIES = {
 }
 
 
+def _merge_levels(num_runs: int, arity: int) -> int:
+    """Merge passes needed to reduce ``num_runs`` runs at ``arity``."""
+    levels = 0
+    while num_runs > 1:
+        num_runs = -(-num_runs // arity)
+        levels += 1
+    return levels
+
+
 def _merge_sort_theory(machine: Machine, n: int, call: dict) -> int:
-    """``Sort(N)`` with the call's actual merge arity (``fan_in=2``
-    reproduces the binary baseline's extra passes)."""
+    """``Sort(N)`` transfers with the call's actual merge arity
+    (``fan_in=2`` reproduces the binary baseline's extra passes).
+    D-independent: the sanitizer counts transfers, not steps."""
     fan_in = call.get("fan_in") or 0
-    return sort_io(n, machine.M, machine.B, machine.D, fan_in=fan_in)
+    return sort_io(n, machine.M, machine.B, fan_in=fan_in)
 
 
 @io_bound(_merge_sort_theory, factor=3.0)
@@ -186,9 +224,10 @@ def external_merge_sort(
     Args:
         machine: the external-memory machine to charge I/O to.
         key: key function; default sorts records directly.
-        fan_in: merge arity; defaults to the machine maximum ``m - 1``.
-            Lower values (e.g. 2) reproduce the naive baseline with more
-            passes.
+        fan_in: merge arity; defaults to the machine maximum ``m - 1``
+            (less a little headroom for prefetch and write-behind frames
+            on multi-disk machines).  Lower values (e.g. 2) reproduce the
+            naive baseline with more passes.
         run_strategy: ``"load"`` (memoryload runs of ``M``) or
             ``"replacement"`` (replacement selection, ~``2M`` runs).
         stream_cls: stream class for intermediates and output (pass
@@ -207,14 +246,16 @@ def external_merge_sort(
             # em: ok(EM004) two-entry strategy-name dict in an error message
             f"choose from {sorted(RUN_STRATEGIES)}"
         )
+    frames = machine.budget.available // machine.B
+    writer_frames = stream_cls.writer_frames(machine)
     if fan_in is not None:
         arity = fan_in
     else:
-        # One input frame per run plus one output frame must fit in the
-        # *available* budget: callers holding resident frames (an open
-        # block file) lower the arity instead of overflowing M.
-        arity = max(2, min(machine.fan_in,
-                           machine.budget.available // machine.B - 1))
+        # One input frame per run plus the output writer's frames (1, or
+        # D for a striped writer) must fit in the *available* budget:
+        # callers holding resident frames (an open block file) lower the
+        # arity instead of overflowing M.
+        arity = min(machine.fan_in, frames - writer_frames)
     if arity < 2:
         raise ConfigurationError(f"merge fan-in must be >= 2, got {arity}")
 
@@ -226,26 +267,47 @@ def external_merge_sort(
     if not runs:
         return stream_cls(machine, name="sorted").finalize()
 
+    if fan_in is None and machine.num_disks > 1 and len(runs) > 1:
+        # A merge that fills every frame with input buffers pays one full
+        # step per block: the forecasting prefetcher and write-behind
+        # window need spare frames to overlap the D disks.  Shrink the
+        # arity toward that headroom, but never enough to add a merge
+        # pass — an extra pass costs a whole scan, headroom only steps.
+        target = max(2, min(arity,
+                            frames - writer_frames
+                            - 2 * (machine.num_disks - 1)))
+        if target < arity:
+            passes = _merge_levels(len(runs), arity)
+            low, high = 2, arity
+            while low < high:
+                mid = (low + high) // 2
+                if _merge_levels(len(runs), mid) <= passes:
+                    high = mid
+                else:
+                    low = mid + 1
+            arity = max(target, low)
+
     level = 0
     while len(runs) > 1:
         level += 1
         next_runs: List[FileStream] = []
-        for start in range(0, len(runs), arity):
-            group = runs[start:start + arity]
-            if len(group) == 1:
-                # A lone straggler run needs no merging; carry it forward
-                # without spending a copy pass on it.
-                next_runs.append(group[0])
-                continue
-            merged = merge_streams(
-                machine,
-                group,
-                key=key,
-                stream_cls=stream_cls,
-                name=f"merge/{level}/{len(next_runs)}",
-            )
-            for run in group:
-                run.delete()
-            next_runs.append(merged)
+        with machine.trace(f"merge-pass-{level}"):
+            for start in range(0, len(runs), arity):
+                group = runs[start:start + arity]
+                if len(group) == 1:
+                    # A lone straggler run needs no merging; carry it
+                    # forward without spending a copy pass on it.
+                    next_runs.append(group[0])
+                    continue
+                merged = merge_streams(
+                    machine,
+                    group,
+                    key=key,
+                    stream_cls=stream_cls,
+                    name=f"merge/{level}/{len(next_runs)}",
+                )
+                for run in group:
+                    run.delete()
+                next_runs.append(merged)
         runs = next_runs
     return runs[0]

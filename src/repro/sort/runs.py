@@ -32,8 +32,13 @@ def identity(record: Any) -> Any:
 
 
 def _run_formation_theory(machine: Machine, n: int) -> int:
-    """One read pass plus one write pass: ``2·scan(N)``."""
-    return 2 * scan_io(n, machine.B, machine.D)
+    """One read pass plus one write pass: ``2·scan(N)``.
+
+    The sanitizer compares block *transfers*, which do not depend on
+    ``D`` (the runtime's scheduling only packs them into fewer steps),
+    so the envelope deliberately omits the machine's disk count.
+    """
+    return 2 * scan_io(n, machine.B)
 
 
 @io_bound(_run_formation_theory, factor=2.0)
@@ -58,18 +63,35 @@ def form_runs_load_sort(
     key = key or identity
     runs: List[FileStream] = []
     num_blocks = stream.num_blocks
+    # On a multi-disk machine, leave D-1 frames out of the memoryload so
+    # the runtime's write-behind can hold a D-block window; a memoryload
+    # that fills every frame forces one write step per block.  A striped
+    # run writer batches a full stripe itself, needs no window, and
+    # (via append_block) stages no frames of its own — full memoryloads
+    # mean fewer, longer runs.
+    if stream_cls.writer_frames(machine) >= machine.num_disks:
+        spare = 0
+    else:
+        spare = machine.num_disks - 1
     blocks_per_run = max(
-        1, min(machine.m, machine.budget.available // machine.B)
+        1, min(machine.m - spare,
+               machine.budget.available // machine.B - spare)
     )
-    for start in range(0, num_blocks, blocks_per_run):
-        end = min(start + blocks_per_run, num_blocks)
-        with machine.budget.reserve((end - start) * machine.B):
-            chunk = stream.read_block_range(start, end)
-            chunk.sort(key=key)  # em: ok(EM004) one memoryload ≤ m·B, reserved
-            run = stream_cls(machine, name=f"run/{len(runs)}")
-            for offset in range(0, len(chunk), machine.B):
-                run.append_block(chunk[offset:offset + machine.B])
-            runs.append(run.finalize())
+    if blocks_per_run > machine.num_disks:
+        # Align run boundaries to the stripe so every read batch and
+        # write window is a full D-block wave.
+        blocks_per_run -= blocks_per_run % machine.num_disks
+    with machine.trace("run-formation"):
+        for start in range(0, num_blocks, blocks_per_run):
+            end = min(start + blocks_per_run, num_blocks)
+            with machine.budget.reserve((end - start) * machine.B):
+                chunk = stream.read_block_range(start, end)
+                # em: ok(EM004) one memoryload ≤ m·B, reserved
+                chunk.sort(key=key)
+                run = stream_cls(machine, name=f"run/{len(runs)}")
+                for offset in range(0, len(chunk), machine.B):
+                    run.append_block(chunk[offset:offset + machine.B])
+                runs.append(run.finalize())
     return runs
 
 
@@ -98,8 +120,16 @@ def form_runs_replacement_selection(
             "(input frame + output frame + selection heap); "
             f"machine has m={machine.m}"
         )
-    heap_capacity = (min(machine.M, machine.budget.available)
-                     - 2 * machine.B)
+    # The input reader's frames, the output writer's frames, and (for a
+    # one-block-at-a-time writer on a multi-disk machine) D-1 frames of
+    # write-behind window stay out of the heap.
+    out_frames = stream_cls.writer_frames(machine)
+    window = machine.num_disks - 1 if out_frames < machine.num_disks else 0
+    heap_capacity = (
+        min(machine.M, machine.budget.available)
+        - (type(stream).reader_frames(machine) + out_frames + window)
+        * machine.B
+    )
     if heap_capacity < 1:
         raise ConfigurationError(
             "replacement selection needs a free frame beyond the input "
@@ -110,7 +140,8 @@ def form_runs_replacement_selection(
     reader = iter(stream)
     sequence = 0  # tie-break so records never compare with each other
 
-    with machine.budget.reserve(heap_capacity):
+    with machine.trace("run-formation"), \
+            machine.budget.reserve(heap_capacity):
         # (run_number, key, sequence, record) orders the heap first by the
         # run a record belongs to, then by key within the run.
         heap: List[tuple] = []

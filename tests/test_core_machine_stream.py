@@ -25,6 +25,12 @@ class TestMachine:
         assert m.D == 2
         assert m.fan_in == 7
 
+    def test_fan_in_on_minimal_machines(self):
+        # Regression: fan_in once returned max(2, m - 1), claiming a
+        # 2-frame machine could merge 2 ways (which needs 3 frames).
+        assert Machine(block_size=4, memory_blocks=2).fan_in == 1
+        assert Machine(block_size=4, memory_blocks=3).fan_in == 2
+
     @pytest.mark.parametrize(
         "kwargs",
         [
@@ -228,6 +234,34 @@ class TestStripedStream:
     def test_partial_stripe_flushed_on_finalize(self):
         m = Machine(block_size=4, memory_blocks=16, num_disks=4)
         s = StripedStream.from_records(m, range(10))  # 3 blocks < D
+        assert list(s) == list(range(10))
+
+    def test_empty_stream(self):
+        m = Machine(block_size=4, memory_blocks=8, num_disks=4)
+        s = StripedStream(m).finalize()
+        assert list(s) == []
+        assert s.num_blocks == 0
+        assert m.stats().total == 0
+        assert m.budget.in_use == 0
+
+    def test_fewer_blocks_than_disks(self):
+        m = Machine(block_size=4, memory_blocks=8, num_disks=4)
+        s = StripedStream.from_records(m, range(10))  # 3 blocks < D
+        assert s.num_blocks == 3
+        assert list(s) == list(range(10))
+        stats = m.stats()
+        assert stats.writes == 3 and stats.write_steps == 1
+        assert stats.reads == 3 and stats.read_steps == 1
+
+    def test_finalize_twice_flushes_once(self):
+        m = Machine(block_size=4, memory_blocks=8, num_disks=4)
+        s = StripedStream(m)
+        s.extend(range(10))
+        s.finalize()
+        writes = m.stats().writes
+        s.finalize()
+        assert m.stats().writes == writes  # no duplicate flush
+        assert s.num_blocks == 3
         assert list(s) == list(range(10))
 
     def test_single_disk_striped_equals_plain(self):

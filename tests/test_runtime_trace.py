@@ -1,0 +1,125 @@
+"""Tests for the runtime tracer: phase attribution and Chrome export."""
+
+import json
+
+from repro.core import IOStats, Machine, StripedStream
+from repro.runtime.trace import UNTRACED
+from repro.sort import external_merge_sort
+from repro.workloads import uniform_ints
+
+
+def traced_sort(num_disks=4, n=2048):
+    """Run a traced striped merge sort; returns (machine, tracer, delta)."""
+    machine = Machine(block_size=16, memory_blocks=16, num_disks=num_disks)
+    stream = StripedStream.from_records(machine, uniform_ints(n, seed=5))
+    tracer = machine.runtime.start_trace()
+    before = machine.stats()
+    external_merge_sort(machine, stream, stream_cls=StripedStream)
+    tracer.stop()
+    return machine, tracer, machine.stats() - before
+
+
+class TestPhaseAttribution:
+    def test_phase_sums_equal_machine_stats_delta(self):
+        _, tracer, delta = traced_sort()
+        total = IOStats()
+        for stats in tracer.phase_summary().values():
+            total = total + stats
+        assert total == delta
+        assert tracer.steps == delta.total_steps
+
+    def test_sort_phases_are_labeled(self):
+        _, tracer, _ = traced_sort()
+        labels = set(tracer.phase_summary())
+        assert "run-formation" in labels
+        assert "merge-pass-1" in labels
+
+    def test_nested_phases_join_with_slash(self):
+        machine = Machine(block_size=4, memory_blocks=4, num_disks=2)
+        tracer = machine.runtime.start_trace()
+        with machine.trace("outer"):
+            with machine.trace("inner"):
+                StripedStream.from_records(machine, range(16))
+        assert set(tracer.phase_summary()) == {"outer/inner"}
+
+    def test_io_outside_any_phase_is_untraced(self):
+        machine = Machine(block_size=4, memory_blocks=4, num_disks=2)
+        tracer = machine.runtime.start_trace()
+        StripedStream.from_records(machine, range(16))
+        assert set(tracer.phase_summary()) == {UNTRACED}
+
+    def test_stop_detaches_listener(self):
+        machine = Machine(block_size=4, memory_blocks=4)
+        tracer = machine.runtime.start_trace()
+        tracer.stop()
+        StripedStream.from_records(machine, range(16))
+        assert tracer.phase_summary() == {}
+
+    def test_start_resets_previous_trace(self):
+        machine = Machine(block_size=4, memory_blocks=4)
+        tracer = machine.runtime.start_trace()
+        StripedStream.from_records(machine, range(16))
+        tracer = machine.runtime.start_trace()
+        assert tracer.phase_summary() == {}
+        assert tracer.steps == 0
+
+    def test_summary_table_lists_phases_and_total(self):
+        _, tracer, delta = traced_sort()
+        table = tracer.summary_table()
+        assert "run-formation" in table
+        assert "total" in table
+        assert str(delta.total) in table
+
+
+class TestChromeExport:
+    def test_export_is_valid_chrome_trace_json(self):
+        _, tracer, _ = traced_sort()
+        trace = json.loads(tracer.to_json())
+        events = trace["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 1
+
+    def test_one_lane_per_disk_plus_phase_lane(self):
+        machine, tracer, _ = traced_sort(num_disks=4)
+        events = tracer.to_chrome()["traceEvents"]
+        lanes = {e["tid"] for e in events if e.get("cat") == "io"}
+        assert lanes <= set(range(machine.num_disks))
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names == {"disk 0", "disk 1", "disk 2", "disk 3", "phases"}
+
+    def test_event_step_sums_match_phase_stats(self):
+        # Every io event carries its phase; per-phase transfer counts
+        # recomputed from the raw events equal the summary (and thus the
+        # machine's counters, per TestPhaseAttribution).
+        _, tracer, _ = traced_sort()
+        per_phase = {}
+        for event in tracer.to_chrome()["traceEvents"]:
+            if event.get("cat") != "io":
+                continue
+            label = event["args"]["phase"]
+            per_phase[label] = (per_phase.get(label, 0)
+                                + len(event["args"]["blocks"]))
+        summary = tracer.phase_summary()
+        assert per_phase == {
+            label: stats.total for label, stats in summary.items()
+        }
+
+    def test_phase_spans_cover_their_steps(self):
+        _, tracer, _ = traced_sort()
+        spans = [e for e in tracer.to_chrome()["traceEvents"]
+                 if e.get("cat") == "phase"]
+        assert spans
+        summary = tracer.phase_summary()
+        for span in spans:
+            assert span["args"]["steps"] == \
+                summary[span["name"]].total_steps
+
+    def test_save_round_trips_through_file(self, tmp_path):
+        _, tracer, _ = traced_sort()
+        path = tmp_path / "trace.json"
+        tracer.save(str(path))
+        assert json.loads(path.read_text()) == tracer.to_chrome()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Toy-size benchmark smoke run for CI.
+
+Runs the F1 (sort scaling) and F12 (parallel disks) experiments at small
+sizes — seconds, not minutes — and writes a JSON summary so CI uploads a
+machine-readable record of the runtime's scheduling quality per commit:
+
+    python tools/bench_smoke.py [--output BENCH_pr3.json]
+
+The JSON reports, per disk count, the parallel steps, total transfers,
+and the steps/optimal ratio (optimal = ceil(transfers / D)); the sort
+must stay within 1.5x of its step-optimal schedule, the same bound the
+full F12 benchmark enforces.
+"""
+
+import argparse
+import json
+import sys
+from math import ceil
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import FileStream, Machine, StripedStream, sort_io  # noqa: E402
+from repro.sort import external_merge_sort  # noqa: E402
+from repro.workloads import uniform_ints  # noqa: E402
+
+# Toy sizes: ~10x smaller than benchmarks/bench_f1_* and bench_f12_*.
+F1_B, F1_M_BLOCKS, F1_SIZES = 64, 8, (2_000, 8_000)
+F12_B, F12_M_BLOCKS, F12_N = 32, 24, 4_608
+RATIO_BOUND = 1.5
+
+
+def f1_smoke():
+    """Single-disk sort I/O vs the closed form, at two toy sizes."""
+    points = []
+    for n in F1_SIZES:
+        machine = Machine(block_size=F1_B, memory_blocks=F1_M_BLOCKS)
+        stream = FileStream.from_records(machine, uniform_ints(n, seed=2))
+        machine.reset_stats()
+        external_merge_sort(machine, stream)
+        stats = machine.stats()
+        theory = sort_io(n, machine.M, machine.B)
+        assert 0.9 * theory <= stats.total <= theory
+        points.append({
+            "n": n,
+            "transfers": stats.total,
+            "steps": stats.total_steps,
+            "theory": theory,
+        })
+    return {"name": "f1_sort_scaling", "B": F1_B,
+            "M": F1_B * F1_M_BLOCKS, "points": points}
+
+
+def f12_smoke():
+    """Scheduled striped sort steps vs ceil(transfers/D) per disk count."""
+    points = []
+    for num_disks in (1, 2, 4, 8):
+        machine = Machine(block_size=F12_B, memory_blocks=F12_M_BLOCKS,
+                          num_disks=num_disks)
+        data = uniform_ints(F12_N, seed=13)
+        stream = StripedStream.from_records(machine, data)
+        machine.reset_stats()
+        result = external_merge_sort(machine, stream,
+                                     stream_cls=StripedStream)
+        stats = machine.stats()
+        assert len(result) == F12_N
+        optimal = ceil(stats.total / num_disks)
+        ratio = stats.total_steps / optimal
+        assert ratio <= RATIO_BOUND, (
+            f"D={num_disks}: {stats.total_steps} steps vs "
+            f"{optimal} optimal (ratio {ratio:.3f})"
+        )
+        points.append({
+            "num_disks": num_disks,
+            "transfers": stats.total,
+            "steps": stats.total_steps,
+            "steps_optimal": optimal,
+            "steps_over_optimal": round(ratio, 4),
+        })
+    return {"name": "f12_parallel_disks", "B": F12_B,
+            "M": F12_B * F12_M_BLOCKS, "n": F12_N,
+            "ratio_bound": RATIO_BOUND, "points": points}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_pr3.json",
+                        help="path of the JSON summary (default: %(default)s)")
+    args = parser.parse_args(argv)
+    summary = {"benchmarks": [f1_smoke(), f12_smoke()]}
+    with open(args.output, "w") as fh:
+        fh.write(json.dumps(summary, indent=2) + "\n")
+    for bench in summary["benchmarks"]:
+        print(f"{bench['name']}:")
+        for point in bench["points"]:
+            print("  " + ", ".join(f"{k}={v}" for k, v in point.items()))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
