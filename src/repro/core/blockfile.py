@@ -121,6 +121,25 @@ class BlockFile:
         self._check_frame()
         return self._scan_blocks()
 
+    def verify(self) -> List[int]:
+        """Indices of blocks whose stored payload fails its checksum.
+
+        Free (no charged I/O): like a storage scrubber's metadata pass,
+        it compares stored payloads against the recorded checksums via
+        :meth:`~repro.core.disk.DiskArray.verify_checksum` without
+        transferring blocks into memory.  Returns an empty list when no
+        fault plan has been installed (checksums disabled) or every
+        block is intact; the caller repairs by rewriting the listed
+        blocks.
+        """
+        if self._deleted:
+            raise StreamError(f"block file {self.name!r} has been deleted")
+        return [
+            index
+            for index, block_id in enumerate(self._block_ids)
+            if not self.machine.disk.verify_checksum(block_id)
+        ]
+
     def _scan_blocks(self) -> Iterator[Any]:
         for block_id in self._block_ids:
             for record in self.machine.disk.read(block_id):

@@ -18,15 +18,25 @@ Two devices are provided:
 A device accepts one optional ``listener`` (the runtime's tracer): every
 transfer method reports ``(op, block_ids, disks, steps)`` to it, which is
 how per-phase trace tallies stay equal to the device's own counters.
+
+Devices can also host a *fault injector* (see :mod:`repro.faults`): a
+seeded plan of transient read/write errors, torn (partial) writes, and
+per-disk stuck-slow latency.  Installing an injector enables per-block
+checksums, recorded for the payload the writer *intended*; a torn write
+then surfaces as a :class:`~repro.core.exceptions.ChecksumError` on read
+instead of silently returning truncated data.  Without an injector the
+checksum machinery is entirely inert, so fault-free runs pay nothing.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import zlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .exceptions import (
     BlockNotAllocatedError,
     BlockOverflowError,
+    ChecksumError,
     ConfigurationError,
 )
 from .stats import IOCounter
@@ -34,6 +44,16 @@ from .stats import IOCounter
 # A block payload is a plain list of records.  Records are arbitrary Python
 # objects; the substrate measures capacity in records, not bytes.
 Block = List[Any]
+
+
+def block_checksum(records: Sequence[Any]) -> int:
+    """Checksum of a block payload (CRC-32 over its ``repr``).
+
+    ``repr`` is stable for the record types the library stores (numbers,
+    strings, tuples/lists of them), and the simulation never needs the
+    checksum to be cryptographic — only to disagree when a write was
+    torn."""
+    return zlib.crc32(repr(list(records)).encode("utf-8"))
 
 
 class DiskArray:
@@ -63,11 +83,28 @@ class DiskArray:
         self.block_capacity = block_capacity
         self.counter = IOCounter()
         self.listener = None  # runtime tracer; see module docstring
+        self.checksums_enabled = False
+        self._injector = None  # repro.faults injector; see property below
         self._blocks: Dict[int, Block] = {}
+        self._sums: Dict[int, int] = {}
         self._disk_of: Dict[int, int] = {}
         self._next_id = 0
         self._rr_next_disk = 0
         self._allocated_high_water = 0
+
+    @property
+    def fault_injector(self):
+        """The installed fault injector, or None (see
+        :meth:`repro.core.machine.Machine.inject_faults`)."""
+        return self._injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector) -> None:
+        self._injector = injector
+        if injector is not None:
+            # Checksums stay on once faults have ever been possible, so
+            # blocks torn under a plan are still detected after it exits.
+            self.checksums_enabled = True
 
     # ------------------------------------------------------------------
     # allocation
@@ -116,6 +153,7 @@ class DiskArray:
             raise BlockNotAllocatedError(block_id)
         del self._blocks[block_id]
         del self._disk_of[block_id]
+        self._sums.pop(block_id, None)
 
     def is_allocated(self, block_id: int) -> bool:
         """Return whether ``block_id`` currently names an allocated block."""
@@ -142,7 +180,17 @@ class DiskArray:
     # transfers
     # ------------------------------------------------------------------
     def read(self, block_id: int) -> Block:
-        """Read one block: one transfer, one parallel step."""
+        """Read one block: one transfer, one parallel step.
+
+        Raises:
+            TransientReadError: injected by an installed fault plan; the
+                failed attempt charges no transfer (the retry machinery
+                charges its backoff as stall steps instead).
+            ChecksumError: the stored payload does not match its recorded
+                checksum (a torn write being read back).  The transfer
+                *is* charged — the data moved, then failed verification.
+        """
+        self._pre_read(block_id)
         try:
             payload = self._blocks[block_id]
         except KeyError:
@@ -150,15 +198,28 @@ class DiskArray:
         self.counter.reads += 1
         self.counter.read_steps += 1
         self._notify("read", (block_id,), 1)
+        self._verify(block_id, payload)
+        self._stall_after((self._disk_of[block_id],))
         return list(payload)
 
     def write(self, block_id: int, records: Sequence[Any]) -> None:
-        """Write one block: one transfer, one parallel step."""
+        """Write one block: one transfer, one parallel step.
+
+        An installed fault plan may raise
+        :class:`~repro.core.exceptions.TransientWriteError` (nothing
+        charged) or *tear* the write: the checksum of the intended
+        payload is recorded but only a prefix is stored, so a later read
+        raises :class:`~repro.core.exceptions.ChecksumError`.
+        """
         self._check_write(block_id, records)
+        stored = self._pre_write(block_id, records)
+        if self.checksums_enabled:
+            self._sums[block_id] = block_checksum(records)
         self.counter.writes += 1
         self.counter.write_steps += 1
-        self._blocks[block_id] = list(records)
+        self._blocks[block_id] = list(stored)
         self._notify("write", (block_id,), 1)
+        self._stall_after((self._disk_of[block_id],))
 
     def parallel_read(self, block_ids: Sequence[int]) -> List[Block]:
         """Read a batch of blocks, exploiting disk parallelism.
@@ -166,14 +227,19 @@ class DiskArray:
         Transfers every block (``len(block_ids)`` read transfers) but only
         charges ``max_i k_i`` parallel steps, where ``k_i`` is the number of
         requested blocks living on disk ``i``.
+
+        Fault checks run for every block *before* any transfer, so an
+        injected :class:`~repro.core.exceptions.TransientReadError`
+        aborts the wave atomically and the retry re-issues it whole.
         """
+        for block_id in block_ids:
+            if block_id not in self._blocks:
+                raise BlockNotAllocatedError(block_id)
+            self._pre_read(block_id)
         per_disk = [0] * self.num_disks
         payloads: List[Block] = []
         for block_id in block_ids:
-            try:
-                payload = self._blocks[block_id]
-            except KeyError:
-                raise BlockNotAllocatedError(block_id) from None
+            payload = self._blocks[block_id]
             per_disk[self._disk_of[block_id]] += 1
             payloads.append(list(payload))
         steps = max(per_disk) if block_ids else 0
@@ -181,6 +247,10 @@ class DiskArray:
         self.counter.read_steps += steps
         if block_ids:
             self._notify("read", block_ids, steps)
+        for block_id in block_ids:
+            self._verify(block_id, self._blocks[block_id])
+        if block_ids:
+            self._stall_after({self._disk_of[b] for b in block_ids})
         return payloads
 
     def parallel_write(
@@ -189,19 +259,28 @@ class DiskArray:
         """Write a batch of ``(block_id, records)`` pairs in parallel.
 
         Charges one write transfer per block and ``max_i k_i`` parallel
-        steps (see :meth:`parallel_read`).
+        steps (see :meth:`parallel_read`).  Fault checks run for every
+        block before any transfer; torn writes are applied per block
+        after the wave is known to proceed.
         """
         per_disk = [0] * self.num_disks
         for block_id, records in writes:
             self._check_write(block_id, records)
             per_disk[self._disk_of[block_id]] += 1
+        if self._injector is not None:
+            for block_id, _ in writes:
+                self._fault_write(block_id)
         for block_id, records in writes:
-            self._blocks[block_id] = list(records)
+            stored = self._maybe_tear(block_id, records)
+            if self.checksums_enabled:
+                self._sums[block_id] = block_checksum(records)
+            self._blocks[block_id] = list(stored)
         steps = max(per_disk) if writes else 0
         self.counter.writes += len(writes)
         self.counter.write_steps += steps
         if writes:
             self._notify("write", [b for b, _ in writes], steps)
+            self._stall_after({self._disk_of[b] for b, _ in writes})
 
     def peek(self, block_id: int) -> Block:
         """Inspect a block **without** charging an I/O.
@@ -212,6 +291,91 @@ class DiskArray:
             return list(self._blocks[block_id])
         except KeyError:
             raise BlockNotAllocatedError(block_id) from None
+
+    def verify_checksum(self, block_id: int) -> bool:
+        """Whether ``block_id``'s stored payload matches its checksum,
+        **without** charging an I/O (tests/debugging; recovery code must
+        pay for a :meth:`read` instead).  Blocks written before checksums
+        were enabled trivially verify."""
+        if block_id not in self._blocks:
+            raise BlockNotAllocatedError(block_id)
+        expected = self._sums.get(block_id)
+        return expected is None or \
+            block_checksum(self._blocks[block_id]) == expected
+
+    def stall(
+        self, steps: int, disks: Iterable[int] = (), reason: str = "backoff"
+    ) -> None:
+        """Charge ``steps`` parallel steps during which ``disks`` are
+        busy without transferring a block (retry backoff, seek storms).
+        Reported to the listener so traces show the degradation."""
+        if steps <= 0:
+            return
+        self.counter.stall_steps += steps
+        if self.listener is not None:
+            handler = getattr(self.listener, "on_stall", None)
+            if handler is not None:
+                handler(steps, list(disks), reason)
+
+    # ------------------------------------------------------------------
+    # fault-injection plumbing
+    # ------------------------------------------------------------------
+    def _pre_read(self, block_id: int) -> None:
+        if self._injector is None:
+            return
+        disk = self._disk_of.get(block_id)
+        error = self._injector.read_fault(block_id, disk)
+        if error is not None:
+            self.counter.faults += 1
+            self._notify_fault("read-error", block_id)
+            raise error
+
+    def _pre_write(self, block_id: int, records: Sequence[Any]) -> Block:
+        if self._injector is None:
+            return list(records)
+        self._fault_write(block_id)
+        return self._maybe_tear(block_id, records)
+
+    def _fault_write(self, block_id: int) -> None:
+        error = self._injector.write_fault(
+            block_id, self._disk_of[block_id]
+        )
+        if error is not None:
+            self.counter.faults += 1
+            self._notify_fault("write-error", block_id)
+            raise error
+
+    def _maybe_tear(self, block_id: int, records: Sequence[Any]) -> Block:
+        if self._injector is None:
+            return list(records)
+        torn = self._injector.tear(
+            block_id, self._disk_of[block_id], records
+        )
+        if torn is None:
+            return list(records)
+        self.counter.faults += 1
+        self._notify_fault("torn-write", block_id)
+        return torn
+
+    def _verify(self, block_id: int, payload: Block) -> None:
+        if not self.checksums_enabled:
+            return
+        expected = self._sums.get(block_id)
+        if expected is not None and block_checksum(payload) != expected:
+            raise ChecksumError(block_id)
+
+    def _stall_after(self, disks: Iterable[int]) -> None:
+        if self._injector is None:
+            return
+        steps = self._injector.stall_penalty(disks)
+        if steps:
+            self.stall(steps, disks, "slow-disk")
+
+    def _notify_fault(self, kind: str, block_id: int) -> None:
+        if self.listener is not None:
+            handler = getattr(self.listener, "on_fault", None)
+            if handler is not None:
+                handler(kind, block_id, self._disk_of.get(block_id, -1))
 
     def _check_write(self, block_id: int, records: Sequence[Any]) -> None:
         if block_id not in self._blocks:

@@ -46,6 +46,78 @@ class BlockOverflowError(DiskError):
         self.capacity = capacity
 
 
+class TransientIOError(DiskError):
+    """A transfer failed in a way that a retry may fix (injected by
+    :mod:`repro.faults`).  The attempt charges no transfer; the retry
+    machinery charges its backoff as stall steps instead."""
+
+    def __init__(self, op: str, block_id: int, disk: int):
+        super().__init__(
+            f"transient {op} error on block {block_id} (disk {disk})"
+        )
+        self.op = op
+        self.block_id = block_id
+        self.disk = disk
+
+
+class TransientReadError(TransientIOError):
+    """A read transfer failed transiently."""
+
+    def __init__(self, block_id: int, disk: int):
+        super().__init__("read", block_id, disk)
+
+
+class TransientWriteError(TransientIOError):
+    """A write transfer failed transiently."""
+
+    def __init__(self, block_id: int, disk: int):
+        super().__init__("write", block_id, disk)
+
+
+class ChecksumError(DiskError):
+    """A block's stored payload does not match its recorded checksum.
+
+    This is how a *torn* (partial) write surfaces: the checksum is
+    recorded for the intended payload, so reading back the truncated
+    data is detected instead of silently returned.  Not transient —
+    re-reading the same block cannot repair it; recovery must rewrite
+    the block (e.g. re-run the pass that produced it)."""
+
+    def __init__(self, block_id: int):
+        super().__init__(
+            f"block {block_id}: stored payload does not match its "
+            "checksum (torn or corrupt write)"
+        )
+        self.block_id = block_id
+
+
+class RetryExhaustedError(DiskError):
+    """A transfer kept failing transiently until the
+    :class:`~repro.faults.retry.RetryPolicy` ran out of attempts."""
+
+    def __init__(self, attempts: int, last_error: TransientIOError):
+        super().__init__(
+            f"transfer failed {attempts} time(s); giving up: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class SimulatedCrash(DiskError):
+    """The fault plan simulated a process/machine crash mid-run.
+
+    Deliberately *not* a :class:`TransientIOError`: the retry machinery
+    must never swallow it.  Recovery is the caller's job — e.g. invoking
+    :func:`repro.faults.checkpoint.checkpointed_merge_sort` again with
+    the same manifest."""
+
+    def __init__(self, after_writes: int):
+        super().__init__(
+            f"simulated crash after {after_writes} write transfer(s)"
+        )
+        self.after_writes = after_writes
+
+
 class MemoryLimitExceeded(EMError):
     """An algorithm tried to reserve more working memory than ``M`` records.
 

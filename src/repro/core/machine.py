@@ -129,6 +129,34 @@ class Machine:
         return self.runtime.tracer.phase(phase)
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    @contextmanager
+    def inject_faults(self, plan):
+        """Inject the seeded :class:`~repro.faults.plan.FaultPlan` into
+        the machine's disk array for the duration of the ``with`` block::
+
+            with machine.inject_faults(FaultPlan(seed=7,
+                                                 read_error_rate=0.01)):
+                external_merge_sort(machine, stream)
+
+        Yields the live :class:`~repro.faults.plan.FaultInjector` so
+        tests can assert exactly which faults fired.  Installing a plan
+        enables per-block checksums on the disk (they stay enabled after
+        the block exits, so torn blocks written under the plan are still
+        detected later).  Nestable: the previous injector is restored on
+        exit.
+        """
+        from ..faults.plan import FaultInjector
+        injector = FaultInjector(plan)
+        previous = self.disk.fault_injector
+        self.disk.fault_injector = injector
+        try:
+            yield injector
+        finally:
+            self.disk.fault_injector = previous
+
+    # ------------------------------------------------------------------
     # measurement
     # ------------------------------------------------------------------
     def stats(self) -> IOStats:

@@ -25,12 +25,20 @@ class IOCounter:
         writes: number of blocks transferred from memory to disk.
         read_steps: parallel read steps (== ``reads`` on a single disk).
         write_steps: parallel write steps (== ``writes`` on a single disk).
+        faults: injected failures observed (transient errors and torn
+            writes; see :mod:`repro.faults`).
+        retries: transfer attempts re-issued after a transient failure.
+        stall_steps: parallel steps during which a disk was busy without
+            transferring a block — retry backoff and stuck-slow latency.
     """
 
     reads: int = 0
     writes: int = 0
     read_steps: int = 0
     write_steps: int = 0
+    faults: int = 0
+    retries: int = 0
+    stall_steps: int = 0
 
     def snapshot(self) -> "IOStats":
         """Return an immutable copy of the current totals."""
@@ -39,6 +47,9 @@ class IOCounter:
             writes=self.writes,
             read_steps=self.read_steps,
             write_steps=self.write_steps,
+            faults=self.faults,
+            retries=self.retries,
+            stall_steps=self.stall_steps,
         )
 
     def reset(self) -> None:
@@ -47,6 +58,9 @@ class IOCounter:
         self.writes = 0
         self.read_steps = 0
         self.write_steps = 0
+        self.faults = 0
+        self.retries = 0
+        self.stall_steps = 0
 
 
 @dataclass(frozen=True)
@@ -62,6 +76,9 @@ class IOStats:
     writes: int = 0
     read_steps: int = 0
     write_steps: int = 0
+    faults: int = 0
+    retries: int = 0
+    stall_steps: int = 0
 
     @property
     def total(self) -> int:
@@ -70,8 +87,20 @@ class IOStats:
 
     @property
     def total_steps(self) -> int:
-        """Total parallel I/O steps (read steps + write steps)."""
+        """Total parallel I/O steps (read steps + write steps).
+
+        Stall steps are excluded: they occupy wall-clock on a disk but
+        move no blocks, so the model's transfer bounds stay comparable
+        with and without fault injection.  Use :attr:`wall_steps` for the
+        degraded schedule length."""
         return self.read_steps + self.write_steps
+
+    @property
+    def wall_steps(self) -> int:
+        """Parallel steps including stalls (backoff and slow-disk
+        latency) — the length of the schedule a faulted run actually
+        experienced."""
+        return self.read_steps + self.write_steps + self.stall_steps
 
     def __sub__(self, other: "IOStats") -> "IOStats":
         return IOStats(
@@ -79,6 +108,9 @@ class IOStats:
             writes=self.writes - other.writes,
             read_steps=self.read_steps - other.read_steps,
             write_steps=self.write_steps - other.write_steps,
+            faults=self.faults - other.faults,
+            retries=self.retries - other.retries,
+            stall_steps=self.stall_steps - other.stall_steps,
         )
 
     def __add__(self, other: "IOStats") -> "IOStats":
@@ -87,6 +119,9 @@ class IOStats:
             writes=self.writes + other.writes,
             read_steps=self.read_steps + other.read_steps,
             write_steps=self.write_steps + other.write_steps,
+            faults=self.faults + other.faults,
+            retries=self.retries + other.retries,
+            stall_steps=self.stall_steps + other.stall_steps,
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -129,6 +164,18 @@ class Measurement:
     @property
     def total_steps(self) -> int:
         return self.stats.total_steps
+
+    @property
+    def faults(self) -> int:
+        return self.stats.faults
+
+    @property
+    def retries(self) -> int:
+        return self.stats.retries
+
+    @property
+    def stall_steps(self) -> int:
+        return self.stats.stall_steps
 
 
 def format_table(headers, rows) -> str:

@@ -91,8 +91,10 @@ class FileStream:
         if not records:
             return
         block_id = self._allocate_block(len(self._block_ids))
-        self._write_block(block_id, list(records))
+        # Record the id before the (faultable) write: if the write dies,
+        # delete() still reclaims the allocated block.
         self._block_ids.append(block_id)
+        self._write_block(block_id, list(records))
         self._length += len(records)
 
     @classmethod
@@ -163,8 +165,10 @@ class FileStream:
 
     def _flush_buffer(self) -> None:
         block_id = self._allocate_block(len(self._block_ids))
-        self._write_block(block_id, self._buffer)
+        # As in append_block: record before writing so a faulted write
+        # cannot orphan the allocated block.
         self._block_ids.append(block_id)
+        self._write_block(block_id, self._buffer)
         self._buffer = []
 
     def _allocate_block(self, index: int) -> int:
@@ -303,6 +307,33 @@ class FileStream:
         stream = cls(machine, name=name)
         stream.extend(records)
         return stream.finalize()
+
+    @classmethod
+    def adopt(
+        cls,
+        machine: Machine,
+        block_ids: Sequence[int],
+        length: int,
+        name: str = "",
+    ) -> "FileStream":
+        """Rebuild a finalized stream handle over blocks already on disk.
+
+        The recovery path: a checkpoint manifest records a run as its
+        block ids and record count; resuming reconstructs the handle
+        without re-reading or re-writing anything (and therefore free of
+        I/O).  Every block must still be allocated.
+        """
+        for block_id in block_ids:
+            if not machine.disk.is_allocated(block_id):
+                raise StreamError(
+                    f"cannot adopt stream {name!r}: block {block_id} "
+                    "is not allocated"
+                )
+        stream = cls(machine, name=name)
+        stream._block_ids = list(block_ids)
+        stream._length = length
+        stream._finalized = True
+        return stream
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "deleted" if self._deleted else (

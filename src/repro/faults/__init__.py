@@ -1,0 +1,46 @@
+"""Deterministic fault injection and recovery (``repro.faults``).
+
+Three layers, mirroring how real external-memory systems survive bad
+disks:
+
+* **Injection** — a seeded :class:`~repro.faults.plan.FaultPlan`
+  installed via :meth:`~repro.core.machine.Machine.inject_faults` makes
+  the :class:`~repro.core.disk.DiskArray` raise transient read/write
+  errors, tear block writes (persist a prefix only), stall "stuck-slow"
+  disks, and crash after a fixed number of writes — all reproducible
+  from the seed.
+* **Retry** — :class:`~repro.faults.retry.RetryPolicy` (wired into the
+  runtime's :class:`~repro.runtime.scheduler.IOScheduler`) re-issues
+  transiently-failed waves with exponential backoff; backoff is charged
+  as stall steps, never hidden.  Torn writes are *not* transient: they
+  surface as :class:`~repro.core.exceptions.ChecksumError` at read time
+  and must be repaired by rewriting (see the checkpointed sort's
+  ``verify_outputs``).
+* **Checkpoint/restart** — :class:`~repro.faults.checkpoint.SortManifest`
+  and :func:`~repro.faults.checkpoint.checkpointed_merge_sort` commit a
+  merge sort pass-by-pass so a crashed sort resumes from the last
+  completed pass instead of restarting.
+
+The checkpoint names are exposed lazily (module ``__getattr__``): the
+retry policy is imported by the runtime while ``repro.core`` is still
+initialising, and the checkpoint module needs the fully-built sort
+stack, so importing it eagerly here would close an import cycle.
+"""
+
+from __future__ import annotations
+
+from .plan import FaultInjector, FaultPlan
+from .retry import RetryPolicy
+
+_LAZY = ("SortManifest", "checkpointed_merge_sort")
+
+__all__ = ["FaultInjector", "FaultPlan", "RetryPolicy", *_LAZY]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import checkpoint
+        return getattr(checkpoint, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,191 @@
+"""Deterministic, seeded fault plans for the simulated disk array.
+
+The I/O model assumes disks that never fail; every production descendant
+of its toolbox (STXXL, TPIE, database sort engines) cannot.  A
+:class:`FaultPlan` describes *which* failures a run should experience —
+transient read/write errors, torn (partial) block writes, per-disk
+stuck-slow latency, and a simulated crash — and a :class:`FaultInjector`
+realizes the plan against a :class:`~repro.core.disk.DiskArray`, either
+by exact transfer index (``read_errors={3}`` fails the fourth read
+attempt) or by seeded rate (``read_error_rate=0.01``).  Given the same
+plan and the same sequence of transfers, the injected faults are
+identical, so every chaos test is reproducible.
+
+Install a plan with :meth:`repro.core.machine.Machine.inject_faults`::
+
+    plan = FaultPlan(seed=7, read_error_rate=0.01, slow_disks={2: 3})
+    with machine.inject_faults(plan) as injector:
+        result = external_merge_sort(machine, stream)
+    print(machine.stats().faults, injector.summary())
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from ..core.exceptions import (
+    ConfigurationError,
+    SimulatedCrash,
+    TransientReadError,
+    TransientWriteError,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject.
+
+    Indices are 0-based and count *attempts* in device order:
+    ``read_errors``/``write_errors`` index read/write attempts (a retried
+    transfer is a new attempt, so a scheduled error is transient by
+    construction); ``torn_writes`` indexes *performed* writes — the torn
+    block is stored truncated while its checksum records the intended
+    payload, so the tear only surfaces on a later read.
+
+    Attributes:
+        seed: seed for the rate-based draws.
+        read_error_rate: per-read-attempt probability of a transient
+            error.
+        write_error_rate: per-write-attempt probability of a transient
+            error.
+        torn_write_rate: per-performed-write probability of tearing.
+        read_errors: exact read-attempt indices that fail.
+        write_errors: exact write-attempt indices that fail.
+        torn_writes: exact performed-write indices that tear.
+        fail_block_reads: ``block_id -> count`` of reads of that block
+            that fail (``None`` count = every read fails, for
+            retry-exhaustion tests).
+        slow_disks: ``disk -> stall steps`` charged whenever a transfer
+            wave touches that disk (a "stuck-slow" device).
+        crash_after_writes: raise
+            :class:`~repro.core.exceptions.SimulatedCrash` once this
+            many writes have been performed (fires exactly once).
+        torn_keep: fraction of the intended payload a torn write
+            actually stores (a prefix; default half, at least one record
+            short of the full block).
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    read_errors: FrozenSet[int] = frozenset()
+    write_errors: FrozenSet[int] = frozenset()
+    torn_writes: FrozenSet[int] = frozenset()
+    fail_block_reads: Dict[int, Optional[int]] = field(default_factory=dict)
+    slow_disks: Dict[int, int] = field(default_factory=dict)
+    crash_after_writes: Optional[int] = None
+    torn_keep: float = 0.5
+
+    def __post_init__(self):
+        for name in ("read_error_rate", "write_error_rate",
+                     "torn_write_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if not 0.0 <= self.torn_keep < 1.0:
+            raise ConfigurationError(
+                f"torn_keep must be in [0, 1), got {self.torn_keep}"
+            )
+        # Normalize the index collections so callers may pass any iterable.
+        object.__setattr__(self, "read_errors", frozenset(self.read_errors))
+        object.__setattr__(self, "write_errors",
+                           frozenset(self.write_errors))
+        object.__setattr__(self, "torn_writes", frozenset(self.torn_writes))
+
+
+class FaultInjector:
+    """Stateful realization of a :class:`FaultPlan` against one device.
+
+    Created by :meth:`repro.core.machine.Machine.inject_faults`; the
+    :class:`~repro.core.disk.DiskArray` consults it on every transfer.
+    The injector never performs I/O itself — it only decides, counts,
+    and (for torn writes) rewrites the payload the device will store.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.reads_checked = 0
+        self.writes_checked = 0
+        self.writes_performed = 0
+        self.injected: Dict[str, int] = {
+            "read-error": 0, "write-error": 0, "torn-write": 0, "crash": 0,
+        }
+        self._rng = random.Random(plan.seed)
+        self._block_read_failures = dict(plan.fail_block_reads)
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # decisions (called by DiskArray)
+    # ------------------------------------------------------------------
+    def read_fault(self, block_id: int, disk: int):
+        """Return the error the next read attempt of ``block_id`` should
+        raise, or None.  Advances the read-attempt index."""
+        index = self.reads_checked
+        self.reads_checked += 1
+        fail = index in self.plan.read_errors
+        if not fail and block_id in self._block_read_failures:
+            remaining = self._block_read_failures[block_id]
+            if remaining is None:
+                fail = True
+            elif remaining > 0:
+                self._block_read_failures[block_id] = remaining - 1
+                fail = True
+        if not fail and self.plan.read_error_rate:
+            fail = self._rng.random() < self.plan.read_error_rate
+        if fail:
+            self.injected["read-error"] += 1
+            return TransientReadError(block_id, disk)
+        return None
+
+    def write_fault(self, block_id: int, disk: int):
+        """Return the error the next write attempt should raise, or
+        None.  Raises :class:`SimulatedCrash` (exactly once) when the
+        plan's crash point has been reached."""
+        crash_at = self.plan.crash_after_writes
+        if (crash_at is not None and not self._crashed
+                and self.writes_performed >= crash_at):
+            self._crashed = True
+            self.injected["crash"] += 1
+            raise SimulatedCrash(self.writes_performed)
+        index = self.writes_checked
+        self.writes_checked += 1
+        fail = index in self.plan.write_errors
+        if not fail and self.plan.write_error_rate:
+            fail = self._rng.random() < self.plan.write_error_rate
+        if fail:
+            self.injected["write-error"] += 1
+            return TransientWriteError(block_id, disk)
+        return None
+
+    def tear(self, block_id: int, disk: int,
+             records: Sequence[Any]) -> Optional[List[Any]]:
+        """Return the truncated payload to store instead of ``records``,
+        or None for a clean write.  Advances the performed-write index."""
+        index = self.writes_performed
+        self.writes_performed += 1
+        torn = index in self.plan.torn_writes
+        if not torn and self.plan.torn_write_rate:
+            torn = self._rng.random() < self.plan.torn_write_rate
+        if not torn or not records:
+            return None
+        keep = min(len(records) - 1, int(len(records) * self.plan.torn_keep))
+        self.injected["torn-write"] += 1
+        return list(records[:max(0, keep)])
+
+    def stall_penalty(self, disks: Iterable[int]) -> int:
+        """Extra stall steps for a wave that touched ``disks``."""
+        slow = self.plan.slow_disks
+        if not slow:
+            return 0
+        return sum(slow.get(disk, 0) for disk in set(disks))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """Counts of injected faults by kind (read-error, write-error,
+        torn-write, crash)."""
+        return dict(self.injected)

@@ -1,0 +1,83 @@
+"""Bounded-retry policy with exponential backoff in I/O steps.
+
+A transient transfer failure costs wall-clock, not data; in the I/O
+model the honest currency for that cost is the *parallel step*.  A
+:class:`RetryPolicy` therefore expresses its backoff in stall steps:
+retry ``i`` (1-based) waits ``backoff_base * 2**(i-1)`` steps, charged
+to the device via :meth:`repro.core.disk.DiskArray.stall` so faulted
+runs show their degradation in the same counters and traces as their
+transfers.
+
+The :class:`~repro.runtime.scheduler.IOScheduler` applies the policy to
+every wave it issues (and :class:`~repro.runtime.Runtime` to its direct
+single-block reads): a wave that raises
+:class:`~repro.core.exceptions.TransientIOError` is re-issued whole
+until it succeeds or the policy's attempts are exhausted, at which point
+:class:`~repro.core.exceptions.RetryExhaustedError` propagates.
+Checksum mismatches are *not* retried — re-reading a torn block cannot
+repair it; that is the checkpoint layer's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exceptions import (
+    ConfigurationError,
+    RetryExhaustedError,
+    TransientIOError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with exponential backoff counted as stall steps.
+
+    Attributes:
+        max_attempts: total attempts per transfer (first try included);
+            1 disables retrying.
+        backoff_base: stall steps before the first retry; each further
+            retry doubles it.  0 retries immediately (still bounded).
+    """
+
+    max_attempts: int = 4
+    backoff_base: int = 1
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigurationError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+
+    def backoff_steps(self, retry_number: int) -> int:
+        """Stall steps to charge before retry ``retry_number`` (1-based)."""
+        return self.backoff_base * (2 ** (retry_number - 1))
+
+    def run(self, disk, attempt):
+        """Call ``attempt()`` until it succeeds or attempts run out.
+
+        Transient failures are counted on ``disk.counter.retries``, their
+        backoff charged as stall steps, and the device's listener (the
+        tracer) told via ``on_retry``.  The last failure is wrapped in
+        :class:`RetryExhaustedError`.
+        """
+        attempts = 0
+        while True:
+            try:
+                return attempt()
+            except TransientIOError as error:
+                attempts += 1
+                if attempts >= self.max_attempts:
+                    raise RetryExhaustedError(attempts, error) from error
+                disk.counter.retries += 1
+                listener = disk.listener
+                if listener is not None:
+                    handler = getattr(listener, "on_retry", None)
+                    if handler is not None:
+                        handler(error.op, error.block_id, attempts)
+                disk.stall(self.backoff_steps(attempts),
+                           (error.disk,), "backoff")

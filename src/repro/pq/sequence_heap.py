@@ -26,7 +26,12 @@ from ..sort.merge import LoserTree
 
 
 class _Run:
-    """A sorted on-disk run with a one-record lookahead head."""
+    """A sorted on-disk run with a one-record lookahead head.
+
+    An open run pins one ``B``-record reader frame (the stream reader
+    acquires it on the first ``next``); the frame is released when the
+    reader is exhausted — or deterministically by :meth:`close`.
+    """
 
     __slots__ = ("stream", "reader", "head")
 
@@ -46,6 +51,16 @@ class _Run:
             return iter(())
         return chain([self.head], self.reader)
 
+    def close(self) -> None:
+        """Release the reader frame (generator ``close`` runs the
+        reader's ``finally``) and free the run's blocks.  Idempotent;
+        safe mid-iteration and on never-started runs."""
+        closer = getattr(self.reader, "close", None)
+        if closer is not None:
+            closer()
+        self.stream.delete()
+        self.head = None
+
 
 class ExternalPriorityQueue:
     """A min-priority queue of ``(priority, item)`` pairs on disk.
@@ -53,10 +68,26 @@ class ExternalPriorityQueue:
     Args:
         machine: the external-memory machine.
         group_arity: maximum runs per level before the level is merged
-            upward; defaults to ``max(2, m//2 - 1)``.
+            upward; defaults to ``max(2, m//4)``.  The default is set by
+            frame accounting, not merge speed: a full-level merge holds
+            ``group_arity`` reader frames plus one writer frame *on top
+            of* the insertion heap's ~``m/4`` frames and whatever
+            resident frames the caller holds (e.g. an open block file),
+            and with eager merging up to two levels of runs can be open
+            at once — ``m//4`` keeps all of that inside ``m``, where the
+            tempting ``m//2 - 1`` (one frame per run of a maximal merge)
+            overflows.
         insertion_capacity: records held in the in-memory insertion heap;
-            defaults to ``M // 4`` (reserved from the machine budget for
-            the queue's lifetime — call :meth:`close` to release it).
+            defaults to ``max(2, M//4)`` (reserved from the machine
+            budget for the queue's lifetime — call :meth:`close` to
+            release it).
+
+    Every open on-disk run pins one ``B``-record reader frame, charged
+    to the machine's budget like any other frame.  When fewer than two
+    spare frames remain (the next spill needs a writer frame and then a
+    reader frame), the queue merges a level *early* — run proliferation
+    therefore converts into merge I/O instead of a memory-budget
+    overflow, and peak memory stays at most ``M``.
 
     Ties between equal priorities are broken by insertion order (FIFO).
     """
@@ -162,8 +193,9 @@ class ExternalPriorityQueue:
         self.machine.budget.release(self.insertion_capacity)
         for level in self._levels:
             for run in level:
-                if run.head is not None:
-                    run.stream.delete()
+                # Deterministic release: closing the reader returns its
+                # pinned frame immediately instead of waiting for GC.
+                run.close()
         self._levels = []
         self._heap = []
         self._closed = True
@@ -181,6 +213,7 @@ class ExternalPriorityQueue:
 
     def _spill_heap(self) -> None:
         """Write the insertion heap as a sorted run into level 0."""
+        self._ensure_spill_frames()
         # em: ok(EM004) insertion heap ≤ insertion_capacity, reserved
         # for the queue's lifetime at construction
         records = sorted(self._heap)
@@ -190,6 +223,45 @@ class ExternalPriorityQueue:
             stream.append(record)
         stream.finalize()
         self._add_run(0, _Run(stream))
+
+    def _ensure_spill_frames(self) -> None:
+        """Frame-accounting guard run before every spill.
+
+        A spill transiently needs one writer frame and then pins one
+        reader frame for the new run, so two spare frames must be
+        available.  While they are not, merge runs early: each merge of
+        ``r`` runs closes ``r`` reader frames and opens one, netting
+        ``r - 1`` frames (the transient merge writer fits in the one
+        spare frame the queue's invariant preserves).  Prefer the lowest
+        level holding at least two runs (cheapest records to move); when
+        every level is a singleton, collapse all runs into one.  If no
+        two runs remain to merge, fall through and let the budget raise
+        — memory is genuinely exhausted, not fragmented into readers.
+        """
+        B = self.machine.B
+        while self.machine.budget.available < 2 * B:
+            if not self._merge_for_frames():
+                break
+
+    def _merge_for_frames(self) -> bool:
+        """One frame-reclaiming early merge; False when impossible."""
+        for index, level in enumerate(self._levels):
+            if len(level) >= 2:
+                self._merge_level(index)
+                return True
+        open_runs = [run for level in self._levels for run in level]
+        if len(open_runs) < 2:
+            return False
+        # Only singleton levels: a per-level merge would just move one
+        # run up.  Merging sorted runs from *different* levels is still
+        # a merge of sorted sequences, so collapse them all into a
+        # single top run and reclaim every frame but one.
+        merged = self._merge_runs(open_runs, name="pq/collapsed")
+        top = len(self._levels)
+        for level in self._levels:
+            level.clear()
+        self._add_run(top, _Run(merged))
+        return True
 
     def _add_run(self, level_index: int, run: _Run) -> None:
         while len(self._levels) <= level_index:
@@ -201,16 +273,29 @@ class ExternalPriorityQueue:
         if len(level) > self.group_arity:
             self._merge_level(level_index)
 
+    def _merge_runs(self, runs: List[_Run], name: str) -> FileStream:
+        """k-way merge ``runs`` into one finalized stream, closing every
+        input run (frames released, blocks freed).  Costs one read and
+        one write per block of live records."""
+        merged = FileStream(self.machine, name=name)
+        try:
+            for record in LoserTree([run.records() for run in runs]):
+                merged.append(record)
+            merged.finalize()
+        except BaseException:
+            # Faulted merge: reclaim the half-written output.  The
+            # inputs are closed below; the queue is left closeable (all
+            # frames returned) but not resumable.
+            merged.delete()
+            raise
+        finally:
+            for run in runs:
+                run.close()
+        return merged
+
     def _merge_level(self, level_index: int) -> None:
-        """k-way merge every run of a full level into one run one level
-        up.  Costs one read and one write per block of live records."""
+        """k-way merge every run of a level into one run one level up."""
         level = self._levels[level_index]
-        sources = [run.records() for run in level]
-        merged = FileStream(self.machine, name="pq/merged")
-        for record in LoserTree(sources):
-            merged.append(record)
-        merged.finalize()
-        for run in level:
-            run.stream.delete()
         self._levels[level_index] = []
+        merged = self._merge_runs(level, name="pq/merged")
         self._add_run(level_index + 1, _Run(merged))

@@ -59,9 +59,13 @@ class Runtime:
 
     # ------------------------------------------------------------------
     def read_block(self, block_id: int) -> Block:
-        """Read one block, observing any deferred write to it first."""
+        """Read one block, observing any deferred write to it first.
+        Transient faults are retried under the scheduler's policy."""
         self.writer.ensure_flushed(block_id)
-        return self.machine.disk.read(block_id)
+        disk = self.machine.disk
+        return self.scheduler.retry.run(
+            disk, lambda: disk.read(block_id)
+        )
 
     def read_batch(self, block_ids: Sequence[int]) -> List[Block]:
         """Read a batch through the scheduler (one step per wave),

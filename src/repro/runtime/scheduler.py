@@ -25,6 +25,7 @@ from typing import Any, Deque, Dict, List, Sequence, Tuple
 
 from ..core.disk import Block
 from ..core.exceptions import ConfigurationError
+from ..faults.retry import RetryPolicy
 
 
 class IOScheduler:
@@ -36,11 +37,17 @@ class IOScheduler:
 
     Attributes:
         pinned: number of staged frames currently charged to the budget.
+        retry: the :class:`~repro.faults.retry.RetryPolicy` applied to
+            every issued wave — a transiently failing wave is re-issued
+            whole (its backoff charged as stall steps) until it succeeds
+            or the policy gives up with
+            :class:`~repro.core.exceptions.RetryExhaustedError`.
     """
 
     def __init__(self, machine):
         self.machine = machine
         self.pinned = 0
+        self.retry = RetryPolicy()
         self._read_queues: Dict[int, Deque[int]] = {}
         self._write_queues: Dict[int, Deque[Tuple[int, List[Any]]]] = {}
 
@@ -78,13 +85,18 @@ class IOScheduler:
             self._write_queues = {
                 d: q for d, q in self._write_queues.items() if q
             }
-            disk.parallel_write(wave)
+            self.retry.run(
+                disk, lambda w=wave: disk.parallel_write(w)
+            )
         while self._read_queues:
             wave = [queue.popleft() for queue in self._read_queues.values()]
             self._read_queues = {
                 d: q for d, q in self._read_queues.items() if q
             }
-            for block_id, payload in zip(wave, disk.parallel_read(wave)):
+            payloads = self.retry.run(
+                disk, lambda w=wave: disk.parallel_read(w)
+            )
+            for block_id, payload in zip(wave, payloads):
                 results[block_id] = payload
         return results
 

@@ -123,6 +123,62 @@ class Tracer:
             })
         self._clock += steps
 
+    def on_fault(self, kind: str, block_id: int, disk: int) -> None:
+        """Record one injected fault (called by the disk array)."""
+        label = self.current_phase
+        base = self._phase_stats.get(label, IOStats())
+        self._phase_stats[label] = base + IOStats(faults=1)
+        self._events.append({
+            "name": f"fault:{kind}",
+            "cat": "fault",
+            "ph": "i",
+            "s": "t",
+            "ts": self._clock,
+            "pid": 0,
+            "tid": max(0, disk),
+            "args": {"phase": label, "block": block_id},
+        })
+
+    def on_retry(self, op: str, block_id: int, attempt: int) -> None:
+        """Record one re-issued transfer attempt (called by the retry
+        policy through the device)."""
+        label = self.current_phase
+        base = self._phase_stats.get(label, IOStats())
+        self._phase_stats[label] = base + IOStats(retries=1)
+        self._events.append({
+            "name": f"retry:{op}",
+            "cat": "fault",
+            "ph": "i",
+            "s": "t",
+            "ts": self._clock,
+            "pid": 0,
+            "tid": 0,
+            "args": {"phase": label, "block": block_id,
+                     "attempt": attempt},
+        })
+
+    def on_stall(
+        self, steps: int, disks: Sequence[int], reason: str
+    ) -> None:
+        """Record ``steps`` of stall (backoff / stuck-slow latency) on
+        ``disks``; advances the step clock so the degradation shows as
+        occupied lanes in the exported trace."""
+        label = self.current_phase
+        base = self._phase_stats.get(label, IOStats())
+        self._phase_stats[label] = base + IOStats(stall_steps=steps)
+        for disk in (disks or [0]):
+            self._events.append({
+                "name": f"stall:{reason}",
+                "cat": "stall",
+                "ph": "X",
+                "ts": self._clock,
+                "dur": max(1, steps),
+                "pid": 0,
+                "tid": disk,
+                "args": {"phase": label, "steps": steps},
+            })
+        self._clock += steps
+
     # ------------------------------------------------------------------
     # reports
     # ------------------------------------------------------------------
@@ -137,22 +193,33 @@ class Tracer:
         return dict(self._phase_stats)
 
     def summary_table(self) -> str:
-        """The per-phase totals as an aligned plain-text table."""
+        """The per-phase totals as an aligned plain-text table.  Fault,
+        retry, and stall columns appear only when a fault plan actually
+        fired, so fault-free traces look as before."""
+        stats_list = list(self._phase_stats.values())
+        degraded = any(
+            s.faults or s.retries or s.stall_steps for s in stats_list
+        )
+        headers = ["phase", "reads", "writes", "transfers", "steps"]
+        if degraded:
+            headers += ["faults", "retries", "stalls"]
+
+        def cells(label, stats):
+            row = [label, stats.reads, stats.writes, stats.total,
+                   stats.total_steps]
+            if degraded:
+                row += [stats.faults, stats.retries, stats.stall_steps]
+            return row
+
         rows = [
-            [label, stats.reads, stats.writes, stats.total,
-             stats.total_steps]
+            cells(label, stats)
             for label, stats in sorted(self._phase_stats.items())
         ]
-        rows.append([
-            "total",
-            sum(s.reads for s in self._phase_stats.values()),
-            sum(s.writes for s in self._phase_stats.values()),
-            sum(s.total for s in self._phase_stats.values()),
-            sum(s.total_steps for s in self._phase_stats.values()),
-        ])
-        return format_table(
-            ["phase", "reads", "writes", "transfers", "steps"], rows
-        )
+        total = IOStats()
+        for stats in stats_list:
+            total = total + stats
+        rows.append(cells("total", total))
+        return format_table(headers, rows)
 
     def to_chrome(self) -> dict:
         """The trace in Chrome trace-event format (a JSON-able dict).

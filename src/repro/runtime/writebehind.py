@@ -48,7 +48,10 @@ class WriteBehind:
             return
         machine = self.machine
         if machine.num_disks < 2:
-            machine.disk.write(block_id, records)
+            # Write through via the scheduler: identical transfer and
+            # step counts (a one-block wave), but the wave gets the
+            # scheduler's transient-fault retry.
+            self.scheduler.write_batch([(block_id, records)])
             return
         if not self.scheduler.try_pin():
             # No spare frame: flush the current window (returning its
@@ -56,7 +59,7 @@ class WriteBehind:
             # window-sized waves rather than one step per block.
             self.flush()
             if not self.scheduler.try_pin():
-                machine.disk.write(block_id, records)
+                self.scheduler.write_batch([(block_id, records)])
                 return
         disk = machine.disk.disk_of(block_id)
         if disk in self._disks:

@@ -164,26 +164,35 @@ def merge_streams(
                 f"stream {stream.name!r} must be finalized before merging"
             )
     output = stream_cls(machine, name=name)
-    # Reserve the output buffer and every reader frame before any
-    # opportunistic prefetch pin is taken: pins consume only true spares
-    # and can never starve a frame the merge is guaranteed to need.
-    output.reserve_writer()
-    # A writer that stages its own full stripe leaves the forecast free
-    # to pin every spare frame; a one-block writer needs D-1 of them
-    # kept available for its write-behind window.
-    pin_slack = (0 if stream_cls.writer_frames(machine) >= machine.num_disks
-                 else machine.num_disks - 1)
-    prefetcher = ForecastingPrefetcher(
-        machine.runtime, [stream.block_ids for stream in streams], key=key,
-        pin_slack=pin_slack,
-    )
     try:
-        readers = [prefetcher.reader(i) for i in range(len(streams))]
-        for record in LoserTree(readers, key=key):
-            output.append(record)
-    finally:
-        prefetcher.close()
-    return output.finalize()
+        # Reserve the output buffer and every reader frame before any
+        # opportunistic prefetch pin is taken: pins consume only true
+        # spares and can never starve a frame the merge is guaranteed to
+        # need.
+        output.reserve_writer()
+        # A writer that stages its own full stripe leaves the forecast
+        # free to pin every spare frame; a one-block writer needs D-1 of
+        # them kept available for its write-behind window.
+        pin_slack = (
+            0 if stream_cls.writer_frames(machine) >= machine.num_disks
+            else machine.num_disks - 1)
+        prefetcher = ForecastingPrefetcher(
+            machine.runtime, [stream.block_ids for stream in streams],
+            key=key, pin_slack=pin_slack,
+        )
+        try:
+            readers = [prefetcher.reader(i) for i in range(len(streams))]
+            for record in LoserTree(readers, key=key):
+                output.append(record)
+        finally:
+            prefetcher.close()
+        return output.finalize()
+    except BaseException:
+        # A fault mid-merge (retry exhaustion, checksum mismatch, crash)
+        # must not leak the half-written output: drop its blocks and
+        # writer frame so recovery can re-run the merge from its inputs.
+        output.delete()
+        raise
 
 
 RUN_STRATEGIES = {
@@ -199,6 +208,101 @@ def _merge_levels(num_runs: int, arity: int) -> int:
         num_runs = -(-num_runs // arity)
         levels += 1
     return levels
+
+
+def plan_merge_arity(
+    machine: Machine,
+    num_runs: int = 0,
+    fan_in: Optional[int] = None,
+    stream_cls=FileStream,
+) -> int:
+    """The merge arity :func:`external_merge_sort` will use.
+
+    One input frame per run plus the output writer's frames (1, or ``D``
+    for a striped writer) must fit in the *available* budget: callers
+    holding resident frames (an open block file) lower the arity instead
+    of overflowing ``M``.  On a multi-disk machine the arity additionally
+    shrinks toward prefetch/write-behind headroom — but never enough to
+    add a merge pass over ``num_runs`` runs, since an extra pass costs a
+    whole scan and headroom only steps.
+
+    Deterministic given the same free budget, so a resumed
+    checkpointed sort recomputes the same pass structure it crashed in.
+    Raises :class:`~repro.core.exceptions.ConfigurationError` when even
+    a binary merge cannot fit.
+    """
+    frames = machine.budget.available // machine.B
+    writer_frames = stream_cls.writer_frames(machine)
+    if fan_in is not None:
+        arity = fan_in
+    else:
+        arity = min(machine.fan_in, frames - writer_frames)
+    if arity < 2:
+        raise ConfigurationError(f"merge fan-in must be >= 2, got {arity}")
+    if fan_in is None and machine.num_disks > 1 and num_runs > 1:
+        target = max(2, min(arity,
+                            frames - writer_frames
+                            - 2 * (machine.num_disks - 1)))
+        if target < arity:
+            passes = _merge_levels(num_runs, arity)
+            low, high = 2, arity
+            while low < high:
+                mid = (low + high) // 2
+                if _merge_levels(num_runs, mid) <= passes:
+                    high = mid
+                else:
+                    low = mid + 1
+            arity = max(target, low)
+    return arity
+
+
+def merge_pass(
+    machine: Machine,
+    runs: List[FileStream],
+    arity: int,
+    key: Optional[Callable[[Any], Any]] = None,
+    stream_cls=FileStream,
+    level: int = 1,
+    name_prefix: str = "merge",
+    delete_inputs: bool = True,
+    out: Optional[List[FileStream]] = None,
+) -> List[FileStream]:
+    """One merge pass: consecutive groups of ``arity`` runs are each
+    merged into a single run.
+
+    With ``delete_inputs`` (the default), every group's inputs are
+    deleted the moment its merge lands, keeping peak disk usage
+    ``O(N/B)`` blocks.  The checkpointed sort passes ``False`` and
+    deletes inputs only after the pass's manifest commits, so a pass
+    that dies mid-merge can be re-run from its surviving inputs.  A
+    lone straggler run is carried forward untouched (it then appears in
+    both the input and output lists — don't double-delete it).
+
+    ``out``, when given, is used as the output list and filled
+    incrementally, so a caller can see which group outputs already
+    landed when the pass dies mid-merge and clean them up.
+    """
+    next_runs: List[FileStream] = [] if out is None else out
+    with machine.trace(f"{name_prefix}-pass-{level}"):
+        for start in range(0, len(runs), arity):
+            group = runs[start:start + arity]
+            if len(group) == 1:
+                # A lone straggler run needs no merging; carry it
+                # forward without spending a copy pass on it.
+                next_runs.append(group[0])
+                continue
+            merged = merge_streams(
+                machine,
+                group,
+                key=key,
+                stream_cls=stream_cls,
+                name=f"{name_prefix}/{level}/{len(next_runs)}",
+            )
+            if delete_inputs:
+                for run in group:
+                    run.delete()
+            next_runs.append(merged)
+    return next_runs
 
 
 def _merge_sort_theory(machine: Machine, n: int, call: dict) -> int:
@@ -246,18 +350,9 @@ def external_merge_sort(
             # em: ok(EM004) two-entry strategy-name dict in an error message
             f"choose from {sorted(RUN_STRATEGIES)}"
         )
-    frames = machine.budget.available // machine.B
-    writer_frames = stream_cls.writer_frames(machine)
-    if fan_in is not None:
-        arity = fan_in
-    else:
-        # One input frame per run plus the output writer's frames (1, or
-        # D for a striped writer) must fit in the *available* budget:
-        # callers holding resident frames (an open block file) lower the
-        # arity instead of overflowing M.
-        arity = min(machine.fan_in, frames - writer_frames)
-    if arity < 2:
-        raise ConfigurationError(f"merge fan-in must be >= 2, got {arity}")
+    # Validate before forming runs: an un-mergeable configuration should
+    # fail fast rather than after a full run-formation scan.
+    plan_merge_arity(machine, 0, fan_in=fan_in, stream_cls=stream_cls)
 
     runs = RUN_STRATEGIES[run_strategy](
         machine, stream, key=key, stream_cls=stream_cls
@@ -267,47 +362,15 @@ def external_merge_sort(
     if not runs:
         return stream_cls(machine, name="sorted").finalize()
 
-    if fan_in is None and machine.num_disks > 1 and len(runs) > 1:
-        # A merge that fills every frame with input buffers pays one full
-        # step per block: the forecasting prefetcher and write-behind
-        # window need spare frames to overlap the D disks.  Shrink the
-        # arity toward that headroom, but never enough to add a merge
-        # pass — an extra pass costs a whole scan, headroom only steps.
-        target = max(2, min(arity,
-                            frames - writer_frames
-                            - 2 * (machine.num_disks - 1)))
-        if target < arity:
-            passes = _merge_levels(len(runs), arity)
-            low, high = 2, arity
-            while low < high:
-                mid = (low + high) // 2
-                if _merge_levels(len(runs), mid) <= passes:
-                    high = mid
-                else:
-                    low = mid + 1
-            arity = max(target, low)
+    arity = plan_merge_arity(
+        machine, len(runs), fan_in=fan_in, stream_cls=stream_cls
+    )
 
     level = 0
     while len(runs) > 1:
         level += 1
-        next_runs: List[FileStream] = []
-        with machine.trace(f"merge-pass-{level}"):
-            for start in range(0, len(runs), arity):
-                group = runs[start:start + arity]
-                if len(group) == 1:
-                    # A lone straggler run needs no merging; carry it
-                    # forward without spending a copy pass on it.
-                    next_runs.append(group[0])
-                    continue
-                merged = merge_streams(
-                    machine,
-                    group,
-                    key=key,
-                    stream_cls=stream_cls,
-                    name=f"merge/{level}/{len(next_runs)}",
-                )
-                for run in group:
-                    run.delete()
-                next_runs.append(merged)
-        runs = next_runs
+        runs = merge_pass(
+            machine, runs, arity,
+            key=key, stream_cls=stream_cls, level=level,
+        )
     return runs[0]

@@ -81,17 +81,29 @@ def form_runs_load_sort(
         # Align run boundaries to the stripe so every read batch and
         # write window is a full D-block wave.
         blocks_per_run -= blocks_per_run % machine.num_disks
+    run: Optional[FileStream] = None
     with machine.trace("run-formation"):
-        for start in range(0, num_blocks, blocks_per_run):
-            end = min(start + blocks_per_run, num_blocks)
-            with machine.budget.reserve((end - start) * machine.B):
-                chunk = stream.read_block_range(start, end)
-                # em: ok(EM004) one memoryload ≤ m·B, reserved
-                chunk.sort(key=key)
-                run = stream_cls(machine, name=f"run/{len(runs)}")
-                for offset in range(0, len(chunk), machine.B):
-                    run.append_block(chunk[offset:offset + machine.B])
-                runs.append(run.finalize())
+        try:
+            for start in range(0, num_blocks, blocks_per_run):
+                end = min(start + blocks_per_run, num_blocks)
+                with machine.budget.reserve((end - start) * machine.B):
+                    chunk = stream.read_block_range(start, end)
+                    # em: ok(EM004) one memoryload ≤ m·B, reserved
+                    chunk.sort(key=key)
+                    run = stream_cls(machine, name=f"run/{len(runs)}")
+                    for offset in range(0, len(chunk), machine.B):
+                        run.append_block(chunk[offset:offset + machine.B])
+                    runs.append(run.finalize())
+                    run = None
+        except BaseException:
+            # A fault mid-formation must not leak runs: delete the
+            # half-written one and every finished one so the caller can
+            # retry the whole pass (checkpointed sort does exactly that).
+            if run is not None:
+                run.delete()
+            for formed in runs:
+                formed.delete()
+            raise
     return runs
 
 
@@ -140,52 +152,65 @@ def form_runs_replacement_selection(
     reader = iter(stream)
     sequence = 0  # tie-break so records never compare with each other
 
+    current_run: Optional[FileStream] = None
     with machine.trace("run-formation"), \
             machine.budget.reserve(heap_capacity):
-        # (run_number, key, sequence, record) orders the heap first by the
-        # run a record belongs to, then by key within the run.
-        heap: List[tuple] = []
-        for record in reader:
-            heap.append((0, key(record), sequence, record))
-            sequence += 1
-            if len(heap) == heap_capacity:
-                break
-        heapq.heapify(heap)
+        try:
+            # (run_number, key, sequence, record) orders the heap first
+            # by the run a record belongs to, then by key within the run.
+            heap: List[tuple] = []
+            for record in reader:
+                heap.append((0, key(record), sequence, record))
+                sequence += 1
+                if len(heap) == heap_capacity:
+                    break
+            heapq.heapify(heap)
 
-        current_run_number = 0
-        current_run: Optional[FileStream] = None
-        last_key: Any = None
-        reader_exhausted = len(heap) < heap_capacity
+            current_run_number = 0
+            last_key: Any = None
+            reader_exhausted = len(heap) < heap_capacity
 
-        while heap:
-            run_number, record_key, _, record = heapq.heappop(heap)
-            if run_number != current_run_number or current_run is None:
-                if current_run is not None:
-                    runs.append(current_run.finalize())
-                current_run = stream_cls(machine, name=f"run/{len(runs)}")
-                current_run_number = run_number
-            current_run.append(record)
-            last_key = record_key
-
-            if not reader_exhausted:
-                try:
-                    incoming = next(reader)
-                except StopIteration:
-                    reader_exhausted = True
-                else:
-                    incoming_key = key(incoming)
-                    target_run = (
-                        current_run_number
-                        if incoming_key >= last_key
-                        else current_run_number + 1
+            while heap:
+                run_number, record_key, _, record = heapq.heappop(heap)
+                if run_number != current_run_number or current_run is None:
+                    if current_run is not None:
+                        runs.append(current_run.finalize())
+                    current_run = stream_cls(
+                        machine, name=f"run/{len(runs)}"
                     )
-                    heapq.heappush(
-                        heap, (target_run, incoming_key, sequence, incoming)
-                    )
-                    sequence += 1
+                    current_run_number = run_number
+                current_run.append(record)
+                last_key = record_key
 
-        if current_run is not None:
-            runs.append(current_run.finalize())
+                if not reader_exhausted:
+                    try:
+                        incoming = next(reader)
+                    except StopIteration:
+                        reader_exhausted = True
+                    else:
+                        incoming_key = key(incoming)
+                        target_run = (
+                            current_run_number
+                            if incoming_key >= last_key
+                            else current_run_number + 1
+                        )
+                        heapq.heappush(
+                            heap,
+                            (target_run, incoming_key, sequence, incoming),
+                        )
+                        sequence += 1
+
+            if current_run is not None:
+                runs.append(current_run.finalize())
+                current_run = None
+        except BaseException:
+            # Same cleanup contract as load-sort formation: no leaked
+            # runs on a faulted pass.
+            if current_run is not None:
+                current_run.delete()
+            for formed in runs:
+                formed.delete()
+            raise
     return runs
 
 

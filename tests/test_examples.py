@@ -33,6 +33,13 @@ class TestExamples:
         assert "measured / predicted" in out
         assert "1.000" in out
 
+    def test_chaos_sort_survives_faults_and_crash(self):
+        out = run_example("chaos_sort.py")
+        assert "degraded output matches the clean sort" in out
+        assert "crashed:" in out
+        assert "resumed:         output matches the clean sort" in out
+        assert "retries" in out  # degraded trace grows fault columns
+
     def test_database_join_runs_all_three_joins(self):
         out = run_example("database_join.py")
         assert "sort-merge join" in out

@@ -5,12 +5,19 @@ Runs the F1 (sort scaling) and F12 (parallel disks) experiments at small
 sizes — seconds, not minutes — and writes a JSON summary so CI uploads a
 machine-readable record of the runtime's scheduling quality per commit:
 
-    python tools/bench_smoke.py [--output BENCH_pr3.json]
+    python tools/bench_smoke.py [--output BENCH_pr4.json]
 
 The JSON reports, per disk count, the parallel steps, total transfers,
 and the steps/optimal ratio (optimal = ceil(transfers / D)); the sort
 must stay within 1.5x of its step-optimal schedule, the same bound the
 full F12 benchmark enforces.
+
+Two fault-layer records ride along: the transfer overhead of a
+seeded-fault checkpointed sort over the clean sort (retries re-transfer
+failed blocks, verification re-reads each pass), and the bench_f19
+sequence-heap configuration (B=64, m=16, one caller-resident frame,
+~32k queue operations) that used to overflow the memory budget — it
+must now complete with peak memory <= M.
 """
 
 import argparse
@@ -21,7 +28,15 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+import random  # noqa: E402
+
 from repro.core import FileStream, Machine, StripedStream, sort_io  # noqa: E402
+from repro.faults import (  # noqa: E402
+    FaultPlan,
+    SortManifest,
+    checkpointed_merge_sort,
+)
+from repro.pq import ExternalPriorityQueue  # noqa: E402
 from repro.sort import external_merge_sort  # noqa: E402
 from repro.workloads import uniform_ints  # noqa: E402
 
@@ -29,6 +44,9 @@ from repro.workloads import uniform_ints  # noqa: E402
 F1_B, F1_M_BLOCKS, F1_SIZES = 64, 8, (2_000, 8_000)
 F12_B, F12_M_BLOCKS, F12_N = 32, 24, 4_608
 RATIO_BOUND = 1.5
+FAULT_B, FAULT_M_BLOCKS, FAULT_N = 32, 8, 6_000
+FAULT_OVERHEAD_BOUND = 2.0
+F19_B, F19_M_BLOCKS, F19_OPS = 64, 16, 32_000
 
 
 def f1_smoke():
@@ -83,12 +101,82 @@ def f12_smoke():
             "ratio_bound": RATIO_BOUND, "points": points}
 
 
+def faulted_sort_smoke():
+    """Transfer overhead of a seeded-fault checkpointed sort vs clean."""
+    data = uniform_ints(FAULT_N, seed=5)
+
+    clean = Machine(block_size=FAULT_B, memory_blocks=FAULT_M_BLOCKS)
+    stream = FileStream.from_records(clean, data)
+    clean.reset_stats()
+    reference = list(external_merge_sort(clean, stream))
+    clean_stats = clean.stats()
+
+    faulty = Machine(block_size=FAULT_B, memory_blocks=FAULT_M_BLOCKS)
+    stream = FileStream.from_records(faulty, data)
+    faulty.reset_stats()
+    plan = FaultPlan(seed=7, read_error_rate=0.01, write_error_rate=0.005,
+                     torn_writes={40})
+    with faulty.inject_faults(plan):
+        result = list(checkpointed_merge_sort(
+            faulty, stream, SortManifest(), verify_outputs=True
+        ))
+    assert result == reference
+    stats = faulty.stats()
+    overhead = stats.total / clean_stats.total
+    assert overhead <= FAULT_OVERHEAD_BOUND, (
+        f"faulted sort {stats.total} transfers vs clean "
+        f"{clean_stats.total} (overhead {overhead:.3f})"
+    )
+    return {"name": "faulted_sort_overhead", "B": FAULT_B,
+            "M": FAULT_B * FAULT_M_BLOCKS, "n": FAULT_N,
+            "overhead_bound": FAULT_OVERHEAD_BOUND,
+            "points": [{
+                "clean_transfers": clean_stats.total,
+                "faulted_transfers": stats.total,
+                "faults": stats.faults,
+                "retries": stats.retries,
+                "stall_steps": stats.stall_steps,
+                "overhead": round(overhead, 4),
+            }]}
+
+
+def f19_pq_budget_smoke():
+    """The bench_f19 sequence-heap configuration that used to overflow:
+    run proliferation now triggers early merges and peak stays <= M."""
+    machine = Machine(block_size=F19_B, memory_blocks=F19_M_BLOCKS)
+    machine.budget.acquire(F19_B)  # caller-resident frame (sssp table)
+    rng = random.Random(20)
+    machine.reset_stats()
+    with ExternalPriorityQueue(machine) as queue:
+        pending = 0
+        for op in range(F19_OPS):
+            queue.insert(rng.randrange(10**6), op)
+            pending += 1
+            if op % 5 == 4:
+                queue.delete_min()
+                pending -= 1
+        drained = [queue.delete_min()[0] for _ in range(pending)]
+    assert drained == sorted(drained)
+    stats = machine.stats()
+    peak = machine.budget.peak
+    assert peak <= machine.M, f"peak {peak} exceeds M={machine.M}"
+    machine.budget.release(F19_B)
+    return {"name": "f19_pq_frame_budget", "B": F19_B,
+            "M": F19_B * F19_M_BLOCKS, "ops": F19_OPS,
+            "points": [{
+                "transfers": stats.total,
+                "peak_memory": peak,
+                "memory_capacity": machine.M,
+            }]}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr3.json",
+    parser.add_argument("--output", default="BENCH_pr4.json",
                         help="path of the JSON summary (default: %(default)s)")
     args = parser.parse_args(argv)
-    summary = {"benchmarks": [f1_smoke(), f12_smoke()]}
+    summary = {"benchmarks": [f1_smoke(), f12_smoke(),
+                              faulted_sort_smoke(), f19_pq_budget_smoke()]}
     with open(args.output, "w") as fh:
         fh.write(json.dumps(summary, indent=2) + "\n")
     for bench in summary["benchmarks"]:
