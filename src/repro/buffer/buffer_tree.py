@@ -18,7 +18,10 @@ Implementation notes:
 
 * Node routing information (pivots, child ids) is kept in memory — it is
   a factor ``Θ(M/B·B) = Θ(M)`` smaller than the data.  Buffers and leaf
-  contents live on disk as streams, which is where the I/O goes.
+  contents live on disk as streams, which is where the I/O goes; stream
+  traffic runs through the machine's runtime (retry, write-behind,
+  tracing), so the buffer tree needs no buffer-pool frames and leaves
+  the shared memory budget to its streams' staging.
 * Keys are unique (dictionary semantics); later operations supersede
   earlier ones, ordered by a global sequence number.
 * Leaves store up to ``leaf_capacity = M`` records as a sorted stream.

@@ -3,7 +3,9 @@
 :class:`~repro.core.stream.FileStream` is append-only; matrix operations
 and naive permuting need to *write* blocks in arbitrary order.  A
 :class:`BlockFile` is a fixed array of ``n`` blocks addressed by index,
-reading and writing directly against the disk (one I/O each).
+reading and writing through the machine's runtime (one I/O each,
+retried on transient faults; a single-block write wave costs the same
+step a direct write would).
 
 Direct block traffic stages through one ``B``-record memory frame that
 the file holds from construction until :meth:`close` (or
@@ -104,16 +106,22 @@ class BlockFile:
         return self._block_ids[index]
 
     def read_block(self, index: int) -> List[Any]:
-        """Read block ``index`` (one read I/O)."""
+        """Read block ``index`` (one read I/O), retried on transient
+        faults under the runtime's policy and observing any deferred
+        write-behind for the block."""
         self._check_frame()
         self._check_index(index)
-        return self.machine.disk.read(self._block_ids[index])
+        return self.machine.runtime.read_block(self._block_ids[index])
 
     def write_block(self, index: int, records: Sequence[Any]) -> None:
-        """Write block ``index`` (one write I/O)."""
+        """Write block ``index`` (one write I/O), issued through the
+        scheduler so it is retried on transient faults.  Counts are
+        bit-identical to a direct write: a one-block wave is one step."""
         self._check_frame()
         self._check_index(index)
-        self.machine.disk.write(self._block_ids[index], records)
+        self.machine.runtime.scheduler.write_batch(
+            [(self._block_ids[index], records)]
+        )
 
     def scan(self) -> Iterator[Any]:
         """Yield every record in block order (one read I/O per block),
@@ -141,8 +149,9 @@ class BlockFile:
         ]
 
     def _scan_blocks(self) -> Iterator[Any]:
+        runtime = self.machine.runtime
         for block_id in self._block_ids:
-            for record in self.machine.disk.read(block_id):
+            for record in runtime.read_block(block_id):
                 yield record
 
     def _check_frame(self) -> None:

@@ -4,7 +4,10 @@ A :class:`Machine` bundles the model parameters (``B`` records per block,
 ``m`` frames of internal memory, ``D`` disks) with the devices implementing
 them: a :class:`~repro.core.disk.DiskArray`, a
 :class:`~repro.core.cache.BufferPool` whose frame budget is ``m``, and a
-:class:`~repro.core.memory.MemoryBudget` of ``M = m·B`` records.
+:class:`~repro.core.memory.MemoryBudget` of ``M = m·B`` records.  The
+pool charges its resident frames to that same budget (as reclaimable
+records the runtime can evict under algorithm pressure), so cached
+structures and algorithm working space share one ``M``.
 
 Every algorithm in the library takes a machine as its first argument and
 charges all of its I/O to the machine's disk, so experiments measure cost
@@ -68,8 +71,18 @@ class Machine:
         self.memory_blocks = memory_blocks
         self.num_disks = num_disks
         self.disk = DiskArray(block_size, num_disks)
-        self.pool = BufferPool(self.disk, memory_blocks, policy)
         self.budget = MemoryBudget(block_size * memory_blocks)
+        # The pool shares the single memory budget (each resident frame
+        # charges B reclaimable records — structures plus algorithms get
+        # one M, not one each) and routes misses/write-backs through the
+        # machine's runtime for retry, coalescing, and tracing.
+        self.pool = BufferPool(
+            self.disk,
+            memory_blocks,
+            policy,
+            budget=self.budget,
+            runtime_provider=lambda: self.runtime,
+        )
         self._runtime = None  # built lazily by the `runtime` property
 
     # ------------------------------------------------------------------
@@ -178,9 +191,12 @@ class Machine:
             yield measurement
         finally:
             if flush:
+                # Pool first: its dirty frames may enter the runtime's
+                # write-behind window and must be drained by the
+                # runtime flush that follows.
+                self.pool.flush_all()
                 if self._runtime is not None:
                     self._runtime.flush()
-                self.pool.flush_all()
             measurement.stats = self.stats() - before
 
     def reset_stats(self) -> None:

@@ -27,6 +27,16 @@ class MemoryBudget:
         budget = MemoryBudget(capacity=4096)
         with budget.reserve(1024):
             ...  # hold up to 1024 records here
+
+    The ledger has two columns.  :attr:`in_use` is *hard* working space —
+    records an algorithm (or a pinned staging frame) is actively using,
+    which only the owner can give back.  :attr:`reclaimable` is space the
+    installed ``reclaimer`` can free on demand: the buffer pool's cached
+    frames.  Their sum, :attr:`occupancy`, is what physically sits in
+    memory and can never exceed ``capacity`` — structures plus algorithms
+    share one ``M``.  :attr:`available` deliberately ignores the
+    reclaimable column: an algorithm sizing its memoryloads sees the full
+    machine, and its ``acquire`` evicts cached frames to make room.
     """
 
     def __init__(self, capacity: int):
@@ -37,53 +47,114 @@ class MemoryBudget:
         self.capacity = capacity
         self.reclaimer = None  # see acquire()
         self._in_use = 0
+        self._reclaimable = 0
         self._peak = 0
+        self._reclaiming = False
 
     @property
     def in_use(self) -> int:
-        """Records currently reserved."""
+        """Records hard-reserved (algorithm working space and pinned
+        frames; cached pool frames are in :attr:`reclaimable` instead)."""
         return self._in_use
 
     @property
+    def reclaimable(self) -> int:
+        """Records the reclaimer can free on demand (the buffer pool's
+        unpinned cached frames)."""
+        return self._reclaimable
+
+    @property
+    def occupancy(self) -> int:
+        """Records physically resident: ``in_use + reclaimable``.  The
+        hard ``M`` constraint is enforced on this sum."""
+        return self._in_use + self._reclaimable
+
+    @property
     def peak(self) -> int:
-        """High-water mark of reserved records."""
+        """High-water mark of :attr:`occupancy`."""
         return self._peak
 
     @property
     def available(self) -> int:
-        """Records that may still be reserved."""
+        """Records an algorithm may still hard-reserve.  Reclaimable
+        (cached) space counts as free here — acquiring it evicts the
+        cache on demand."""
         return self.capacity - self._in_use
 
-    def acquire(self, records: int) -> None:
+    def acquire(self, records: int, reclaimable: bool = False) -> None:
         """Reserve ``records`` of working space.
 
-        If the reservation would overflow and a ``reclaimer`` callback is
-        installed (the machine's runtime: it flushes the write-behind
-        window, whose pinned frames are droppable on demand), it is
-        invoked once and the reservation retried.
+        If the reservation would overflow ``capacity`` and a
+        ``reclaimer`` callback is installed (the machine's runtime: it
+        flushes the write-behind window and shrinks the buffer pool,
+        clean frames first), it is invoked once with the record deficit
+        and the reservation retried.
+
+        Args:
+            reclaimable: book the reservation in the reclaimable column
+                (buffer-pool cached frames) instead of hard working
+                space; see the class docstring.
 
         Raises:
             MemoryLimitExceeded: if the reservation still overflows ``M``.
         """
         if records < 0:
             raise ConfigurationError("cannot acquire a negative reservation")
-        if self._in_use + records > self.capacity and \
-                self.reclaimer is not None:
-            self.reclaimer()
-        if self._in_use + records > self.capacity:
-            raise MemoryLimitExceeded(records, self._in_use, self.capacity)
-        self._in_use += records
-        self._peak = max(self._peak, self._in_use)
+        if self.occupancy + records > self.capacity and \
+                self.reclaimer is not None and not self._reclaiming:
+            self._reclaiming = True
+            try:
+                self.reclaimer(self.occupancy + records - self.capacity)
+            finally:
+                self._reclaiming = False
+        if self.occupancy + records > self.capacity:
+            raise MemoryLimitExceeded(records, self.occupancy, self.capacity)
+        if reclaimable:
+            self._reclaimable += records
+        else:
+            self._in_use += records
+        self._peak = max(self._peak, self.occupancy)
 
-    def release(self, records: int) -> None:
+    def release(self, records: int, reclaimable: bool = False) -> None:
         """Return ``records`` of working space to the budget."""
         if records < 0:
             raise ConfigurationError("cannot release a negative reservation")
+        if reclaimable:
+            if records > self._reclaimable:
+                raise ConfigurationError(
+                    f"releasing {records} reclaimable records but only "
+                    f"{self._reclaimable} are reclaimable"
+                )
+            self._reclaimable -= records
+            return
         if records > self._in_use:
             raise ConfigurationError(
                 f"releasing {records} records but only {self._in_use} in use"
             )
         self._in_use -= records
+
+    def harden(self, records: int) -> None:
+        """Move ``records`` from the reclaimable column to hard working
+        space (a pool frame being pinned: the reclaimer may no longer
+        evict it).  Occupancy is unchanged."""
+        if records > self._reclaimable:
+            raise ConfigurationError(
+                f"hardening {records} records but only "
+                f"{self._reclaimable} are reclaimable"
+            )
+        self._reclaimable -= records
+        self._in_use += records
+
+    def soften(self, records: int) -> None:
+        """Move ``records`` from hard working space back to the
+        reclaimable column (a pool frame's last pin released)."""
+        if records > self._in_use:
+            raise ConfigurationError(
+                f"softening {records} records but only {self._in_use} "
+                "are hard-reserved"
+            )
+        self._in_use -= records
+        self._reclaimable += records
 
     @contextmanager
     def reserve(self, records: int):
@@ -95,6 +166,8 @@ class MemoryBudget:
             self.release(records)
 
     def reset(self) -> None:
-        """Clear all reservations and the peak (between experiments)."""
+        """Clear hard reservations and the peak (between experiments).
+        The reclaimable column is left alone: the buffer pool still
+        holds its cached frames and keeps its own books."""
         self._in_use = 0
-        self._peak = 0
+        self._peak = self._reclaimable

@@ -13,9 +13,13 @@ every wave it issues (and :class:`~repro.runtime.Runtime` to its direct
 single-block reads): a wave that raises
 :class:`~repro.core.exceptions.TransientIOError` is re-issued whole
 until it succeeds or the policy's attempts are exhausted, at which point
-:class:`~repro.core.exceptions.RetryExhaustedError` propagates.
+:class:`~repro.core.exceptions.RetryExhaustedError` propagates.  Cached
+reads share this path — a :class:`~repro.core.cache.BufferPool` miss is
+a runtime read — so a B+-tree lookup under a fault plan degrades into
+retries and stall steps instead of a raw transient error.
 Checksum mismatches are *not* retried — re-reading a torn block cannot
-repair it; that is the checkpoint layer's job.
+repair it; the pool's scrub path (rewrite-and-verify, bounded by
+``max_attempts``) or the checkpoint layer repairs instead.
 """
 
 from __future__ import annotations

@@ -102,15 +102,22 @@ def naive_bfs(machine: Machine, adjacency: AdjacencyStore,
             current = next_level.finalize()
         current.delete()
 
-        # One clean scan to extract the result.
+        # One clean scan to extract the result, batched half a pool at a
+        # time: resident table blocks are served as hits, the rest in
+        # parallel waves.
         pool.flush_all()
         distance: Dict[int, int] = {}
         position = 0
-        for index in range(table.num_blocks):
-            for value in table.read_block(index):
-                if value is not None and position < adjacency.num_vertices:
-                    distance[position] = value
-                position += 1
+        chunk = max(1, pool.capacity // 2)
+        for start in range(0, table.num_blocks, chunk):
+            stop = min(start + chunk, table.num_blocks)
+            block_ids = [table.block_id(i) for i in range(start, stop)]
+            for payload in pool.get_many(block_ids):
+                for value in payload:
+                    if value is not None and \
+                            position < adjacency.num_vertices:
+                        distance[position] = value
+                    position += 1
         table.delete()
     return distance
 

@@ -57,7 +57,10 @@ def pointer_chase_ranking(
     Successor pointers are stored by node id in a block file; the head is
     found with one scan.  The walk then reads the block containing each
     visited node — on a random storage order nearly every hop misses the
-    pool.
+    pool.  Each hop depends on the previous one, so unlike the batched
+    table scans elsewhere there is nothing to wave-read with
+    ``get_many``; the cached reads do, however, inherit the runtime's
+    retry/scrub handling like all pool traffic.
     """
     B = machine.block_size
     with BlockFile(

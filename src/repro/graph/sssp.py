@@ -84,11 +84,16 @@ def external_dijkstra(machine: Machine, adjacency: AdjacencyStore,
         pool.flush_all()
         result: Dict[int, Any] = {}
         position = 0
-        for index in range(table.num_blocks):
-            for value in table.read_block(index):
-                if value is not None and position < adjacency.num_vertices:
-                    result[position] = value
-                position += 1
+        chunk = max(1, pool.capacity // 2)
+        for start in range(0, table.num_blocks, chunk):
+            stop = min(start + chunk, table.num_blocks)
+            block_ids = [table.block_id(i) for i in range(start, stop)]
+            for payload in pool.get_many(block_ids):
+                for value in payload:
+                    if value is not None and \
+                            position < adjacency.num_vertices:
+                        result[position] = value
+                    position += 1
         table.delete()
     return result
 

@@ -19,7 +19,7 @@ Transposing it is a *permutation*, and the survey's transpose bound
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..analysis.sanitizer import io_bound
 from ..core.blockfile import BlockFile
@@ -133,19 +133,34 @@ class ExternalMatrix:
     def read_tile(self, r0: int, r1: int, c0: int, c1: int) -> List[List[Any]]:
         """Read the submatrix ``[r0, r1) × [c0, c1)``.
 
-        Each row segment reads its covering blocks (contiguous), so a tile
-        of ``t`` rows costs about ``t · ceil(t/B + 1)`` I/Os.
+        Each row segment needs its covering blocks (contiguous); the
+        distinct blocks of the whole tile are fetched with one batched
+        pool request (:meth:`~repro.core.cache.BufferPool.get_many`), so
+        a tile of ``t`` rows costs at most ``t · ceil(t/B + 1)`` reads —
+        fewer when rows share blocks — issued as parallel waves.
         """
         B = self.machine.block_size
-        tile: List[List[Any]] = []
+        spans: List[Tuple[int, int, int]] = []
+        needed: List[int] = []
+        seen = set()
         for i in range(r0, r1):
             start = i * self.cols + c0
-            stop = i * self.cols + c1
             first_block = start // B
-            last_block = (stop - 1) // B
+            last_block = (i * self.cols + c1 - 1) // B
+            spans.append((start, first_block, last_block))
+            for index in range(first_block, last_block + 1):
+                if index not in seen:
+                    seen.add(index)
+                    needed.append(index)
+        block_ids = [self.blocks.block_id(index) for index in needed]
+        payloads = dict(zip(
+            needed, self.machine.pool.get_many(block_ids)
+        ))
+        tile: List[List[Any]] = []
+        for start, first_block, last_block in spans:
             segment: List[Any] = []
             for index in range(first_block, last_block + 1):
-                segment.extend(self.blocks.read_block(index))
+                segment.extend(payloads[index])
             offset = start - first_block * B
             tile.append(segment[offset:offset + (c1 - c0)])
         return tile

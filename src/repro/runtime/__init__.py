@@ -52,10 +52,23 @@ class Runtime:
         self.scheduler = IOScheduler(machine)
         self.writer = WriteBehind(machine, self.scheduler)
         self.tracer = Tracer(machine)
-        # Under memory pressure the budget may flush the write-behind
-        # window: its pinned frames are the one staging resource that can
-        # be dropped on demand without wasting a transfer already paid.
-        machine.budget.reclaimer = self.writer.flush
+        # Under memory pressure the budget asks the runtime to give
+        # memory back: first flush the write-behind window (its pinned
+        # frames drop without wasting a transfer already paid), then
+        # shrink the buffer pool, clean frames first.
+        machine.budget.reclaimer = self._reclaim
+
+    # ------------------------------------------------------------------
+    def _reclaim(self, deficit: int) -> None:
+        """Free at least ``deficit`` records of reclaimable memory if
+        possible.  Installed as the budget's ``reclaimer``; an
+        algorithm's over-capacity ``acquire`` lands here before failing."""
+        budget = self.machine.budget
+        before = budget.in_use
+        self.writer.flush()
+        freed = before - budget.in_use
+        if freed < deficit:
+            self.machine.pool.reclaim(deficit - freed)
 
     # ------------------------------------------------------------------
     def read_block(self, block_id: int) -> Block:

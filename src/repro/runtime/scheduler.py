@@ -24,7 +24,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Sequence, Tuple
 
 from ..core.disk import Block
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import ConfigurationError, MemoryLimitExceeded
 from ..faults.retry import RetryPolicy
 
 
@@ -145,7 +145,14 @@ class IOScheduler:
         needed = (1 + slack_frames) * machine.block_size
         if machine.budget.available < needed:
             return False
-        machine.budget.acquire(machine.block_size)
+        try:
+            # `available` ignores the buffer pool's reclaimable frames,
+            # so this acquire may need the reclaimer to evict cache; if
+            # even that cannot make room, skip the optimisation rather
+            # than surface MemoryLimitExceeded from a staging pin.
+            machine.budget.acquire(machine.block_size)
+        except MemoryLimitExceeded:
+            return False
         self.pinned += 1
         return True
 

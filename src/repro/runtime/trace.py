@@ -44,6 +44,7 @@ class Tracer:
         self._events: List[dict] = []
         self._spans: List[Tuple[str, int, int]] = []
         self._phase_stats: Dict[str, IOStats] = {}
+        self._pool_stats: Dict[str, Dict[str, int]] = {}
         self._clock = 0  # parallel steps since start()
 
     # ------------------------------------------------------------------
@@ -54,6 +55,7 @@ class Tracer:
         self._events.clear()
         self._spans.clear()
         self._phase_stats.clear()
+        self._pool_stats.clear()
         self._clock = 0
         self.machine.disk.listener = self
         self.active = True
@@ -157,6 +159,36 @@ class Tracer:
                      "attempt": attempt},
         })
 
+    _POOL_EVENTS = ("hit", "miss", "eviction", "scrub", "bypass")
+
+    def on_pool(self, event: str, block_id: int) -> None:
+        """Record one buffer-pool event (called by the pool; duck-typed
+        extension of the listener protocol).  Hits are tallied only —
+        they cost no step — while misses, evictions, scrubs, and
+        bypasses also emit Chrome-trace instants on the block's disk
+        lane so cache behaviour lines up with the transfers it causes."""
+        label = self.current_phase
+        tally = self._pool_stats.setdefault(
+            label, {name: 0 for name in self._POOL_EVENTS}
+        )
+        tally[event] = tally.get(event, 0) + 1
+        if event == "hit":
+            return
+        try:
+            disk = self.machine.disk.disk_of(block_id)
+        except Exception:
+            disk = 0
+        self._events.append({
+            "name": f"pool:{event}",
+            "cat": "pool",
+            "ph": "i",
+            "s": "t",
+            "ts": self._clock,
+            "pid": 0,
+            "tid": disk,
+            "args": {"phase": label, "block": block_id},
+        })
+
     def on_stall(
         self, steps: int, disks: Sequence[int], reason: str
     ) -> None:
@@ -192,33 +224,66 @@ class Tracer:
         delta over the traced region."""
         return dict(self._phase_stats)
 
+    def pool_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-phase buffer-pool tallies (hits / misses / evictions /
+        scrubs / bypasses); empty when no pool traffic was traced."""
+        return {label: dict(tally)
+                for label, tally in self._pool_stats.items()}
+
     def summary_table(self) -> str:
         """The per-phase totals as an aligned plain-text table.  Fault,
         retry, and stall columns appear only when a fault plan actually
-        fired, so fault-free traces look as before."""
+        fired; pool columns (hits/misses/evicts, plus scrubs and
+        bypasses when any occurred) only when the buffer pool was used —
+        so the untouched cases look as before."""
         stats_list = list(self._phase_stats.values())
         degraded = any(
             s.faults or s.retries or s.stall_steps for s in stats_list
         )
+        pooled = bool(self._pool_stats)
+        scrubbed = any(
+            t.get("scrub") or t.get("bypass")
+            for t in self._pool_stats.values()
+        )
         headers = ["phase", "reads", "writes", "transfers", "steps"]
         if degraded:
             headers += ["faults", "retries", "stalls"]
+        if pooled:
+            headers += ["hits", "misses", "evicts"]
+        if scrubbed:
+            headers += ["scrubs", "bypasses"]
 
-        def cells(label, stats):
+        empty_tally = {name: 0 for name in self._POOL_EVENTS}
+
+        def cells(label, stats, tally):
             row = [label, stats.reads, stats.writes, stats.total,
                    stats.total_steps]
             if degraded:
                 row += [stats.faults, stats.retries, stats.stall_steps]
+            if pooled:
+                row += [tally.get("hit", 0), tally.get("miss", 0),
+                        tally.get("eviction", 0)]
+            if scrubbed:
+                row += [tally.get("scrub", 0), tally.get("bypass", 0)]
             return row
 
+        # A phase may have pool hits but no transfers (or vice versa):
+        # iterate the union of both tallies' phase labels.
+        labels = sorted(set(self._phase_stats) | set(self._pool_stats))
         rows = [
-            cells(label, stats)
-            for label, stats in sorted(self._phase_stats.items())
+            cells(label,
+                  self._phase_stats.get(label, IOStats()),
+                  self._pool_stats.get(label, empty_tally))
+            for label in labels
         ]
         total = IOStats()
         for stats in stats_list:
             total = total + stats
-        rows.append(cells("total", total))
+        pool_total = dict(empty_tally)
+        for tally in self._pool_stats.values():
+            for name, count in tally.items():
+                pool_total[name] = pool_total.get(name, 0) + count
+        rows.append(cells("total", total, pool_total))
         return format_table(headers, rows)
 
     def to_chrome(self) -> dict:

@@ -14,6 +14,14 @@ no frame is spare, or on a single disk where deferral cannot save a step,
 blocks are written through immediately — the transfer and step counts are
 then bit-identical to the unbuffered path.  Rewriting a deferred block
 coalesces in place, saving the superseded transfer.
+
+The buffer pool's dirty-frame write-backs enter this same window
+(:meth:`~repro.core.cache.BufferPool.flush`), so evicted cache blocks
+coalesce into the ``D``-block waves alongside stream output — except
+while checksums are enabled, when a payload leaving the pool is written
+through and verified immediately so a torn write is caught while the
+good copy still exists (the pool then calls :meth:`discard` first, so
+no stale deferred copy can resurrect it).
 """
 
 from __future__ import annotations

@@ -249,3 +249,97 @@ class TestEvictionPolicies:
         mru_pool = self.run_trace(MRUPolicy(), trace, 4, disk2, ids2)
         assert lru_pool.hits == 0
         assert mru_pool.hits > len(trace) // 2
+
+
+class TestDropPinned:
+    """Regression: drop used to discard a pinned frame silently, leaving
+    the pin count pointing at a ghost so the later unpin raised."""
+
+    def test_drop_pinned_refused(self):
+        disk, ids = make_disk()
+        pool = BufferPool(disk, capacity=2)
+        pool.get(ids[0])
+        pool.pin(ids[0])
+        with pytest.raises(PoolError):
+            pool.drop(ids[0])
+        assert pool.is_resident(ids[0])
+        pool.unpin(ids[0])  # the seed raised "not pinned" here
+        pool.drop(ids[0])
+        assert not pool.is_resident(ids[0])
+
+    def test_drop_pinned_does_not_lose_dirty_data(self):
+        disk, ids = make_disk()
+        pool = BufferPool(disk, capacity=2)
+        frame = pool.get(ids[0])
+        frame.append(42)
+        pool.mark_dirty(ids[0])
+        pool.pin(ids[0])
+        with pytest.raises(PoolError):
+            pool.drop(ids[0])
+        pool.unpin(ids[0])
+        pool.drop(ids[0])
+        assert disk.peek(ids[0]) == [0, 42]
+
+    def test_drop_all_refuses_while_pinned(self):
+        disk, ids = make_disk()
+        pool = BufferPool(disk, capacity=2)
+        pool.get(ids[0])
+        pool.pin(ids[0])
+        with pytest.raises(PoolError):
+            pool.drop_all()
+        pool.unpin(ids[0])
+        pool.drop_all()
+        assert pool.resident_count == 0
+
+
+class TestMinClockDrift:
+    """Regression: MinPolicy._advance ticked its clock for blocks absent
+    from the offline trace (fresh put_new allocations), desynchronizing
+    every later future-position lookup — drifted MIN could lose to LRU."""
+
+    @staticmethod
+    def run_workload(policy_factory, ops, capacity, num_blocks):
+        disk = SimulatedDisk(block_capacity=4)
+        ids = [disk.allocate() for _ in range(num_blocks)]
+        for bid in ids:
+            disk.write(bid, [0])
+        disk.counter.reset()
+        pool = BufferPool(disk, capacity=capacity, policy=policy_factory())
+        for kind, index in ops:
+            if kind == "get":
+                pool.get(ids[index])
+            else:  # a fresh allocation the offline trace never saw
+                pool.put_new(disk.allocate(), [0])
+        return pool.misses
+
+    @staticmethod
+    def make_workload(seed=6, length=120, num_blocks=8, new_rate=0.25):
+        import random
+
+        rng = random.Random(seed)
+        ops, trace = [], []
+        for _ in range(length):
+            if rng.random() < new_rate:
+                ops.append(("new", None))
+            else:
+                index = rng.randrange(num_blocks)
+                ops.append(("get", index))
+                trace.append(index)
+        return ops, trace
+
+    def test_untraced_insert_does_not_tick_clock(self):
+        policy = MinPolicy([0, 1, 0])
+        policy.on_insert(99)  # absent from the trace
+        assert policy._clock == 0
+        policy.on_access(0)
+        assert policy._clock == 1
+
+    def test_min_beats_lru_on_trace_with_allocations(self):
+        """Seed 6 is a witness for the drift bug: with the clock ticking
+        on untraced inserts MIN scored 64 misses vs LRU's 62; in sync it
+        scores 40."""
+        ops, trace = self.make_workload()
+        lru = self.run_workload(LRUPolicy, ops, 3, 8)
+        offline = self.run_workload(lambda: MinPolicy(trace), ops, 3, 8)
+        assert offline <= lru
+        assert offline < 50

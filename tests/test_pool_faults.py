@@ -1,0 +1,398 @@
+"""Fault injection on the *cached* (buffer-pool) data path.
+
+Mirrors ``tests/test_faults.py`` for pool-mediated I/O: before PR 5 a
+``BufferPool`` miss called ``DiskArray.read`` directly, so a plain
+B+-tree lookup under a ``FaultPlan`` died with a raw
+``TransientReadError`` that the same plan's streaming sort absorbed via
+``RetryPolicy``, and a torn write flushed from a dirty frame surfaced as
+an unrecoverable ``ChecksumError``.  The pool now routes misses through
+``Runtime.read_block`` (retry + backoff as stall steps), write-backs
+through the write-behind window, verifies payloads leaving memory under
+checksums (scrub-rewrite while the good copy is in hand), and charges
+its frames to the machine's shared memory budget.
+"""
+
+import pytest
+
+from repro.core.exceptions import (
+    ChecksumError,
+    MemoryLimitExceeded,
+    RetryExhaustedError,
+    TransientIOError,
+)
+from repro.core.machine import Machine
+from repro.faults.plan import FaultPlan
+from repro.search.btree import BPlusTree
+from repro.search.hashing import ExtendibleHashTable
+
+
+def make_btree(machine, n=200):
+    tree = BPlusTree(machine)
+    for key in range(n):
+        tree.insert(key, key * 2)
+    machine.pool.flush_all()
+    machine.pool.drop_all()
+    return tree
+
+
+class TestTransientReadsOnCachedPath:
+    def test_btree_gets_survive_read_errors(self):
+        """The first seed reproduction: a query workload under
+        read_error_rate=0.5 completes with retries, not a raw
+        TransientReadError."""
+        m = Machine(block_size=8, memory_blocks=4)
+        tree = make_btree(m)
+        before = m.stats()
+        with m.inject_faults(FaultPlan(seed=3, read_error_rate=0.5)):
+            for key in range(0, 200, 7):
+                assert tree.get(key) == key * 2
+        delta = m.stats() - before
+        assert delta.retries > 0
+        assert delta.faults > 0
+        assert delta.stall_steps > 0
+
+    def test_btree_insert_delete_survive_read_errors(self):
+        m = Machine(block_size=8, memory_blocks=4)
+        tree = make_btree(m, n=120)
+        with m.inject_faults(FaultPlan(seed=9, read_error_rate=0.2)):
+            for key in range(120, 160):
+                tree.insert(key, key * 2)
+            for key in range(0, 40):
+                tree.delete(key)
+        tree.check_invariants()
+        assert tree.get(10) is None
+        assert tree.get(150) == 300
+        assert m.stats().retries > 0
+
+    def test_hashing_lookups_survive_read_errors(self):
+        m = Machine(block_size=8, memory_blocks=4)
+        table = ExtendibleHashTable(m)
+        for key in range(150):
+            table.insert(key, -key)
+        m.pool.flush_all()
+        m.pool.drop_all()
+        before = m.stats()
+        with m.inject_faults(FaultPlan(seed=21, read_error_rate=0.4)):
+            for key in range(0, 150, 5):
+                assert table.get(key) == -key
+        assert (m.stats() - before).retries > 0
+
+    def test_hashing_items_survive_read_errors(self):
+        m = Machine(block_size=8, memory_blocks=4)
+        table = ExtendibleHashTable(m)
+        for key in range(100):
+            table.insert(key, key)
+        m.pool.flush_all()
+        m.pool.drop_all()
+        with m.inject_faults(FaultPlan(seed=2, read_error_rate=0.3)):
+            assert sorted(k for k, _ in table.items()) == list(range(100))
+        assert m.stats().retries > 0
+
+    def test_range_query_survives_read_errors(self):
+        m = Machine(block_size=8, memory_blocks=6)
+        tree = make_btree(m)
+        with m.inject_faults(FaultPlan(seed=5, read_error_rate=0.3)):
+            got = list(tree.range_query(40, 90))
+        assert got == [(k, k * 2) for k in range(40, 91)]
+        assert m.stats().retries > 0
+
+    def test_retry_exhaustion_surfaces_typed_error(self):
+        """A block whose every read fails exhausts the policy and raises
+        RetryExhaustedError — never the raw transient error."""
+        m = Machine(block_size=4, memory_blocks=4)
+        bad = m.disk.allocate()
+        m.disk.write(bad, [1, 2, 3, 4])
+        with m.inject_faults(FaultPlan(fail_block_reads={bad: None})):
+            with pytest.raises(RetryExhaustedError) as info:
+                m.pool.get(bad)
+            assert isinstance(info.value.last_error, TransientIOError)
+
+
+class TestTornFlushRecovery:
+    def test_torn_dirty_flush_scrubbed_at_retirement(self):
+        """The second seed reproduction: a torn write-back of a dirty
+        frame is detected while the pool still holds the good copy and
+        rewritten (scrubbed), so the disk image ends intact."""
+        m = Machine(block_size=4, memory_blocks=4)
+        bids = [m.disk.allocate() for _ in range(6)]
+        for bid in bids:
+            m.disk.write(bid, [0] * 4)
+        with m.inject_faults(FaultPlan(seed=11, torn_writes={2})):
+            for value, bid in enumerate(bids):
+                frame = m.pool.get(bid)
+                frame[:] = [value] * 4
+                m.pool.mark_dirty(bid)
+            m.pool.flush_all()
+            m.pool.drop_all()
+        assert m.pool.scrubs > 0
+        for value, bid in enumerate(bids):
+            assert m.disk.verify_checksum(bid)
+            assert m.disk.read(bid) == [value] * 4
+
+    def test_torn_flush_under_eviction_pressure(self):
+        """Same recovery when the write-back happens on eviction rather
+        than an explicit flush."""
+        m = Machine(block_size=4, memory_blocks=2)
+        bids = [m.disk.allocate() for _ in range(8)]
+        for bid in bids:
+            m.disk.write(bid, [0] * 4)
+        with m.inject_faults(FaultPlan(seed=1, torn_write_rate=0.5)):
+            for value, bid in enumerate(bids):
+                frame = m.pool.get(bid)  # evicts under pressure
+                frame[:] = [value] * 4
+                m.pool.mark_dirty(bid)
+            m.pool.flush_all()
+            m.pool.drop_all()
+        for value, bid in enumerate(bids):
+            assert m.disk.read(bid) == [value] * 4
+
+    def test_adversarial_tearing_exhausts_into_checksum_error(self):
+        """When every rewrite tears too, the scrub loop gives up after
+        the retry policy's attempt budget with the documented typed
+        ChecksumError."""
+        m = Machine(block_size=4, memory_blocks=2)
+        bid = m.disk.allocate()
+        m.disk.write(bid, [0] * 4)
+        with m.inject_faults(FaultPlan(seed=4, torn_write_rate=1.0)):
+            frame = m.pool.get(bid)
+            frame[:] = [7] * 4
+            m.pool.mark_dirty(bid)
+            with pytest.raises(ChecksumError):
+                m.pool.flush_all()
+                m.pool.drop_all()
+
+    def test_btree_workload_with_torn_writes_recovers(self):
+        m = Machine(block_size=8, memory_blocks=4)
+        with m.inject_faults(FaultPlan(seed=8, torn_write_rate=0.1)):
+            tree = BPlusTree(m)
+            for key in range(150):
+                tree.insert(key, key)
+            m.pool.flush_all()
+            m.pool.drop_all()
+        for key in range(150):
+            assert tree.get(key) == key
+        tree.check_invariants()
+
+
+class TestRedoHook:
+    def test_cold_miss_on_torn_block_repaired_via_redo_hook(self):
+        """A block torn on disk with no in-memory copy is recomputed by
+        the pool's redo hook, rewritten, and verified — the
+        BlockFile.verify scrub model applied at read time."""
+        m = Machine(block_size=4, memory_blocks=2)
+        bid = m.disk.allocate()
+        with m.inject_faults(FaultPlan(torn_writes={0})):
+            m.disk.write(bid, [5, 6, 7, 8])  # tears; checksum recorded
+        assert not m.disk.verify_checksum(bid)
+        m.pool.redo_hook = lambda block_id: (
+            [5, 6, 7, 8] if block_id == bid else None
+        )
+        assert m.pool.get(bid) == [5, 6, 7, 8]
+        assert m.pool.scrubs > 0
+        assert m.disk.verify_checksum(bid)
+        m.pool.drop_all()
+        assert m.disk.read(bid) == [5, 6, 7, 8]
+
+    def test_cold_miss_without_hook_raises_checksum_error(self):
+        m = Machine(block_size=4, memory_blocks=2)
+        bid = m.disk.allocate()
+        with m.inject_faults(FaultPlan(torn_writes={0})):
+            m.disk.write(bid, [5, 6, 7, 8])
+        with pytest.raises(ChecksumError):
+            m.pool.get(bid)
+
+    def test_hook_declining_reraises(self):
+        m = Machine(block_size=4, memory_blocks=2)
+        bid = m.disk.allocate()
+        with m.inject_faults(FaultPlan(torn_writes={0})):
+            m.disk.write(bid, [1, 2, 3, 4])
+        m.pool.redo_hook = lambda block_id: None
+        with pytest.raises(ChecksumError):
+            m.pool.get(bid)
+
+
+class TestSharedMemoryBudget:
+    def test_pool_frames_charged_to_budget(self):
+        """The third seed reproduction: resident frames appear in the
+        machine's budget (reclaimable records), so structures plus
+        algorithms share one M instead of legally using 2M."""
+        m = Machine(block_size=8, memory_blocks=4)
+        make_btree(m)  # drop_all leaves the pool empty
+        assert m.budget.reclaimable == 0
+        bids = [m.disk.allocate() for _ in range(6)]
+        for bid in bids:
+            m.disk.write(bid, [0] * 8)
+        for bid in bids:
+            m.pool.get(bid)
+        assert m.pool.resident_count == m.pool.capacity
+        assert m.budget.reclaimable == m.pool.capacity * m.B
+        assert m.budget.occupancy <= m.M
+        assert m.budget.in_use == 0  # cached frames are reclaimable
+
+    def test_algorithm_pressure_shrinks_pool(self):
+        """A hard reserve that needs the cache's memory evicts frames via
+        the budget's reclaimer instead of failing."""
+        m = Machine(block_size=8, memory_blocks=4)
+        bids = [m.disk.allocate() for _ in range(4)]
+        for bid in bids:
+            m.disk.write(bid, [0] * 8)
+            m.pool.get(bid)
+        assert m.budget.reclaimable == m.M
+        with m.budget.reserve(3 * m.B):
+            assert m.pool.resident_count <= 1
+            assert m.budget.occupancy <= m.M
+        assert m.pool.evictions >= 3
+
+    def test_reclaim_prefers_clean_frames(self):
+        m = Machine(block_size=8, memory_blocks=4)
+        bids = [m.disk.allocate() for _ in range(4)]
+        for bid in bids:
+            m.disk.write(bid, [0] * 8)
+            m.pool.get(bid)
+        dirty = bids[0]
+        m.pool.get(dirty)[:] = [1] * 8
+        m.pool.mark_dirty(dirty)
+        writes_before = m.disk.counter.writes
+        with m.budget.reserve(2 * m.B):
+            # two clean frames sufficed; the dirty one stays resident
+            assert m.pool.is_resident(dirty)
+            assert m.disk.counter.writes == writes_before
+
+    def test_pinned_frames_harden_and_survive_reclaim(self):
+        m = Machine(block_size=8, memory_blocks=4)
+        bids = [m.disk.allocate() for _ in range(4)]
+        for bid in bids:
+            m.disk.write(bid, [0] * 8)
+            m.pool.get(bid)
+        m.pool.pin(bids[0])
+        assert m.budget.in_use == m.B
+        assert m.budget.reclaimable == 3 * m.B
+        with m.budget.reserve(3 * m.B):
+            assert m.pool.is_resident(bids[0])
+        m.pool.unpin(bids[0])
+        assert m.budget.in_use == 0
+
+    def test_bypass_when_memory_hard_committed(self):
+        """When an algorithm hard-holds ~M, cached reads are served
+        uncached (bypass) rather than raising or evicting hard space."""
+        m = Machine(block_size=8, memory_blocks=4)
+        bid = m.disk.allocate()
+        m.disk.write(bid, list(range(8)))
+        with m.budget.reserve(m.M):
+            payload = m.pool.get(bid)
+            assert payload == list(range(8))
+            assert not m.pool.is_resident(bid)
+            assert m.pool.bypasses == 1
+        assert m.budget.in_use == 0
+
+    def test_put_new_without_memory_raises_typed_error(self):
+        m = Machine(block_size=8, memory_blocks=4)
+        bid = m.disk.allocate()
+        with m.budget.reserve(m.M):
+            with pytest.raises(MemoryLimitExceeded):
+                m.pool.put_new(bid, [0] * 8)
+
+
+class TestTracerPoolAttribution:
+    def test_pool_traffic_in_summary(self):
+        m = Machine(block_size=8, memory_blocks=4)
+        tree = make_btree(m)
+        tracer = m.runtime.start_trace()
+        with m.trace("btree-queries"):
+            for key in range(0, 200, 11):
+                tree.get(key)
+        tracer.stop()
+        pools = tracer.pool_summary()
+        assert "btree-queries" in pools
+        tally = pools["btree-queries"]
+        assert tally["miss"] > 0
+        assert tally["hit"] > 0
+        table = tracer.summary_table()
+        assert "hits" in table and "misses" in table
+        assert "btree-queries" in table
+
+    def test_pool_instants_in_chrome_trace(self):
+        m = Machine(block_size=8, memory_blocks=2)
+        bids = [m.disk.allocate() for _ in range(4)]
+        for bid in bids:
+            m.disk.write(bid, [0] * 8)
+        tracer = m.runtime.start_trace()
+        with m.trace("scan"):
+            for bid in bids:
+                m.pool.get(bid)
+        tracer.stop()
+        events = tracer.to_chrome()["traceEvents"]
+        kinds = {e["name"] for e in events if e.get("cat") == "pool"}
+        assert "pool:miss" in kinds
+        assert "pool:eviction" in kinds
+
+    def test_fault_free_trace_has_no_pool_columns(self):
+        from repro.core.stream import FileStream
+
+        m = Machine(block_size=8, memory_blocks=4)
+        tracer = m.runtime.start_trace()
+        with m.trace("stream-only"):
+            FileStream.from_records(m, list(range(64)),
+                                    name="t").delete()
+        tracer.stop()
+        assert "hits" not in tracer.summary_table()
+
+
+class TestGetManyWaves:
+    def test_get_many_returns_request_order_with_duplicates(self):
+        m = Machine(block_size=4, memory_blocks=4)
+        bids = [m.disk.allocate() for _ in range(3)]
+        for value, bid in enumerate(bids):
+            m.disk.write(bid, [value] * 4)
+        order = [bids[2], bids[0], bids[2], bids[1]]
+        payloads = m.pool.get_many(order)
+        assert [p[0] for p in payloads] == [2, 0, 2, 1]
+        assert m.pool.misses == 3  # the duplicate is fetched once
+        # now resident: the same batch hits once per distinct block
+        m.pool.get_many(order)
+        assert m.pool.misses == 3
+        assert m.pool.hits == 3
+
+    def test_get_many_saves_steps_on_parallel_disks(self):
+        """A D-disk machine reads a k-block batch in ~k/D steps where
+        one-at-a-time gets pay k steps."""
+        D = 4
+        m = Machine(block_size=4, memory_blocks=8, num_disks=D)
+        bids = [m.disk.allocate() for _ in range(8)]
+        for bid in bids:
+            m.disk.write(bid, [0] * 4)
+        m.reset_stats()
+        m.pool.get_many(bids)
+        batched = m.stats().read_steps
+        m2 = Machine(block_size=4, memory_blocks=8, num_disks=D)
+        bids2 = [m2.disk.allocate() for _ in range(8)]
+        for bid in bids2:
+            m2.disk.write(bid, [0] * 4)
+        m2.reset_stats()
+        for bid in bids2:
+            m2.pool.get(bid)
+        serial = m2.stats().read_steps
+        assert batched == 2  # 8 blocks striped over 4 disks
+        assert serial == 8
+        assert m.stats().reads == m2.stats().reads == 8
+
+    def test_get_many_under_faults(self):
+        m = Machine(block_size=4, memory_blocks=4, num_disks=2)
+        bids = [m.disk.allocate() for _ in range(6)]
+        for value, bid in enumerate(bids):
+            m.disk.write(bid, [value] * 4)
+        m.pool.drop_all()
+        with m.inject_faults(FaultPlan(seed=6, read_error_rate=0.4)):
+            payloads = m.pool.get_many(bids)
+        assert [p[0] for p in payloads] == list(range(6))
+        assert m.stats().retries > 0
+
+    def test_get_many_larger_than_pool(self):
+        m = Machine(block_size=4, memory_blocks=2)
+        bids = [m.disk.allocate() for _ in range(7)]
+        for value, bid in enumerate(bids):
+            m.disk.write(bid, [value] * 4)
+        payloads = m.pool.get_many(bids)
+        assert [p[0] for p in payloads] == list(range(7))
+        assert m.pool.resident_count <= m.pool.capacity
+        assert m.budget.occupancy <= m.M

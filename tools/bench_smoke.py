@@ -18,6 +18,12 @@ failed blocks, verification re-reads each pass), and the bench_f19
 sequence-heap configuration (B=64, m=16, one caller-resident frame,
 ~32k queue operations) that used to overflow the memory budget — it
 must now complete with peak memory <= M.
+
+Two buffer-pool records cover the cached path: the pool hit rate of a
+skewed B+-tree query workload (with the pool's frames charged to the
+shared memory budget), and the transfer overhead of the same query
+workload under a seeded fault plan vs clean — retried cache misses and
+scrubbed write-backs must stay within the same 2.0x bound as the sort.
 """
 
 import argparse
@@ -37,6 +43,7 @@ from repro.faults import (  # noqa: E402
     checkpointed_merge_sort,
 )
 from repro.pq import ExternalPriorityQueue  # noqa: E402
+from repro.search import BPlusTree  # noqa: E402
 from repro.sort import external_merge_sort  # noqa: E402
 from repro.workloads import uniform_ints  # noqa: E402
 
@@ -47,6 +54,8 @@ RATIO_BOUND = 1.5
 FAULT_B, FAULT_M_BLOCKS, FAULT_N = 32, 8, 6_000
 FAULT_OVERHEAD_BOUND = 2.0
 F19_B, F19_M_BLOCKS, F19_OPS = 64, 16, 32_000
+POOL_B, POOL_M_BLOCKS, POOL_N, POOL_QUERIES = 16, 8, 2_000, 1_500
+POOL_FAULT_OVERHEAD_BOUND = 2.0
 
 
 def f1_smoke():
@@ -170,13 +179,104 @@ def f19_pq_budget_smoke():
             }]}
 
 
+def _btree_query_workload(machine, tree, seed=3):
+    """A skewed point-query mix: 80% of queries land in one hot
+    contiguous run of 100 keys (a few leaves), the rest uniform."""
+    rng = random.Random(seed)
+    base = rng.randrange(POOL_N - 100)
+    hot = list(range(base, base + 100))
+    for _ in range(POOL_QUERIES):
+        key = rng.choice(hot) if rng.random() < 0.8 \
+            else rng.randrange(POOL_N)
+        value = tree.get(key)
+        assert value == key * 3
+
+
+def _build_query_tree(machine):
+    tree = BPlusTree(machine)
+    for key in range(POOL_N):
+        tree.insert(key, key * 3)
+    machine.pool.flush_all()
+    machine.pool.drop_all()
+    return tree
+
+
+def pool_hit_rate_smoke():
+    """Pool hit rate of the skewed query mix, with the pool's frames
+    charged to the shared memory budget."""
+    machine = Machine(block_size=POOL_B, memory_blocks=POOL_M_BLOCKS)
+    tree = _build_query_tree(machine)
+    machine.reset_stats()
+    hits0, misses0 = machine.pool.hits, machine.pool.misses
+    _btree_query_workload(machine, tree)
+    stats = machine.stats()
+    hits = machine.pool.hits - hits0
+    misses = machine.pool.misses - misses0
+    hit_rate = hits / max(1, hits + misses)
+    assert hit_rate > 0.5, f"hit rate {hit_rate:.3f} too low for skew"
+    assert machine.budget.reclaimable == \
+        machine.pool.resident_count * machine.B
+    assert machine.budget.occupancy <= machine.M
+    return {"name": "pool_hit_rate", "B": POOL_B,
+            "M": POOL_B * POOL_M_BLOCKS, "n": POOL_N,
+            "queries": POOL_QUERIES,
+            "points": [{
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hit_rate, 4),
+                "reads": stats.reads,
+                "budget_reclaimable": machine.budget.reclaimable,
+                "budget_occupancy": machine.budget.occupancy,
+            }]}
+
+
+def faulted_query_smoke():
+    """Transfer overhead of the cached query workload under a seeded
+    fault plan (retried misses + scrubbed write-backs) vs clean."""
+    clean = Machine(block_size=POOL_B, memory_blocks=POOL_M_BLOCKS)
+    tree = _build_query_tree(clean)
+    clean.reset_stats()
+    _btree_query_workload(clean, tree)
+    clean_stats = clean.stats()
+
+    faulty = Machine(block_size=POOL_B, memory_blocks=POOL_M_BLOCKS)
+    tree = _build_query_tree(faulty)
+    faulty.reset_stats()
+    plan = FaultPlan(seed=17, read_error_rate=0.05, torn_write_rate=0.02)
+    with faulty.inject_faults(plan):
+        _btree_query_workload(faulty, tree)
+        faulty.pool.flush_all()
+    stats = faulty.stats()
+    assert stats.retries > 0
+    overhead = stats.total / max(1, clean_stats.total)
+    assert overhead <= POOL_FAULT_OVERHEAD_BOUND, (
+        f"faulted queries {stats.total} transfers vs clean "
+        f"{clean_stats.total} (overhead {overhead:.3f})"
+    )
+    return {"name": "faulted_query_overhead", "B": POOL_B,
+            "M": POOL_B * POOL_M_BLOCKS, "n": POOL_N,
+            "queries": POOL_QUERIES,
+            "overhead_bound": POOL_FAULT_OVERHEAD_BOUND,
+            "points": [{
+                "clean_transfers": clean_stats.total,
+                "faulted_transfers": stats.total,
+                "faults": stats.faults,
+                "retries": stats.retries,
+                "stall_steps": stats.stall_steps,
+                "scrubs": faulty.pool.scrubs,
+                "overhead": round(overhead, 4),
+            }]}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr4.json",
+    parser.add_argument("--output", default="BENCH_pr5.json",
                         help="path of the JSON summary (default: %(default)s)")
     args = parser.parse_args(argv)
     summary = {"benchmarks": [f1_smoke(), f12_smoke(),
-                              faulted_sort_smoke(), f19_pq_budget_smoke()]}
+                              faulted_sort_smoke(), f19_pq_budget_smoke(),
+                              pool_hit_rate_smoke(),
+                              faulted_query_smoke()]}
     with open(args.output, "w") as fh:
         fh.write(json.dumps(summary, indent=2) + "\n")
     for bench in summary["benchmarks"]:
