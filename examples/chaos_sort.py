@@ -16,6 +16,7 @@ summary table grows fault/retry/stall columns, and a Chrome trace-event
 file shows fault instants and backoff stalls on the per-disk lanes.
 """
 
+import os
 import random
 
 from repro import FileStream, Machine
@@ -24,7 +25,7 @@ from repro.faults import FaultPlan, SortManifest, checkpointed_merge_sort
 from repro.sort import external_merge_sort
 
 B, M_BLOCKS, N = 32, 8, 6_000
-TRACE_PATH = "chaos_sort_trace.json"
+TRACE_PATH = os.path.join("out", "chaos_sort_trace.json")
 
 
 def dataset():
@@ -65,6 +66,7 @@ def main() -> None:
                 )
             )
     tracer.stop()
+    os.makedirs(os.path.dirname(TRACE_PATH), exist_ok=True)
     tracer.save(TRACE_PATH)
     stats = faulty.stats()
     print(f"faulted sort:    {stats.total} transfers, "

@@ -23,6 +23,7 @@ The printed summary table and the exported Chrome trace
 show the degradation without a single exception reaching the workload.
 """
 
+import os
 import random
 
 from repro import Machine
@@ -30,7 +31,7 @@ from repro.faults import FaultPlan
 from repro.search import BPlusTree
 
 B, M_BLOCKS, N = 16, 8, 2_000
-TRACE_PATH = "faulted_btree_trace.json"
+TRACE_PATH = os.path.join("out", "faulted_btree_trace.json")
 
 
 def main() -> None:
@@ -81,6 +82,7 @@ def main() -> None:
           f"{machine.M} records "
           f"({machine.budget.reclaimable} reclaimable cache)")
 
+    os.makedirs(os.path.dirname(TRACE_PATH), exist_ok=True)
     tracer.save(TRACE_PATH)
     print(f"\nChrome trace written to {TRACE_PATH}")
 

@@ -17,6 +17,7 @@ Chrome trace-event file is written for the D=8 sort — open it in
 ``chrome://tracing`` or Perfetto to see the per-disk lanes.
 """
 
+import os
 from math import ceil
 
 from repro import Machine, StripedStream
@@ -29,7 +30,7 @@ from repro.workloads import uniform_ints
 # m frames during the merge), with spare frames left for prefetch
 # staging and the write-behind window.
 B, M_BLOCKS, N = 64, 32, 40_000
-TRACE_PATH = "parallel_sort_trace.json"
+TRACE_PATH = os.path.join("out", "parallel_sort_trace.json")
 
 
 def main() -> None:
@@ -73,6 +74,7 @@ def main() -> None:
 
     print("\nPer-phase steps of the D=8 sort (runtime tracer):\n")
     print(tracer.summary_table())
+    os.makedirs(os.path.dirname(TRACE_PATH), exist_ok=True)
     tracer.save(TRACE_PATH)
     print(f"\nChrome trace written to {TRACE_PATH} "
           "(load in chrome://tracing or Perfetto).")

@@ -4,9 +4,12 @@ Usage::
 
     python tools/emlint.py src/repro          # per-line rules
     emlint --flow src/repro                   # + EM100 flow rules
+    emlint --cost src/repro                   # + EM200 cost rules
+    emlint --cost --cost-report costs.json src/repro  # expr table
     emlint --flow --sarif out.sarif src/repro # SARIF 2.1.0 log
     emlint --flow --baseline em.json src/repro  # fail only on NEW
     emlint --flow --write-baseline em.json src/repro  # accept current
+    emlint --jobs 8 src/repro                 # parallel per-file stage
     emlint --list-rules                       # what each rule means
     emlint --format json src/repro            # machine-readable output
     emlint --show-waived src/repro            # audit documented waivers
@@ -24,7 +27,7 @@ import sys
 from typing import List, Optional
 
 from .emlint import lint_paths, unwaived
-from .rules import FLOW_RULES, RULES
+from .rules import COST_RULES, FLOW_RULES, RULES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +53,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the interprocedural EM100-series rules "
              "(CFG + call-graph dataflow)")
     parser.add_argument(
+        "--cost", action="store_true",
+        help="also run the EM200-series cost-certification rules "
+             "(symbolic I/O-complexity inference)")
+    parser.add_argument(
+        "--cost-report", metavar="FILE",
+        help="with --cost: write the inferred/declared cost "
+             "expression table as JSON to FILE")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the per-file analysis stage over N processes "
+             "(default: 1)")
+    parser.add_argument(
         "--sarif", metavar="FILE",
         help="write a SARIF 2.1.0 log of all findings to FILE")
     parser.add_argument(
@@ -70,6 +85,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         catalogue = dict(RULES)
         catalogue.update(FLOW_RULES)
+        catalogue.update(COST_RULES)
         for rule, description in sorted(catalogue.items()):
             print(f"{rule}  {description}")
         return 0
@@ -78,19 +94,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not os.path.exists(path):
             parser.error(f"no such file or directory: {path}")
 
-    if args.flow:
+    if args.cost_report and not args.cost:
+        parser.error("--cost-report requires --cost")
+
+    jobs = max(1, args.jobs)
+    report = None
+    if args.cost:
+        from .cost import lint_paths_cost
+        report = {}
+        findings = lint_paths_cost(args.paths, with_flow=args.flow,
+                                   report=report, jobs=jobs)
+    elif args.flow:
         from .flow import lint_paths_flow
-        findings = lint_paths_flow(args.paths)
+        findings = lint_paths_flow(args.paths, jobs=jobs)
     else:
-        findings = lint_paths(args.paths)
+        findings = lint_paths(args.paths, jobs=jobs)
     open_findings = unwaived(findings)
     waived_count = len(findings) - len(open_findings)
+
+    if args.cost_report and report is not None:
+        with open(args.cost_report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
     if args.sarif:
         from .flow.sarif import to_sarif
         catalogue = dict(RULES)
         if args.flow:
             catalogue.update(FLOW_RULES)
+        if args.cost:
+            catalogue.update(COST_RULES)
         with open(args.sarif, "w", encoding="utf-8") as handle:
             json.dump(to_sarif(findings, catalogue), handle, indent=2)
             handle.write("\n")

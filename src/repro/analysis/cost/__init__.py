@@ -1,0 +1,29 @@
+"""EM-cost: symbolic I/O-complexity inference and bound certification.
+
+The EM200-series tier sits between the per-line rules (EM001-EM007) and
+the dynamic sanitizer envelope: it *statically* derives a symbolic I/O
+cost for every ``@io_bound``-decorated algorithm by composing
+per-statement transfer counts through loop nests and callee summaries,
+then certifies the declared bound (the theory callable and the docstring
+form) against the inferred expression.
+
+Entry points mirror :mod:`repro.analysis.flow`:
+
+* :func:`lint_paths_cost` / :func:`lint_sources_cost` — run the
+  per-line rules plus the EM200-series (optionally the EM100 flow rules
+  too) and return :class:`~repro.analysis.emlint.Finding` lists;
+* :func:`cost_report` — the inferred/declared expression table, for
+  cross-checking sanitizer envelopes.
+"""
+
+from .engine import cost_report, lint_paths_cost, lint_sources_cost
+from .expr import Cost, Term, render
+
+__all__ = [
+    "Cost",
+    "Term",
+    "cost_report",
+    "lint_paths_cost",
+    "lint_sources_cost",
+    "render",
+]

@@ -1,0 +1,85 @@
+"""Driver for ``emlint --cost``: certification over a file set.
+
+Mirrors :mod:`repro.analysis.flow.engine`: per-line rules per file, one
+:class:`~repro.analysis.flow.summaries.Project` over the tree, then the
+EM200-series checks (and optionally the EM100 flow checks in the same
+run, so ``--flow --cost`` shares a single project build), with waivers
+applied across the combined finding set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..emlint import (
+    Finding, classify, finish_findings, iter_python_files,
+)
+from ..rules import COST_RULES, FLOW_RULES, RULES
+from ..flow.summaries import Project
+from .checks import run_checks
+
+
+def lint_paths_cost(paths: Iterable[str], with_flow: bool = False,
+                    report: Optional[Dict[str, Dict[str, object]]]
+                    = None, jobs: int = 1) -> List[Finding]:
+    files = list(iter_python_files(paths))
+    sources: List[Tuple[str, str]] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            sources.append((path, handle.read()))
+    return lint_sources_cost(sources, with_flow=with_flow,
+                             report=report, jobs=jobs)
+
+
+def lint_sources_cost(sources: List[Tuple[str, str]],
+                      with_flow: bool = False,
+                      report: Optional[Dict[str, Dict[str, object]]]
+                      = None, jobs: int = 1) -> List[Finding]:
+    from ..flow.engine import collect_per_file
+
+    per_file = collect_per_file(sources, jobs=jobs)
+
+    project = Project.build(
+        [(path, source) for path, source in sources
+         if classify(path) != "exempt"])
+
+    checked: List[Finding] = []
+    if with_flow:
+        from ..flow.checks import run_checks as run_flow_checks
+        checked.extend(run_flow_checks(project))
+    checked.extend(run_checks(project, report=report))
+    for finding in checked:
+        if finding.path in per_file:
+            per_file[finding.path][0].append(finding)
+        else:  # pragma: no cover - checks only emit for known files
+            per_file.setdefault(
+                finding.path, ([], [], []))[0].append(finding)
+
+    active_rules = set(RULES) | set(COST_RULES)
+    if with_flow:
+        active_rules |= set(FLOW_RULES)
+    combined: List[Finding] = []
+    for path, (findings, waivers, waiver_findings) in per_file.items():
+        combined.extend(finish_findings(
+            findings, waivers, waiver_findings, path, active_rules))
+    combined.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return combined
+
+
+def cost_report(paths: Iterable[str]) -> Dict[str, Dict[str, object]]:
+    """The inferred/declared expression table for every decorated
+    algorithm under ``paths`` (no findings)."""
+    report: Dict[str, Dict[str, object]] = {}
+    files = list(iter_python_files(paths))
+    sources = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            sources.append((path, handle.read()))
+    project = Project.build(
+        [(path, source) for path, source in sources
+         if classify(path) != "exempt"])
+    run_checks(project, report=report)
+    return report
+
+
+__all__ = ["cost_report", "lint_paths_cost", "lint_sources_cost"]

@@ -1,0 +1,919 @@
+"""Symbolic I/O-cost inference over the flow project's call graph.
+
+For each function the inferencer walks the statement tree, charges the
+model's primitives (stream iteration and appends, block reads/writes,
+``get_many`` waves, amortized structure operations), multiplies through
+recognized loop shapes, and inlines callee summaries bottom-up through
+the call graph.  The result is an aggregate :class:`Cost` over the
+whole input — the quantity the EM201/EM202 certification compares with
+the declared bound.
+
+Loop recognition (the heart of the analysis):
+
+* ``for`` over a stream (or reader/combinator of streams) — trip ``N``
+  records plus one ``Scan(N)`` read charge;
+* ``for`` over ``range(...)`` — trip evaluated symbolically from the
+  tracked local environment (``num_blocks`` ~ ``N/B`` etc.);
+* ``for`` over an unknown container — trip bounded by ``N`` (a single
+  Python loop touches each element once);
+* ``while len(x) > 1`` with ``x`` reassigned from a call — a merge
+  *pass loop*: trip ``log_{M/B}(N/B)``;
+* ``while worklist`` drain loops — a *refinement* loop (re-inserts
+  partitions produced by a project callee: trip ``log_{M/B}``) or a
+  *record* drain (re-inserts plain records: trip ``N``);
+* doubling/halving loops — trip ``log_2 N``;
+* anything else carrying I/O — the unknown factor ``K`` (EM203).
+
+Within a loop, *aggregate* costs whose subject is loop-variant (a
+callee processing the loop's own partition) obey linearity — the parts
+sum to the whole, so they are charged once at full ``N`` instead of
+being multiplied by the trip count.  Everything else multiplies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..rules import MATERIALIZERS, STREAM_CLASSES, STREAM_RETURNING
+from .declared import MACHINE, SymEval
+from .expr import Cost, Term, mul, normalized
+from ..flow.summaries import (
+    STREAM_METHODS, FunctionInfo, Project, _calls_in, expr_key,
+)
+
+#: per-call single-block transfers
+_BLOCK_METHODS = {"read_block", "write_block", "append_block", "put",
+                  "load", "store"}
+#: per-record amortized writes on stream-like receivers
+_RECORD_WRITES = {"append", "push", "add", "appendleft"}
+#: distributive (already whole-input) transfers
+_BATCHED_METHODS = {"get_many", "read_many", "read_block_range",
+                    "write_block_range", "extend"}
+#: free bookkeeping on model objects
+_FREE_METHODS = {"finalize", "delete", "close", "sync", "flush",
+                 "flush_all", "drop_all", "clear", "reset_stats",
+                 "reserve", "acquire", "release", "trace", "measure",
+                 "stats", "block_id", "is_finalized", "sort", "pop",
+                 "popleft", "remove", "keys", "values", "get",
+                 "setdefault", "reader", "block_ids", "tick",
+                 "register", "unregister", "checkpoint"}
+
+#: data structures charged by their certified amortized contract
+#: instead of descending into their method bodies
+_STRUCTURE_COSTS: Dict[str, Dict[str, Cost]] = {
+    "BPlusTree": {
+        "get": [Term(1, {"logB": 1})],
+        "insert": [Term(1, {"logB": 1})],
+        "delete": [Term(1, {"logB": 1})],
+        "range_query": [Term(1, {"logB": 1}), Term(1, {"Z": 1, "B": -1})],
+    },
+    "ExtendibleHashTable": {
+        "get": [Term(2.0)],
+        "insert": [Term(2.0)],
+        "delete": [Term(2.0)],
+    },
+    "ExternalPriorityQueue": {
+        "insert": [Term(1, {"B": -1, "logm": 1})],
+        "delete_min": [Term(1, {"B": -1, "logm": 1})],
+        "push": [Term(1, {"B": -1, "logm": 1})],
+        "pop": [Term(1, {"B": -1, "logm": 1})],
+    },
+    "BTreePriorityQueue": {
+        "insert": [Term(1, {"logB": 1})],
+        "delete_min": [Term(1, {"logB": 1})],
+    },
+    "BufferTree": {
+        "insert": [Term(1, {"B": -1, "logm": 1})],
+        "delete": [Term(1, {"B": -1, "logm": 1})],
+        "flush": [Term(1, {"N": 1, "B": -1, "logm": 1})],
+    },
+    "ExternalStack": {
+        "push": [Term(1, {"B": -1})],
+        "pop": [Term(1, {"B": -1})],
+    },
+    "ExternalQueue": {
+        "push": [Term(1, {"B": -1})],
+        "pop": [Term(1, {"B": -1})],
+        "append": [Term(1, {"B": -1})],
+        "popleft": [Term(1, {"B": -1})],
+    },
+}
+
+_SCAN = Term(1, {"N": 1, "B": -1})
+_N = Term(1, {"N": 1})
+_PER_RECORD_WRITE = Term(1, {"B": -1})
+
+
+class Item:
+    """One charged monomial in flight through the loop-nest walk."""
+
+    __slots__ = ("term", "aggregate", "subjects", "origin", "batch",
+                 "once")
+
+    def __init__(self, term: Term, aggregate: bool,
+                 subjects: FrozenSet[str], origin: str,
+                 batch: bool = False, once: bool = False) -> None:
+        self.term = term
+        self.aggregate = aggregate
+        self.subjects = subjects
+        self.origin = origin
+        self.batch = batch      # EM204 candidate: unbatched block read
+        self.once = once        # whole-run total: never loop-multiplied
+
+
+class Summary:
+    """Aggregate cost of one function plus the loop sites that fed it."""
+
+    __slots__ = ("cost", "ksites", "bsites", "origins")
+
+    def __init__(self, cost: Cost,
+                 ksites: FrozenSet[Tuple[str, int, str]],
+                 bsites: FrozenSet[Tuple[str, int, str]],
+                 origins: Tuple[str, ...] = ()) -> None:
+        self.cost = cost
+        self.ksites = ksites
+        self.bsites = bsites
+        self.origins = origins
+
+
+class _Ctx:
+    __slots__ = ("func", "streams", "stream_lists", "readers", "env",
+                 "callsites", "ksites", "bsites")
+
+    def __init__(self, func: FunctionInfo) -> None:
+        self.func = func
+        self.streams: Set[str] = set(func.stream_names)
+        self.stream_lists: Set[str] = set()
+        #: one-shot iterators (``iter(stream)``): consumed, not restarted
+        self.readers: Set[str] = set()
+        self.env: Dict[str, object] = {}
+        self.callsites = {id(site.call): site for site in func.calls}
+        self.ksites: Set[Tuple[str, int, str]] = set()
+        self.bsites: Set[Tuple[str, int, str]] = set()
+
+
+class _AlgoEval(SymEval):
+    """Expression evaluator bound to a function's tracked locals."""
+
+    def __init__(self, ctx: _Ctx) -> None:
+        super().__init__(module=None)
+        self.ctx = ctx
+
+    def resolve_name(self, name: str) -> object:
+        if name == "machine":
+            return MACHINE
+        value = self.ctx.env.get(name)
+        if value is not None:
+            return value
+        if name in self.ctx.streams:
+            return [Term(1, {"N": 1})]
+        return None
+
+    def resolve_attribute(self, node: ast.Attribute) -> object:
+        if node.attr == "num_blocks":
+            inner = self.eval(node.value)
+            if isinstance(inner, list) and any(
+                    "N" in t.powers for t in inner):
+                return mul(inner, [Term(1, {"B": -1})])
+        return super().resolve_attribute(node)
+
+
+def _names_in(node: ast.AST) -> FrozenSet[str]:
+    return frozenset(n.id for n in ast.walk(node)
+                     if isinstance(n, ast.Name))
+
+
+def _assigned_names(stmts: Iterable[ast.stmt]) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign,
+                                   ast.NamedExpr)):
+                targets = [node.target]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+            elif isinstance(node, ast.withitem) \
+                    and node.optional_vars is not None:
+                targets = [node.optional_vars]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+    return names
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(target) if isinstance(n, ast.Name)}
+
+
+class Inferencer:
+    """Bottom-up symbolic cost summaries over a flow :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self._cache: Dict[int, Summary] = {}
+        self._stack: Set[int] = set()
+
+    # -- public --------------------------------------------------------
+
+    def summary(self, func: FunctionInfo) -> Summary:
+        key = id(func)
+        if key in self._cache:
+            return self._cache[key]
+        if key in self._stack:
+            # recursion: the loop structure at the outermost call is
+            # what carries the trip count; the back edge adds nothing
+            return Summary([], frozenset(), frozenset())
+        self._stack.add(key)
+        try:
+            summary = self._infer(func)
+        finally:
+            self._stack.discard(key)
+        self._cache[key] = summary
+        return summary
+
+    # -- function body -------------------------------------------------
+
+    def _infer(self, func: FunctionInfo) -> Summary:
+        ctx = _Ctx(func)
+        items = self._block(func.node.body, ctx, frozenset())
+        cost = normalized([it.term for it in items])
+        origins = tuple(dict.fromkeys(
+            it.origin for it in items if it.origin))[:6]
+        return Summary(cost, frozenset(ctx.ksites),
+                       frozenset(ctx.bsites), origins)
+
+    def _block(self, stmts: Iterable[ast.stmt], ctx: _Ctx,
+               variant: FrozenSet[str]) -> List[Item]:
+        items: List[Item] = []
+        for stmt in stmts:
+            items.extend(self._stmt(stmt, ctx, variant))
+        return items
+
+    def _stmt(self, stmt: ast.stmt, ctx: _Ctx,
+              variant: FrozenSet[str]) -> List[Item]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return []
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, ctx, variant)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, ctx, variant)
+        if isinstance(stmt, ast.If):
+            header = self._charge_calls(stmt, ctx, variant)
+            body = self._block(stmt.body, ctx, variant)
+            if self._is_flush_guard(stmt.test, ctx):
+                # ``if len(buffer) == B: write_block(...)`` — the body
+                # runs once every B loop iterations, not every one.
+                inv_b = Term(1, {"B": -1})
+                body = [Item(it.term.times(inv_b), it.aggregate,
+                             it.subjects, it.origin, it.batch)
+                        for it in body]
+            return header + _join_branches([
+                body,
+                self._block(stmt.orelse, ctx, variant),
+            ])
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            header = self._charge_calls(stmt, ctx, variant)
+            return header + self._block(stmt.body, ctx, variant)
+        if isinstance(stmt, ast.Try):
+            items = self._block(stmt.body, ctx, variant)
+            for handler in stmt.handlers:
+                items.extend(self._block(handler.body, ctx, variant))
+            items.extend(self._block(stmt.orelse, ctx, variant))
+            items.extend(self._block(stmt.finalbody, ctx, variant))
+            return items
+        # simple statement: track locals, then charge its calls
+        self._track_assign(stmt, ctx)
+        return self._charge_calls(stmt, ctx, variant)
+
+    # -- local environment --------------------------------------------
+
+    def _track_assign(self, stmt: ast.stmt, ctx: _Ctx) -> None:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        value = stmt.value
+        if isinstance(target, ast.Tuple):
+            for sub in target.elts:
+                if isinstance(sub, ast.Name):
+                    ctx.env.pop(sub.id, None)
+            return
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        # stream tracking
+        if isinstance(value, ast.Call):
+            head = _call_head(value)
+            if head in STREAM_CLASSES or head in STREAM_RETURNING \
+                    or head == "finalize":
+                ctx.streams.add(name)
+            elif head in ("iter", "enumerate", "reversed") and value.args:
+                inner = value.args[0]
+                if isinstance(inner, ast.Name) \
+                        and inner.id in ctx.streams:
+                    ctx.streams.add(name)
+                    if head == "iter":
+                        ctx.readers.add(name)
+            else:
+                site = ctx.callsites.get(id(value))
+                callee = site.callee if site is not None else None
+                if callee is not None:
+                    kind = _returns_kind(callee)
+                    if kind == "stream":
+                        ctx.streams.add(name)
+                    elif kind == "stream_list":
+                        ctx.stream_lists.add(name)
+        elif isinstance(value, (ast.ListComp, ast.GeneratorExp)):
+            head = _comp_elt_head(value)
+            if head in STREAM_CLASSES:
+                ctx.stream_lists.add(name)
+        ctx.env[name] = _AlgoEval(ctx).eval(value)
+
+    # -- charging calls ------------------------------------------------
+
+    def _charge_calls(self, stmt: ast.stmt, ctx: _Ctx,
+                      variant: FrozenSet[str]) -> List[Item]:
+        items: List[Item] = []
+        for call in _calls_in(stmt):
+            items.extend(self._charge_call(call, ctx, variant))
+        return items
+
+    def _charge_call(self, call: ast.Call, ctx: _Ctx,
+                     variant: FrozenSet[str]) -> List[Item]:
+        fn = call.func
+        origin = f"{ctx.func.path}:{call.lineno}"
+        subjects = _names_in(call)
+
+        if isinstance(fn, ast.Name):
+            if fn.id in MATERIALIZERS and call.args:
+                arg = call.args[0]
+                if _is_stream_expr(arg, ctx):
+                    return [Item(_SCAN, True, _names_in(arg),
+                                 f"{fn.id}() scan at {origin}")]
+            if fn.id == "next" and call.args:
+                arg = call.args[0]
+                if _is_reader_expr(arg, ctx):
+                    return [Item(_PER_RECORD_WRITE, False, subjects,
+                                 f"next() read at {origin}")]
+            site = ctx.callsites.get(id(call))
+            callee = site.callee if site is not None else None
+            return self._charge_callee(callee, subjects, origin, ctx)
+
+        if isinstance(fn, ast.Attribute):
+            attr = fn.attr
+            recv = fn.value
+            recv_key = expr_key(recv)
+            # structure contracts first (BPlusTree.get, pq.insert, ...)
+            cls = self.project._receiver_class(ctx.func, recv)
+            if cls is not None and cls.name in _STRUCTURE_COSTS:
+                contract = _STRUCTURE_COSTS[cls.name].get(attr)
+                if contract is not None:
+                    return [Item(t, False, subjects,
+                                 f"{cls.name}.{attr}() at {origin}")
+                            for t in contract]
+            pool_like = recv_key.endswith("pool") or (
+                cls is not None and cls.name == "BufferPool")
+            if attr in _BLOCK_METHODS or (attr == "get" and pool_like):
+                return [Item(Term(1.0), False, subjects,
+                             f"{attr}() at {origin}",
+                             batch=pool_like)]
+            if attr in _BATCHED_METHODS:
+                if _is_charged_receiver(recv, ctx) or pool_like \
+                        or attr in ("get_many", "read_many",
+                                    "read_block_range",
+                                    "write_block_range"):
+                    return [Item(_SCAN, True, subjects,
+                                 f"{attr}() wave at {origin}")]
+                return []
+            if attr in _RECORD_WRITES and _is_charged_receiver(recv, ctx):
+                return [Item(_PER_RECORD_WRITE, False, subjects,
+                             f"{attr}() at {origin}")]
+            if attr in STREAM_METHODS:
+                # header-position scans are charged by the loop walker;
+                # a bare ``x.scan()`` expression charges here
+                return []
+            if attr in _FREE_METHODS:
+                return []
+            site = ctx.callsites.get(id(call))
+            callee = site.callee if site is not None else None
+            return self._charge_callee(callee, subjects, origin, ctx)
+        return []
+
+    def _charge_callee(self, callee: Optional[FunctionInfo],
+                       subjects: FrozenSet[str], origin: str,
+                       ctx: _Ctx) -> List[Item]:
+        if callee is None or callee.module.kind != "algorithm":
+            return []
+        summary = self.summary(callee)
+        ctx.ksites |= summary.ksites
+        ctx.bsites |= summary.bsites
+        return [Item(t, True, subjects,
+                     f"{callee.display()}() at {origin}")
+                for t in summary.cost]
+
+    # -- loops ---------------------------------------------------------
+
+    def _for(self, stmt: ast.For, ctx: _Ctx,
+             variant: FrozenSet[str]) -> List[Item]:
+        kind, trip, iter_subjects, charge_scan = \
+            self._classify_iter(stmt.iter, ctx)
+        local = frozenset(_assigned_names(stmt.body)
+                          | _target_names(stmt.target))
+        header = self._charge_calls(stmt, ctx, variant | local)
+        body = self._block(list(stmt.body) + list(stmt.orelse),
+                           ctx, variant | local)
+        out: List[Item] = list(header)
+        if charge_scan:
+            out.append(Item(_SCAN, True, iter_subjects,
+                            f"stream loop at {ctx.func.path}:"
+                            f"{stmt.lineno}"))
+        for it in body:
+            if it.once:
+                out.append(it)
+                continue
+            if it.aggregate and (it.subjects & local):
+                # linearity: the iterations partition the data
+                out.append(_remap(it, local, iter_subjects))
+                continue
+            if it.batch and (it.subjects & local):
+                ctx.bsites.add((
+                    ctx.func.path, stmt.lineno,
+                    "per-block read issued one-at-a-time in a loop "
+                    "over precomputed indices; a get_many() wave "
+                    "batch is available "
+                    f"(read at {it.origin})"))
+            out.extend(_multiply(it, trip, local, iter_subjects))
+        return out
+
+    def _while(self, stmt: ast.While, ctx: _Ctx,
+               variant: FrozenSet[str]) -> List[Item]:
+        local = frozenset(_assigned_names(stmt.body))
+        header = self._charge_calls(stmt, ctx, variant | local)
+        body = self._block(list(stmt.body) + list(stmt.orelse),
+                           ctx, variant | local)
+        if not body:
+            return header
+        kind, payload = self._classify_while(stmt, ctx)
+        test_subjects = _names_in(stmt.test)
+        out: List[Item] = list(header)
+        if kind == "cursor":
+            # a merge-join cursor: ``entry = next(it, None)`` advances a
+            # monotone iterator, so across the whole run the body
+            # executes once per record of the underlying stream — an
+            # amortized total, immune to the enclosing loop's trip.
+            for it in body:
+                out.append(Item(
+                    it.term.times(Term(1, {"N": 1})), True,
+                    (it.subjects - local) | payload, it.origin,
+                    once=True))
+        elif kind in ("pass_logm", "refine"):
+            factor: Cost = [Term(1, {"logm": 1})]
+            for it in body:
+                if it.once:
+                    out.append(it)
+                    continue
+                out.extend(_multiply(it, factor, local, test_subjects,
+                                     force=True))
+        elif kind == "pass_logN":
+            factor = [Term(1, {"logN": 1})]
+            for it in body:
+                if it.once:
+                    out.append(it)
+                    continue
+                out.extend(_multiply(it, factor, local, test_subjects,
+                                     force=True))
+        elif kind in ("drain", "worklist"):
+            # linearity: per-round aggregates over a round-local stream
+            # partition the data, so their whole-run total is one pass
+            for it in body:
+                if it.once:
+                    out.append(it)
+                elif it.aggregate and (it.subjects & local):
+                    out.append(_remap(it, local, test_subjects))
+                else:
+                    out.extend(_multiply(it, [_N], local, test_subjects))
+        elif kind == "chunked":
+            # a reader consumed one memoryload per round: N/M rounds.
+            # A one-shot iterator's scan is spread across the rounds
+            # (each round reads fresh records), so it is charged once.
+            for it in body:
+                if it.once or (it.aggregate
+                               and it.subjects & ctx.readers):
+                    out.append(it)
+                else:
+                    out.extend(_multiply(it, payload, local,
+                                         test_subjects, force=True))
+        else:
+            ctx.ksites.add((
+                ctx.func.path, stmt.lineno,
+                "loop-carried I/O with a data-dependent trip count "
+                "and no recognizable clamp to N/B or M/B"))
+            factor = [Term(1, {"K": 1})]
+            for it in body:
+                if it.once:
+                    out.append(it)
+                    continue
+                out.extend(_multiply(it, factor, local, test_subjects,
+                                     force=True))
+        return out
+
+    # -- classification ------------------------------------------------
+
+    def _classify_iter(
+            self, node: ast.AST, ctx: _Ctx,
+    ) -> Tuple[str, Cost, FrozenSet[str], bool]:
+        """-> (kind, trip cost, subjects, charge a Scan read?)"""
+        subjects = _names_in(node)
+        if isinstance(node, ast.Name):
+            if node.id in ctx.streams:
+                return "stream", [_N], subjects, True
+            if node.id in ctx.stream_lists:
+                return "container", [_N], subjects, False
+            value = ctx.env.get(node.id)
+            if isinstance(value, list) and value \
+                    and all(isinstance(t, Term) for t in value):
+                return "count", value, subjects, False
+            return "container", [_N], subjects, False
+        if isinstance(node, ast.Call):
+            head = _call_head(node)
+            if head == "range":
+                trip = self._range_trip(node, ctx)
+                return "count", trip, subjects, False
+            if head in ("enumerate", "iter", "reversed", "sorted",
+                        "zip"):
+                for arg in node.args:
+                    kind, trip, inner, scan_it = \
+                        self._classify_iter(arg, ctx)
+                    if kind == "stream":
+                        return kind, trip, subjects, scan_it
+                return "container", [_N], subjects, False
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _BLOCK_METHODS:
+                # one block's payload: B records (the read itself is
+                # charged at the call site, not here)
+                return "count", [Term(1, {"B": 1})], subjects, False
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in STREAM_METHODS:
+                return "stream", [_N], subjects, True
+            # stream combinators (LoserTree over run readers etc.):
+            # any stream-ish argument makes this a merged record loop
+            for arg in ast.walk(node):
+                if isinstance(arg, ast.Name) and (
+                        arg.id in ctx.streams
+                        or arg.id in ctx.stream_lists):
+                    return "stream", [_N], subjects, True
+            return "container", [_N], subjects, False
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return "count", [Term(float(len(node.elts)))], subjects, \
+                False
+        if isinstance(node, ast.Attribute) or isinstance(
+                node, ast.Subscript):
+            if _is_stream_expr(node, ctx):
+                return "stream", [_N], subjects, True
+            value = _AlgoEval(ctx).eval(node)
+            if isinstance(value, list) and value \
+                    and all(isinstance(t, Term) for t in value):
+                return "count", value, subjects, False
+            return "container", [_N], subjects, False
+        return "container", [_N], subjects, False
+
+    def _is_flush_guard(self, test: ast.expr, ctx: _Ctx) -> bool:
+        """``len(buffer) == B`` (or ``>= B``) — a block-flush guard."""
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and isinstance(test.ops[0], (ast.Eq, ast.GtE))):
+            return False
+        left, right = test.left, test.comparators[0]
+        if not (isinstance(left, ast.Call)
+                and _call_head(left) == "len"):
+            left, right = right, left
+        if not (isinstance(left, ast.Call)
+                and _call_head(left) == "len"):
+            return False
+        cost = _AlgoEval(ctx).eval(right)
+        return (isinstance(cost, list) and len(cost) == 1
+                and cost[0].coeff >= 1
+                and cost[0].powers == {"B": 1})
+
+    def _range_trip(self, node: ast.Call, ctx: _Ctx) -> Cost:
+        evaluator = _AlgoEval(ctx)
+        args = node.args
+        if len(args) == 1:
+            start, stop, step = None, args[0], None
+        elif len(args) >= 2:
+            start, stop = args[0], args[1]
+            step = args[2] if len(args) > 2 else None
+        else:
+            return [_N]
+        stop_cost = evaluator.eval(stop)
+        # An unevaluable stop is still at most N records; a symbolic
+        # step (e.g. ``range(0, len(chunk), B)``) divides the trip.
+        span = stop_cost if isinstance(stop_cost, list) else [_N]
+        step_cost = evaluator.eval(step) if step is not None else None
+        if isinstance(step_cost, list) and len(step_cost) == 1 \
+                and not step_cost[0].is_constant:
+            span = normalized([t.over(step_cost[0]) for t in span])
+        elif isinstance(step_cost, list) and len(step_cost) == 1 \
+                and step_cost[0].coeff > 1:
+            span = normalized([t.over(step_cost[0]) for t in span])
+        return span
+
+    def _classify_while(self, stmt: ast.While,
+                        ctx: _Ctx) -> Tuple[str, object]:
+        test_names = _names_in(stmt.test)
+        # merge-join cursor: the body (no nested loops) advances a test
+        # variable with ``entry = next(it, default)`` — amortized over
+        # the iterator's stream
+        cursor = self._cursor_subjects(stmt)
+        if cursor is not None:
+            return "cursor", cursor
+        # ``while len(x) > limit`` + x reassigned in the body: limit >= 1
+        # is a reduction pass loop (merge until one run remains); limit 0
+        # is a frontier/worklist loop (run until empty), whose per-round
+        # streams partition the data (linearity)
+        if isinstance(stmt.test, ast.Compare):
+            for node in ast.walk(stmt.test):
+                if isinstance(node, ast.Call) \
+                        and _call_head(node) == "len" and node.args \
+                        and isinstance(node.args[0], ast.Name):
+                    shrunk = node.args[0].id
+                    reassigned = any(
+                        isinstance(sub, ast.Assign)
+                        and len(sub.targets) == 1
+                        and shrunk in _target_names(sub.targets[0])
+                        for sub in ast.walk(stmt))
+                    limit = None
+                    for comp in ast.walk(stmt.test):
+                        if isinstance(comp, ast.Constant) \
+                                and isinstance(comp.value, (int, float)):
+                            limit = comp.value
+                    if reassigned and limit is not None:
+                        if limit >= 1:
+                            return "pass_logm", None
+                        return "worklist", None
+        # geometric doubling/halving of a counter
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Mult, ast.FloorDiv, ast.RShift,
+                              ast.LShift)):
+                value = node.value
+                shift = isinstance(node.op, (ast.RShift, ast.LShift))
+                if isinstance(value, ast.Constant) and (
+                        value.value in (2, 4)
+                        or (shift and value.value in (1, 2))):
+                    return "pass_logN", None
+        # flag-terminated chunk loop over a reader: N/M rounds
+        rounds = self._chunk_rounds(stmt, ctx)
+        if rounds is not None:
+            return "chunked", rounds
+        # ``while True`` with an exit and a reassigned stream: treated
+        # as a worklist round loop (per-round totals, linearity)
+        if isinstance(stmt.test, ast.Constant) \
+                and stmt.test.value is True:
+            has_exit = any(isinstance(n, (ast.Break, ast.Return))
+                           for n in ast.walk(stmt))
+            reassigns_call = any(
+                isinstance(sub, ast.Assign) and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Name)
+                and isinstance(sub.value, (ast.Call, ast.Name))
+                for sub in ast.walk(stmt))
+            if has_exit and reassigns_call:
+                return "worklist", None
+        # pointer chase: the test variable is reassigned from a
+        # subscript each round (linked-list walk) — at most N hops
+        if isinstance(stmt.test, ast.Compare):
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign) \
+                        and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name) \
+                        and node.targets[0].id in test_names \
+                        and isinstance(node.value, ast.Subscript):
+                    return "drain", None
+        # drain loops: the tested container is popped in the body
+        popped = False
+        refill_exprs: List[ast.AST] = []
+        project_call_names: Set[str] = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.value, ast.Call):
+                site = ctx.callsites.get(id(node.value))
+                if site is not None and site.callee is not None \
+                        and site.callee.module.kind == "algorithm":
+                    for name in _target_names(node.targets[0]):
+                        project_call_names.add(name)
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if isinstance(fn, ast.Attribute) \
+                        and fn.attr in ("pop", "popleft", "delete_min") \
+                        and isinstance(fn.value, ast.Name) \
+                        and fn.value.id in test_names:
+                    popped = True
+                if self._head_of(fn) == "heappop" and node.args \
+                        and isinstance(node.args[0], ast.Name) \
+                        and node.args[0].id in test_names:
+                    popped = True
+                if isinstance(fn, ast.Attribute) \
+                        and fn.attr in ("append", "extend", "insert") \
+                        and isinstance(fn.value, ast.Name) \
+                        and fn.value.id in test_names:
+                    refill_exprs.extend(node.args)
+                if self._head_of(fn) == "heappush" and node.args \
+                        and isinstance(node.args[0], ast.Name) \
+                        and node.args[0].id in test_names:
+                    refill_exprs.extend(node.args[1:])
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id in test_names:
+                        refill_exprs.append(node.value)
+        if popped:
+            for expr in refill_exprs:
+                names = _names_in(expr)
+                if names & project_call_names:
+                    return "refine", None
+                for sub in ast.walk(expr):
+                    if isinstance(sub, ast.Call):
+                        site = ctx.callsites.get(id(sub))
+                        if site is not None and site.callee is not None \
+                                and site.callee.module.kind \
+                                == "algorithm":
+                            return "refine", None
+            return "drain", None
+        return "unknown", None
+
+    @staticmethod
+    def _head_of(fn: ast.expr) -> str:
+        """Bare or module-qualified function name (``heapq.heappop``)."""
+        if isinstance(fn, ast.Name):
+            return fn.id
+        if isinstance(fn, ast.Attribute):
+            return fn.attr
+        return ""
+
+    def _cursor_subjects(
+            self, stmt: ast.While) -> Optional[FrozenSet[str]]:
+        test_names = _names_in(stmt.test)
+        for sub in stmt.body:
+            for node in ast.walk(sub):
+                if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                    return None
+        subjects: Set[str] = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id in test_names \
+                    and isinstance(node.value, ast.Call) \
+                    and _call_head(node.value) == "next" \
+                    and node.value.args:
+                subjects |= _names_in(node.value.args[0])
+        return frozenset(subjects) if subjects else None
+
+    def _chunk_rounds(self, stmt: ast.While,
+                      ctx: _Ctx) -> Optional[Cost]:
+        """``while not exhausted:`` filling a memoryload-sized chunk per
+        round (``if len(chunk) == cap: break`` with an M-class cap):
+        the round count is N/cap."""
+        if not (isinstance(stmt.test, ast.UnaryOp)
+                and isinstance(stmt.test.op, ast.Not)):
+            return None
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Compare) and len(node.ops) == 1 \
+                    and isinstance(node.ops[0], ast.Eq):
+                cap = _AlgoEval(ctx).eval(node.comparators[0])
+                if isinstance(cap, list) and len(cap) == 1 \
+                        and cap[0].powers.get("M", 0) > 0:
+                    return normalized([_N.over(cap[0])])
+        return None
+
+
+# ---------------------------------------------------------------------
+# item plumbing
+# ---------------------------------------------------------------------
+
+def _remap(it: Item, local: FrozenSet[str],
+           outer_subjects: FrozenSet[str]) -> Item:
+    return Item(it.term, True,
+                (it.subjects - local) | outer_subjects, it.origin)
+
+
+def _multiply(it: Item, trip: Cost, local: FrozenSet[str],
+              outer_subjects: FrozenSet[str],
+              force: bool = False) -> List[Item]:
+    if it.once:
+        return [it]
+    subjects = (it.subjects - local) | outer_subjects
+    return [Item(t, True, subjects, it.origin)
+            for t in mul([it.term], trip)]
+
+
+def _join_branches(branches: List[List[Item]]) -> List[Item]:
+    """Exclusive branches: groupwise coefficient max, not sum — a
+    record flows through one branch, so same-shaped charges across
+    branches must not double-count."""
+    joined: Dict[Tuple, Item] = {}
+    for items in branches:
+        acc: Dict[Tuple, Item] = {}
+        for it in items:
+            key = (it.term.key(), it.aggregate)
+            if key in acc:
+                prev = acc[key]
+                acc[key] = Item(
+                    Term(prev.term.coeff + it.term.coeff,
+                         dict(it.term.powers)),
+                    it.aggregate, prev.subjects | it.subjects,
+                    prev.origin, prev.batch or it.batch)
+            else:
+                acc[key] = it
+        for key, it in acc.items():
+            if key in joined:
+                prev = joined[key]
+                coeff = max(prev.term.coeff, it.term.coeff)
+                joined[key] = Item(
+                    Term(coeff, dict(it.term.powers)), it.aggregate,
+                    prev.subjects | it.subjects, prev.origin,
+                    prev.batch or it.batch)
+            else:
+                joined[key] = it
+    return list(joined.values())
+
+
+def _call_head(call: ast.Call) -> Optional[str]:
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    return None
+
+
+def _comp_elt_head(node: ast.AST) -> Optional[str]:
+    elt = getattr(node, "elt", None)
+    if isinstance(elt, ast.Call):
+        return _call_head(elt)
+    if isinstance(elt, ast.Tuple):
+        for sub in elt.elts:
+            if isinstance(sub, ast.Call):
+                head = _call_head(sub)
+                if head in STREAM_CLASSES:
+                    return head
+    return None
+
+
+def _returns_kind(callee: FunctionInfo) -> Optional[str]:
+    returns = getattr(callee.node, "returns", None)
+    text = ""
+    if returns is not None:
+        try:
+            text = ast.unparse(returns)
+        except Exception:  # pragma: no cover - exotic annotations
+            text = ""
+    if "Stream" in text or "BlockFile" in text:
+        if "List" in text or "list" in text or "Tuple" in text:
+            return "stream_list"
+        return "stream"
+    if callee.returns_stream:
+        return "stream"
+    return None
+
+
+def _is_stream_expr(node: ast.AST, ctx: _Ctx) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ctx.streams
+    if isinstance(node, ast.Subscript) \
+            and isinstance(node.value, ast.Name):
+        return node.value.id in ctx.stream_lists
+    if isinstance(node, ast.Call):
+        head = _call_head(node)
+        if head in STREAM_METHODS:
+            return True
+    return False
+
+
+def _is_reader_expr(node: ast.AST, ctx: _Ctx) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ctx.streams or "reader" in node.id
+    return _is_stream_expr(node, ctx)
+
+
+def _is_charged_receiver(node: ast.AST, ctx: _Ctx) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ctx.streams \
+            or node.id in ctx.func.local_types \
+            or node.id in ctx.stream_lists
+    if isinstance(node, ast.Subscript):
+        return _is_charged_receiver(node.value, ctx) \
+            or (isinstance(node.value, ast.Name)
+                and node.value.id in ctx.stream_lists)
+    if isinstance(node, ast.Attribute):
+        # self.runs / machine-owned containers: charged
+        return True
+    return False

@@ -111,9 +111,9 @@ class Waiver:
 def parse_waivers(source: str, path: str) -> Tuple[List[Waiver],
                                                    List[Finding]]:
     """Extract waivers and EM007 syntax findings from comments."""
-    from .rules import FLOW_RULES, RULES
+    from .rules import COST_RULES, FLOW_RULES, RULES
 
-    known_rules = set(RULES) | set(FLOW_RULES)
+    known_rules = set(RULES) | set(FLOW_RULES) | set(COST_RULES)
 
     waivers: List[Waiver] = []
     findings: List[Finding] = []
@@ -320,11 +320,20 @@ def iter_python_files(paths: Iterable[str]) -> Iterable[str]:
     return seen
 
 
-def lint_paths(paths: Iterable[str]) -> List[Finding]:
-    """Lint every Python file under ``paths``."""
+def lint_paths(paths: Iterable[str], jobs: int = 1) -> List[Finding]:
+    """Lint every Python file under ``paths``; ``jobs > 1`` fans the
+    per-file work out over a process pool."""
+    files = list(iter_python_files(paths))
+    if jobs > 1 and len(files) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(jobs, len(files))) as pool:
+            per_file = pool.map(lint_file, files)
+    else:
+        per_file = [lint_file(path) for path in files]
     findings: List[Finding] = []
-    for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path))
+    for file_findings in per_file:
+        findings.extend(file_findings)
     return findings
 
 

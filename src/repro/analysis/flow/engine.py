@@ -6,6 +6,11 @@ runs the EM100-series checks, then applies waivers across the combined
 finding set.  Waiver *usage* is judged against the full rule universe
 here, so a waiver that only suppresses a flow rule is not flagged as
 dead during a flow run (and is left alone during per-line-only runs).
+
+The per-file stage (parse + per-line rules + waiver extraction) is
+embarrassingly parallel; ``jobs > 1`` fans it out over a process pool
+(``emlint --jobs N``).  The project build and the interprocedural
+checks stay whole-program and single-process.
 """
 
 from __future__ import annotations
@@ -20,8 +25,35 @@ from ..rules import FLOW_RULES, RULES
 from .checks import run_checks
 from .summaries import Project
 
+#: per-file result triple: (findings, waivers, waiver findings)
+PerFile = Tuple[List[Finding], List[Waiver], List[Finding]]
 
-def lint_paths_flow(paths: Iterable[str]) -> List[Finding]:
+
+def _per_file(item: Tuple[str, str]) -> Tuple[str, PerFile]:
+    path, source = item
+    findings = static_findings(source, path)
+    waivers, waiver_findings = parse_waivers(source, path)
+    return path, (findings, waivers, waiver_findings)
+
+
+def collect_per_file(sources: List[Tuple[str, str]],
+                     jobs: int = 1) -> Dict[str, PerFile]:
+    """The per-file stage for every non-exempt source, optionally over
+    a process pool."""
+    work = [(path, source) for path, source in sources
+            if classify(path) != "exempt"]
+    if jobs > 1 and len(work) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(jobs, len(work))) as pool:
+            results = pool.map(_per_file, work)
+    else:
+        results = [_per_file(item) for item in work]
+    return dict(results)
+
+
+def lint_paths_flow(paths: Iterable[str],
+                    jobs: int = 1) -> List[Finding]:
     """Lint with both rule families; returns all findings with waived
     ones marked, sorted by (path, line, col, rule)."""
     files = list(iter_python_files(paths))
@@ -29,21 +61,14 @@ def lint_paths_flow(paths: Iterable[str]) -> List[Finding]:
     for path in files:
         with open(path, "r", encoding="utf-8") as handle:
             sources.append((path, handle.read()))
-    return lint_sources_flow(sources)
+    return lint_sources_flow(sources, jobs=jobs)
 
 
-def lint_sources_flow(
-        sources: List[Tuple[str, str]]) -> List[Finding]:
+def lint_sources_flow(sources: List[Tuple[str, str]],
+                      jobs: int = 1) -> List[Finding]:
     """Same as :func:`lint_paths_flow` for in-memory (path, source)
     pairs — the unit tests' entry point."""
-    per_file: Dict[str, Tuple[List[Finding], List[Waiver],
-                              List[Finding]]] = {}
-    for path, source in sources:
-        if classify(path) == "exempt":
-            continue
-        findings = static_findings(source, path)
-        waivers, waiver_findings = parse_waivers(source, path)
-        per_file[path] = (findings, waivers, waiver_findings)
+    per_file = collect_per_file(sources, jobs=jobs)
 
     project = Project.build(
         [(path, source) for path, source in sources

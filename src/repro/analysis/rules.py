@@ -70,6 +70,21 @@ FLOW_RULES = {
              "the caller's accounting is expected",
 }
 
+#: the EM200 series: symbolic cost certification rules that need the
+#: inference engine in :mod:`repro.analysis.cost` (``emlint --cost``)
+COST_RULES = {
+    "EM201": "inferred I/O cost asymptotically exceeds the declared "
+             "@io_bound theory bound",
+    "EM202": "declared bound omits a term the code pays at leading "
+             "order (e.g. an extra materialization pass)",
+    "EM203": "loop-carried I/O with a data-dependent trip count and "
+             "no clamp relating it to N/B or M/B",
+    "EM204": "per-block reads issued one-at-a-time in a hot loop "
+             "where a get_many()/wave batch is available",
+    "EM205": "@io_bound theory callable disagrees with the "
+             "docstring's declared bound class",
+}
+
 #: builtins that materialize their (first) argument into RAM at once
 MATERIALIZERS = {"list", "sorted", "tuple", "set", "dict", "Counter",
                  "frozenset"}

@@ -42,6 +42,8 @@ def _dominance_theory(machine: Machine, n: int) -> float:
                      + 3 * scan_io(n, machine.B, machine.D))
 
 
+# em: ok(EM201) the degenerate-split fallback (_sweep_on_disk) is
+# O(N²/B) by design, reached only when sampling finds ≤ 1 distinct x
 @io_bound(_dominance_theory, factor=4.0,
           n=lambda machine, points, queries: len(points) + len(queries))
 def dominance_counts(

@@ -179,6 +179,7 @@ class ExternalMatrix:
 # ----------------------------------------------------------------------
 # transpose
 # ----------------------------------------------------------------------
+# em: ok(EM201) dim-structured: the col/row loops jointly cover N=p·q
 @io_bound(lambda machine, n: n + 2 * scan_io(n, machine.B, machine.D),
           factor=2.0, n=_matrix_n)
 def transpose_naive(machine: Machine, matrix: ExternalMatrix) -> ExternalMatrix:
@@ -205,6 +206,7 @@ def transpose_naive(machine: Machine, matrix: ExternalMatrix) -> ExternalMatrix:
     return result
 
 
+# em: ok(EM201) dim-structured: the tile loops jointly cover N/B² tiles
 @io_bound(_permute_theory, factor=3.0, n=_matrix_n)
 def transpose_blocked(machine: Machine,
                       matrix: ExternalMatrix) -> ExternalMatrix:
@@ -280,6 +282,7 @@ def transpose_by_sort(machine: Machine,
 # ----------------------------------------------------------------------
 # multiply
 # ----------------------------------------------------------------------
+# em: ok(EM201) dim-structured: the i/j/k loops jointly cover N=p·q·r
 @io_bound(lambda machine, n: n + 2 * scan_io(n, machine.B, machine.D),
           factor=2.0,
           n=lambda machine, a, b: a.rows * a.cols * b.cols)
@@ -323,6 +326,8 @@ def _blocked_multiply_theory(machine: Machine, n: int,
             + 4 * scan_io(n, machine.B, machine.D))
 
 
+# em: ok(EM201, EM205) tile bound N^{3/2}/(B·√M) lies outside the
+# N,M,B term algebra (√M tile side); certified by the sanitizer envelope
 @io_bound(_blocked_multiply_theory, factor=4.0,
           n=lambda machine, a, b, tile=None: a.rows * a.cols * b.cols)
 def multiply_blocked(machine: Machine, a: ExternalMatrix,

@@ -285,6 +285,8 @@ def hash_group_by(
     return _Table(machine, columns, out.finalize(), name=name)
 
 
+# em: ok(EM201) the max-recursion fallback is block-nested-loop —
+# O(N²/(M·B)) by design, reached only when one join key cannot split
 @io_bound(_ghj_theory, factor=8.0, n=_join_n)
 def grace_hash_join(
     left: Table,

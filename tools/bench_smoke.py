@@ -24,11 +24,17 @@ skewed B+-tree query workload (with the pool's frames charged to the
 shared memory budget), and the transfer overhead of the same query
 workload under a seeded fault plan vs clean — retried cache misses and
 scrubbed write-backs must stay within the same 2.0x bound as the sort.
+
+One analyzer record times each EM-lint tier (per-line EM0xx, flow
+EM1xx, cost EM2xx) over ``src/repro`` so regressions in analysis
+wall-time show up per commit; every tier must also report a triaged
+tree (zero unwaived findings).
 """
 
 import argparse
 import json
 import sys
+import time
 from math import ceil
 from pathlib import Path
 
@@ -268,15 +274,49 @@ def faulted_query_smoke():
             }]}
 
 
+def analyzer_smoke():
+    """Wall-time of each EM-lint tier over ``src/repro``, plus the
+    finding counts — the tree must stay triaged (zero unwaived)."""
+    from repro.analysis.cost.engine import lint_paths_cost
+    from repro.analysis.emlint import lint_paths
+    from repro.analysis.flow.engine import lint_paths_flow
+
+    target = str(Path(__file__).resolve().parent.parent
+                 / "src" / "repro")
+    points = []
+    for tier, run in (
+        ("per_line", lambda: lint_paths([target])),
+        ("flow", lambda: lint_paths_flow([target])),
+        ("cost", lambda: lint_paths_cost([target], with_flow=True)),
+    ):
+        start = time.perf_counter()
+        findings = run()
+        elapsed = time.perf_counter() - start
+        unwaived = sum(1 for f in findings if not f.waived)
+        waived = len(findings) - unwaived
+        assert unwaived == 0, (
+            f"{tier}: {unwaived} unwaived finding(s) in {target}"
+        )
+        points.append({
+            "tier": tier,
+            "wall_time_s": round(elapsed, 4),
+            "unwaived": unwaived,
+            "waived": waived,
+        })
+    return {"name": "analyzer_tiers", "target": "src/repro",
+            "points": points}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr5.json",
+    parser.add_argument("--output", default="BENCH_pr6.json",
                         help="path of the JSON summary (default: %(default)s)")
     args = parser.parse_args(argv)
     summary = {"benchmarks": [f1_smoke(), f12_smoke(),
                               faulted_sort_smoke(), f19_pq_budget_smoke(),
                               pool_hit_rate_smoke(),
-                              faulted_query_smoke()]}
+                              faulted_query_smoke(),
+                              analyzer_smoke()]}
     with open(args.output, "w") as fh:
         fh.write(json.dumps(summary, indent=2) + "\n")
     for bench in summary["benchmarks"]:
