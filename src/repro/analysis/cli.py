@@ -6,6 +6,7 @@ Usage::
     emlint --flow src/repro                   # + EM100 flow rules
     emlint --cost src/repro                   # + EM200 cost rules
     emlint --cost --cost-report costs.json src/repro  # expr table
+    emlint --state src/repro                  # + EM300 typestate rules
     emlint --flow --sarif out.sarif src/repro # SARIF 2.1.0 log
     emlint --flow --baseline em.json src/repro  # fail only on NEW
     emlint --flow --write-baseline em.json src/repro  # accept current
@@ -27,7 +28,7 @@ import sys
 from typing import List, Optional
 
 from .emlint import lint_paths, unwaived
-from .rules import COST_RULES, FLOW_RULES, RULES
+from .rules import COST_RULES, FLOW_RULES, RULES, STATE_RULES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cost", action="store_true",
         help="also run the EM200-series cost-certification rules "
              "(symbolic I/O-complexity inference)")
+    parser.add_argument(
+        "--state", action="store_true",
+        help="also run the EM300-series typestate rules (resource "
+             "lifecycles and fault-safety protocols)")
     parser.add_argument(
         "--cost-report", metavar="FILE",
         help="with --cost: write the inferred/declared cost "
@@ -86,6 +91,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         catalogue = dict(RULES)
         catalogue.update(FLOW_RULES)
         catalogue.update(COST_RULES)
+        catalogue.update(STATE_RULES)
         for rule, description in sorted(catalogue.items()):
             print(f"{rule}  {description}")
         return 0
@@ -99,7 +105,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     jobs = max(1, args.jobs)
     report = None
-    if args.cost:
+    if args.state:
+        from .state import lint_paths_state
+        if args.cost:
+            report = {}
+        findings = lint_paths_state(args.paths, with_flow=args.flow,
+                                    with_cost=args.cost,
+                                    report=report, jobs=jobs)
+    elif args.cost:
         from .cost import lint_paths_cost
         report = {}
         findings = lint_paths_cost(args.paths, with_flow=args.flow,
@@ -124,6 +137,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             catalogue.update(FLOW_RULES)
         if args.cost:
             catalogue.update(COST_RULES)
+        if args.state:
+            catalogue.update(STATE_RULES)
         with open(args.sarif, "w", encoding="utf-8") as handle:
             json.dump(to_sarif(findings, catalogue), handle, indent=2)
             handle.write("\n")

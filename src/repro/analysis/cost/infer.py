@@ -282,6 +282,8 @@ class Inferencer:
             ])
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
             header = self._charge_calls(stmt, ctx, variant)
+            for item in stmt.items:
+                self._track_with_item(item, ctx)
             return header + self._block(stmt.body, ctx, variant)
         if isinstance(stmt, ast.Try):
             items = self._block(stmt.body, ctx, variant)
@@ -336,6 +338,19 @@ class Inferencer:
             if head in STREAM_CLASSES:
                 ctx.stream_lists.add(name)
         ctx.env[name] = _AlgoEval(ctx).eval(value)
+
+    def _track_with_item(self, item: ast.withitem, ctx: _Ctx) -> None:
+        """``with closing(iter(stream)) as reader:`` binds ``reader``
+        exactly like ``reader = iter(stream)`` — unwrap the release
+        guard and reuse the assignment tracking."""
+        if not isinstance(item.optional_vars, ast.Name):
+            return
+        value = item.context_expr
+        if isinstance(value, ast.Call) and len(value.args) == 1 \
+                and _call_head(value) == "closing":
+            value = value.args[0]
+        self._track_assign(
+            ast.Assign(targets=[item.optional_vars], value=value), ctx)
 
     # -- charging calls ------------------------------------------------
 

@@ -111,9 +111,10 @@ class Waiver:
 def parse_waivers(source: str, path: str) -> Tuple[List[Waiver],
                                                    List[Finding]]:
     """Extract waivers and EM007 syntax findings from comments."""
-    from .rules import COST_RULES, FLOW_RULES, RULES
+    from .rules import COST_RULES, FLOW_RULES, RULES, STATE_RULES
 
-    known_rules = set(RULES) | set(FLOW_RULES) | set(COST_RULES)
+    known_rules = (set(RULES) | set(FLOW_RULES) | set(COST_RULES)
+                   | set(STATE_RULES))
 
     waivers: List[Waiver] = []
     findings: List[Finding] = []

@@ -85,6 +85,27 @@ COST_RULES = {
              "docstring's declared bound class",
 }
 
+#: the EM300 series: typestate rules over the runtime's resource
+#: protocols, run by :mod:`repro.analysis.state` (``emlint --state``)
+STATE_RULES = {
+    "EM301": "pinned frame / reserved budget not released on some path "
+             "(pin without unpin, harden without soften, a reader "
+             "generator left open across an exception handler)",
+    "EM302": "BlockFile/FileStream opened without a guaranteed close; "
+             "use the context-manager form",
+    "EM303": "use-after-release of a frame/handle, or a release that "
+             "can repeat because the idempotence guard is set after "
+             "fallible work",
+    "EM304": "raw disk/DiskArray I/O bypassing Runtime.read_block / "
+             "WriteBehind outside whitelisted runtime internals "
+             "(forfeits retry, checksum scrubbing, and coalescing)",
+    "EM305": "checkpoint-protocol violation: output writes after a "
+             "SortManifest commit, or adopt of blocks not described "
+             "by a manifest",
+    "EM306": "durability point (manifest commit) reachable while "
+             "freshly written output is still unflushed",
+}
+
 #: builtins that materialize their (first) argument into RAM at once
 MATERIALIZERS = {"list", "sorted", "tuple", "set", "dict", "Counter",
                  "frozenset"}

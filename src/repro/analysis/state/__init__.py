@@ -1,0 +1,33 @@
+"""EM-state: typestate analysis for resource lifecycles and
+fault-safety protocols.
+
+The EM300-series tier reuses the EM-flow CFGs (exception/finally edges)
+and call-graph summaries to track abstract objects through the
+runtime's resource state machines — frame pins (pinned -> released),
+stream readers and handles (open -> closed), the checkpoint manifest
+(staged -> committed -> done), and the write-behind window (pending ->
+flushed) — and reports paths that violate a protocol: leaks on
+exception paths (EM301), handles without a guaranteed close (EM302),
+use-after-release and repeatable releases (EM303), raw disk I/O that
+bypasses the runtime (EM304), checkpoint-protocol violations (EM305),
+and durability points reached with write-behind unflushed (EM306).
+
+Entry points mirror :mod:`repro.analysis.cost`:
+
+* :func:`lint_paths_state` / :func:`lint_sources_state` — run the
+  per-line rules plus the EM300-series (optionally the EM100/EM200
+  tiers too, sharing one project build) and return
+  :class:`~repro.analysis.emlint.Finding` lists;
+* :data:`~repro.analysis.state.machines.PROTOCOLS` — the declarative
+  resource state machines the checks consume.
+"""
+
+from .engine import lint_paths_state, lint_sources_state
+from .machines import PROTOCOLS, ResourceProtocol
+
+__all__ = [
+    "PROTOCOLS",
+    "ResourceProtocol",
+    "lint_paths_state",
+    "lint_sources_state",
+]

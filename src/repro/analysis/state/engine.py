@@ -1,0 +1,77 @@
+"""Driver for ``emlint --state``: typestate lint over a file set.
+
+Mirrors :mod:`repro.analysis.cost.engine`: per-line rules per file, one
+:class:`~repro.analysis.flow.summaries.Project` over the tree, then the
+EM300-series typestate checks (optionally stacked with the EM100 flow
+and EM200 cost tiers so ``--flow --cost --state`` shares one project
+build), with waivers applied across the combined finding set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..emlint import (
+    Finding, classify, finish_findings, iter_python_files,
+)
+from ..rules import COST_RULES, FLOW_RULES, RULES, STATE_RULES
+from ..flow.summaries import Project
+from .checks import run_checks
+
+
+def lint_paths_state(paths: Iterable[str], with_flow: bool = False,
+                     with_cost: bool = False,
+                     report: Optional[Dict[str, Dict[str, object]]]
+                     = None, jobs: int = 1) -> List[Finding]:
+    files = list(iter_python_files(paths))
+    sources: List[Tuple[str, str]] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            sources.append((path, handle.read()))
+    return lint_sources_state(sources, with_flow=with_flow,
+                              with_cost=with_cost, report=report,
+                              jobs=jobs)
+
+
+def lint_sources_state(sources: List[Tuple[str, str]],
+                       with_flow: bool = False,
+                       with_cost: bool = False,
+                       report: Optional[Dict[str, Dict[str, object]]]
+                       = None, jobs: int = 1) -> List[Finding]:
+    from ..flow.engine import collect_per_file
+
+    per_file = collect_per_file(sources, jobs=jobs)
+
+    project = Project.build(
+        [(path, source) for path, source in sources
+         if classify(path) != "exempt"])
+
+    checked: List[Finding] = []
+    if with_flow:
+        from ..flow.checks import run_checks as run_flow_checks
+        checked.extend(run_flow_checks(project))
+    if with_cost:
+        from ..cost.checks import run_checks as run_cost_checks
+        checked.extend(run_cost_checks(project, report=report))
+    checked.extend(run_checks(project))
+    for finding in checked:
+        if finding.path in per_file:
+            per_file[finding.path][0].append(finding)
+        else:  # pragma: no cover - checks only emit for known files
+            per_file.setdefault(
+                finding.path, ([], [], []))[0].append(finding)
+
+    active_rules = set(RULES) | set(STATE_RULES)
+    if with_flow:
+        active_rules |= set(FLOW_RULES)
+    if with_cost:
+        active_rules |= set(COST_RULES)
+    combined: List[Finding] = []
+    for path, (findings, waivers, waiver_findings) in per_file.items():
+        combined.extend(finish_findings(
+            findings, waivers, waiver_findings, path, active_rules))
+    combined.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return combined
+
+
+__all__ = ["lint_paths_state", "lint_sources_state"]

@@ -1,0 +1,271 @@
+"""Resource state machines for the EM300-series typestate rules.
+
+Every protocol the runtime enforces by convention is written down here
+as a small declarative state machine: the states an abstract object can
+be in, which method calls transition between them, and which states are
+*accepting* (safe to reach function exit in).  The checks in
+:mod:`repro.analysis.state.checks` consume the derived method sets; the
+machines themselves are the documentation of record for
+``docs/ANALYSIS.md`` and are asserted well-formed by the test suite.
+
+The machines model the protocols of:
+
+* scheduler frame pins (``try_pin``/``pin`` -> ``unpin``),
+* budget hardening (``harden`` -> ``soften``),
+* writer staging reservations (``reserve_writer`` ->
+  ``finalize``/``sync``/``delete``),
+* stream readers (``iter(stream)`` acquires a frame on first ``next``;
+  ``close`` or exhaustion releases it),
+* block/stream handles (``BlockFile``/``FileStream`` open -> closed),
+* the checkpoint manifest (staged -> committed -> done), and
+* the write-behind window (pending -> flushed before a durability
+  point).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+
+class ResourceProtocol:
+    """One resource's lifecycle as an explicit state machine.
+
+    Args:
+        name: protocol label used in findings.
+        states: every state the abstract object can be in.
+        start: the state entered at the acquire/construction site.
+        transitions: ``(state, method) -> state`` map; methods absent
+            for a state leave it unchanged (self-loop).
+        accepting: states in which reaching function exit is safe.
+        error_states: states whose *operations* (any method outside the
+            transition table's idempotent set) are use-after-release.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Tuple[str, ...],
+        start: str,
+        transitions: Dict[Tuple[str, str], str],
+        accepting: FrozenSet[str],
+        error_states: FrozenSet[str] = frozenset(),
+    ):
+        self.name = name
+        self.states = states
+        self.start = start
+        self.transitions = dict(transitions)
+        self.accepting = frozenset(accepting)
+        self.error_states = frozenset(error_states)
+
+    # -- derived method sets, what the checks actually consume ---------
+
+    def releasing_methods(self) -> FrozenSet[str]:
+        """Methods that move *some* state into an accepting state."""
+        return frozenset(
+            method for (state, method), target in self.transitions.items()
+            if target in self.accepting and state not in self.accepting
+        )
+
+    def terminal_methods(self) -> FrozenSet[str]:
+        """Methods that move into an *error* state — the object is dead
+        afterwards and any non-idempotent operation on it is a
+        use-after-release (``finalize`` is NOT terminal: a finalized
+        stream is still readable)."""
+        return frozenset(
+            method for (_s, method), target in self.transitions.items()
+            if target in self.error_states
+        )
+
+    def step(self, state: str, method: str) -> Optional[str]:
+        """The successor state, or None when ``method`` in ``state`` is
+        a protocol violation (an error-state operation)."""
+        if (state, method) in self.transitions:
+            return self.transitions[(state, method)]
+        if state in self.error_states:
+            return None
+        return state
+
+
+#: frame pins: the scheduler's pinned-frame accounting.  A pin taken by
+#: ``try_pin`` (or an unconditional ``pin``) must be returned by
+#: ``unpin`` on every path, unless the pinning object's class releases
+#: it from another method (the WriteBehind/prefetcher window protocol).
+PIN_PROTOCOL = ResourceProtocol(
+    name="scheduler pin",
+    states=("pinned", "released"),
+    start="pinned",
+    transitions={("pinned", "unpin"): "released"},
+    accepting=frozenset({"released"}),
+)
+
+#: budget hardening: a reclaimable (cache) charge converted to a hard
+#: charge must be softened back.
+HARDEN_PROTOCOL = ResourceProtocol(
+    name="hardened budget",
+    states=("hard", "soft"),
+    start="hard",
+    transitions={("hard", "soften"): "soft"},
+    accepting=frozenset({"soft"}),
+)
+
+#: a writer's staging reservation taken eagerly via ``reserve_writer``
+#: is given back by ``finalize``, ``sync`` or ``delete``.
+WRITER_RESERVE_PROTOCOL = ResourceProtocol(
+    name="writer reservation",
+    states=("reserved", "released"),
+    start="reserved",
+    transitions={
+        ("reserved", "finalize"): "released",
+        ("reserved", "sync"): "released",
+        ("reserved", "delete"): "released",
+    },
+    accepting=frozenset({"released"}),
+)
+
+#: a stream reader (``iter(stream)``) holds one frame from its first
+#: ``next`` until exhaustion or ``close``.  Exhaustion only happens on
+#: the normal path, so exception paths must close deterministically.
+READER_PROTOCOL = ResourceProtocol(
+    name="stream reader",
+    states=("open", "closed"),
+    start="open",
+    transitions={("open", "close"): "closed"},
+    accepting=frozenset({"closed"}),
+)
+
+#: block/stream handles: open -> (finalized) -> closed/deleted.  The
+#: ``closed`` state is terminal; only idempotent re-closes are allowed.
+HANDLE_PROTOCOL = ResourceProtocol(
+    name="block/stream handle",
+    states=("open", "finalized", "closed"),
+    start="open",
+    transitions={
+        ("open", "finalize"): "finalized",
+        ("open", "sync"): "open",
+        ("open", "close"): "closed",
+        ("open", "delete"): "closed",
+        ("open", "__exit__"): "closed",
+        ("finalized", "close"): "closed",
+        ("finalized", "delete"): "closed",
+        ("finalized", "__exit__"): "closed",
+        ("closed", "close"): "closed",
+        ("closed", "delete"): "closed",
+        ("closed", "__exit__"): "closed",
+    },
+    accepting=frozenset({"finalized", "closed"}),
+    error_states=frozenset({"closed"}),
+)
+
+#: the checkpoint manifest: a pass is staged, then committed; once the
+#: result is committed the described streams are immutable.
+MANIFEST_PROTOCOL = ResourceProtocol(
+    name="sort manifest",
+    states=("staged", "committed", "done"),
+    start="staged",
+    transitions={
+        ("staged", "commit_pass"): "committed",
+        ("committed", "commit_pass"): "committed",
+        ("staged", "commit_result"): "done",
+        ("committed", "commit_result"): "done",
+    },
+    accepting=frozenset({"staged", "committed", "done"}),
+    error_states=frozenset({"done"}),
+)
+
+#: write-behind window: freshly written output is pending until a flush
+#: event; a durability point must not be reachable while pending.
+WRITEBEHIND_PROTOCOL = ResourceProtocol(
+    name="write-behind window",
+    states=("pending", "flushed"),
+    start="pending",
+    transitions={
+        ("pending", "finalize"): "flushed",
+        ("pending", "sync"): "flushed",
+        ("pending", "flush"): "flushed",
+        ("pending", "ensure_flushed"): "flushed",
+        ("pending", "delete"): "flushed",
+    },
+    accepting=frozenset({"flushed"}),
+)
+
+#: every protocol, keyed by label (docs and tests iterate this)
+PROTOCOLS = {
+    proto.name: proto
+    for proto in (
+        PIN_PROTOCOL, HARDEN_PROTOCOL, WRITER_RESERVE_PROTOCOL,
+        READER_PROTOCOL, HANDLE_PROTOCOL, MANIFEST_PROTOCOL,
+        WRITEBEHIND_PROTOCOL,
+    )
+}
+
+# ---------------------------------------------------------------------
+# method tables the checks key on (derived from the machines where a
+# machine exists; listed explicitly where the mapping is paired)
+# ---------------------------------------------------------------------
+
+#: acquire method -> matching release method on the same receiver
+PAIRED_ACQUIRES = {
+    "try_pin": "unpin",
+    "pin": "unpin",
+    "harden": "soften",
+}
+
+#: eager writer reservation -> the methods that give it back
+WRITER_RESERVE_RELEASES = WRITER_RESERVE_PROTOCOL.releasing_methods()
+
+#: classes whose instances follow :data:`HANDLE_PROTOCOL`
+HANDLE_CLASSES = {
+    "BlockFile", "FileStream", "StripedStream", "ExternalStack",
+    "ExternalQueue", "ExternalPriorityQueue", "BTreePriorityQueue",
+    "ForecastingPrefetcher",
+}
+
+#: handle classes that are context managers whose bare
+#: ``x = C(...); ...; with x:`` form EM302 asks to merge
+WITH_FORM_CLASSES = {"BlockFile", "ExternalStack", "ExternalQueue",
+                     "ExternalPriorityQueue"}
+
+#: methods that end a handle's life (idempotent to repeat, but any
+#: *other* operation afterwards is use-after-release)
+TERMINAL_METHODS = HANDLE_PROTOCOL.terminal_methods() | {"close",
+                                                         "delete"}
+
+#: methods safe to call in the ``closed`` state (idempotent re-release
+#: is this codebase's convention) plus pure introspection
+SAFE_AFTER_TERMINAL = TERMINAL_METHODS | {"__exit__", "__repr__",
+                                          "__len__"}
+
+#: raw transfer methods on the disk array — the ones EM304 polices
+#: (``allocate``/``free``/``disk_of`` are metadata, not transfers)
+RAW_DISK_METHODS = {"read", "write", "parallel_read", "parallel_write",
+                    "read_batch", "write_batch"}
+
+#: modules allowed to touch the disk array directly: the runtime layer
+#: itself, the disk implementation, and the buffer pool's deliberate
+#: write-through-and-verify path (the good copy is still in hand)
+RAW_IO_WHITELIST_DIRS = {"runtime"}
+RAW_IO_WHITELIST_FILES = {"disk.py", "cache.py"}
+
+#: manifest commit methods (durability points)
+COMMIT_METHODS = {"commit_pass", "commit_result"}
+
+#: write events on a stream handle that leave data in the write-behind
+#: window until a flush event
+WRITE_METHODS = {"append", "append_block", "extend", "write_block"}
+
+#: flush events derived from :data:`WRITEBEHIND_PROTOCOL`
+FLUSH_METHODS = frozenset(
+    method for (_s, method) in WRITEBEHIND_PROTOCOL.transitions
+)
+
+#: names that look like a checkpoint manifest
+MANIFEST_CLASSES = {"SortManifest"}
+
+
+def is_whitelisted_raw_io(path: str) -> bool:
+    """Whether ``path`` may perform raw disk I/O (EM304)."""
+    normalized = path.replace("\\", "/")
+    parts = normalized.split("/")
+    if any(part in RAW_IO_WHITELIST_DIRS for part in parts[:-1]):
+        return True
+    return parts[-1] in RAW_IO_WHITELIST_FILES

@@ -44,7 +44,10 @@ class ExternalStack:
         self._size += 1
         if len(self._buffer) == 2 * self.machine.block_size:
             block_id = self.machine.disk.allocate()
-            self.machine.disk.write(
+            # Spill through the write-behind window so consecutive spills
+            # coalesce into D-block parallel steps (and get the
+            # scheduler's fault retry) like every other writer.
+            self.machine.runtime.writer.put(
                 block_id, self._buffer[:self.machine.block_size]
             )
             self._blocks.append(block_id)
@@ -61,7 +64,9 @@ class ExternalStack:
             raise EMError("pop from an empty external stack")
         if not self._buffer:
             block_id = self._blocks.pop()
-            self._buffer = self.machine.disk.read(block_id)
+            # read_block flushes the write-behind window first, so a
+            # block popped right after its spill reads the written data.
+            self._buffer = self.machine.runtime.read_block(block_id)
             self.machine.disk.free(block_id)
         self._size -= 1
         return self._buffer.pop()
@@ -73,7 +78,7 @@ class ExternalStack:
             raise EMError("peek on an empty external stack")
         if self._buffer:
             return self._buffer[-1]
-        return self.machine.disk.read(self._blocks[-1])[-1]
+        return self.machine.runtime.read_block(self._blocks[-1])[-1]
 
     def __len__(self) -> int:
         return self._size
@@ -82,12 +87,22 @@ class ExternalStack:
         """Free disk blocks and release the memory reservation."""
         if self._closed:
             return
-        for block_id in self._blocks:
-            self.machine.disk.free(block_id)
-        self._blocks = []
-        self._buffer = []
-        self.machine.budget.release(2 * self.machine.block_size)
+        # Flag first: if a free below faults, a retried close() must be
+        # a no-op rather than release the reservation a second time.
         self._closed = True
+        try:
+            runtime = self.machine._runtime
+            if runtime is not None:
+                # Spilled blocks may still sit in the write-behind
+                # window; writing them after the free below would
+                # resurrect freed blocks.
+                runtime.writer.discard(list(self._blocks))
+            for block_id in self._blocks:
+                self.machine.disk.free(block_id)
+        finally:
+            self._blocks = []
+            self._buffer = []
+            self.machine.budget.release(2 * self.machine.block_size)
 
     def __enter__(self) -> "ExternalStack":
         return self
@@ -124,7 +139,9 @@ class ExternalQueue:
         self._size += 1
         if len(self._tail) == self.machine.block_size:
             block_id = self.machine.disk.allocate()
-            self.machine.disk.write(block_id, self._tail)
+            # Same write-behind routing as the stack: tail blocks
+            # coalesce into parallel steps instead of one step each.
+            self.machine.runtime.writer.put(block_id, self._tail)
             self._blocks.append(block_id)
             self._tail = []
 
@@ -140,7 +157,7 @@ class ExternalQueue:
         if not self._head:
             if self._blocks:
                 block_id = self._blocks.popleft()
-                self._head.extend(self.machine.disk.read(block_id))
+                self._head.extend(self.machine.runtime.read_block(block_id))
                 self.machine.disk.free(block_id)
             else:
                 self._head.extend(self._tail)
@@ -156,7 +173,7 @@ class ExternalQueue:
         if self._head:
             return self._head[0]
         if self._blocks:
-            return self.machine.disk.read(self._blocks[0])[0]
+            return self.machine.runtime.read_block(self._blocks[0])[0]
         return self._tail[0]
 
     def __len__(self) -> int:
@@ -166,13 +183,19 @@ class ExternalQueue:
         """Free disk blocks and release the memory reservation."""
         if self._closed:
             return
-        for block_id in self._blocks:
-            self.machine.disk.free(block_id)
-        self._blocks = deque()
-        self._head = deque()
-        self._tail = []
-        self.machine.budget.release(2 * self.machine.block_size)
+        # Same fault-safety shape as ExternalStack.close.
         self._closed = True
+        try:
+            runtime = self.machine._runtime
+            if runtime is not None:
+                runtime.writer.discard(list(self._blocks))
+            for block_id in self._blocks:
+                self.machine.disk.free(block_id)
+        finally:
+            self._blocks = deque()
+            self._head = deque()
+            self._tail = []
+            self.machine.budget.release(2 * self.machine.block_size)
 
     def __enter__(self) -> "ExternalQueue":
         return self

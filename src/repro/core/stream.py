@@ -398,7 +398,9 @@ class StripedStream(FileStream):
         try:
             for start in range(0, len(self._block_ids), group):
                 batch = self._block_ids[start:start + group]
-                for payload in machine.disk.parallel_read(batch):
+                # Through the runtime: deferred writes to these blocks
+                # are flushed first and the wave gets the fault retry.
+                for payload in machine.runtime.read_batch(batch):
                     for record in payload:
                         yield record
         finally:

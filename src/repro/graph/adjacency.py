@@ -89,8 +89,9 @@ class AdjacencyStore:
         # Re-pack into a block file for random access by position.  The
         # staging frame is released once packing is done: all later
         # access goes through the buffer pool via block_id.
-        blocks = BlockFile(machine, max(1, packed.num_blocks), name="adj")
-        with blocks:
+        with BlockFile(
+            machine, max(1, packed.num_blocks), name="adj"
+        ) as blocks:
             for block_index in range(packed.num_blocks):
                 blocks.write_block(
                     block_index, packed.read_block(block_index)
@@ -145,8 +146,9 @@ class AdjacencyStore:
             index[current] = (start, position - start)
         packed.finalize()
         ordered.delete()
-        blocks = BlockFile(machine, max(1, packed.num_blocks), name="adj")
-        with blocks:
+        with BlockFile(
+            machine, max(1, packed.num_blocks), name="adj"
+        ) as blocks:
             for block_index in range(packed.num_blocks):
                 blocks.write_block(
                     block_index, packed.read_block(block_index)

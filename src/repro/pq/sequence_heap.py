@@ -190,15 +190,22 @@ class ExternalPriorityQueue:
         on-disk runs.  The queue becomes unusable."""
         if self._closed:
             return
-        self.machine.budget.release(self.insertion_capacity)
-        for level in self._levels:
-            for run in level:
-                # Deterministic release: closing the reader returns its
-                # pinned frame immediately instead of waiting for GC.
-                run.close()
-        self._levels = []
-        self._heap = []
+        # Flip the flag before any fallible work: if a run.close() below
+        # raises mid-way, a retried close() must pass the guard as a
+        # no-op instead of releasing the reservation a second time and
+        # corrupting the budget ledger (EM303).
         self._closed = True
+        try:
+            for level in self._levels:
+                for run in level:
+                    # Deterministic release: closing the reader returns
+                    # its pinned frame immediately instead of waiting
+                    # for GC.
+                    run.close()
+        finally:
+            self.machine.budget.release(self.insertion_capacity)
+            self._levels = []
+            self._heap = []
 
     def __enter__(self) -> "ExternalPriorityQueue":
         return self

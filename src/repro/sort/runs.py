@@ -16,6 +16,7 @@ Two strategies from the survey are implemented:
 from __future__ import annotations
 
 import heapq
+from contextlib import closing
 from typing import Any, Callable, List, Optional
 
 from ..analysis.sanitizer import io_bound
@@ -149,12 +150,16 @@ def form_runs_replacement_selection(
             f"M={machine.M} records are unreserved"
         )
     runs: List[FileStream] = []
-    reader = iter(stream)
     sequence = 0  # tie-break so records never compare with each other
 
     current_run: Optional[FileStream] = None
+    # closing() releases the reader's frame deterministically on every
+    # exit; a bare iter() would leave it pinned for as long as the
+    # propagating exception (and its traceback) kept the generator
+    # alive (EM301).
     with machine.trace("run-formation"), \
-            machine.budget.reserve(heap_capacity):
+            machine.budget.reserve(heap_capacity), \
+            closing(iter(stream)) as reader:
         try:
             # (run_number, key, sequence, record) orders the heap first
             # by the run a record belongs to, then by key within the run.

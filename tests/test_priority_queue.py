@@ -164,6 +164,40 @@ class TestSequenceHeap:
         pq.close()
         pq.close()
 
+    def test_faulted_close_retry_does_not_double_release(self):
+        """Regression (EM303): close() used to release the insertion
+        reservation *before* closing the runs and flip ``_closed`` only
+        at the very end, so a run teardown fault left the flag unset —
+        a retried close() (the standard cleanup idiom) then released
+        the reservation a second time, silently stealing frames from
+        whichever component held them.  The flag now flips first and
+        the release sits in a ``finally``, so the retry is a no-op."""
+        m = machine()
+        bystander = 40  # another component's live reservation
+        m.budget.acquire(bystander)
+        try:
+            pq = ExternalPriorityQueue(m, insertion_capacity=16)
+            for i in range(500):
+                pq.insert(i)
+            victim = next(
+                run for level in pq._levels for run in level
+            )
+            original_delete = victim.stream.delete
+
+            def faulting_delete():
+                raise OSError("transient device fault during teardown")
+
+            victim.stream.delete = faulting_delete
+            with pytest.raises(OSError):
+                pq.close()
+            victim.stream.delete = original_delete
+            in_use_after_fault = m.budget.in_use
+            pq.close()  # retry must pass the guard as a no-op
+            assert m.budget.in_use == in_use_after_fault
+        finally:
+            # The bystander's reservation was never touched.
+            m.budget.release(bystander)
+
     def test_bad_arity_rejected(self):
         with pytest.raises(ConfigurationError):
             ExternalPriorityQueue(machine(), group_arity=1)

@@ -134,6 +134,34 @@ class TestReplacementSelection:
         with pytest.raises(ConfigurationError):
             form_runs_replacement_selection(m, FileStream(m).finalize())
 
+    def test_reader_frame_released_while_fault_propagates(self):
+        """Regression (EM301): the input reader was opened with a bare
+        ``iter(stream)``, so a fault in the key function left its pinned
+        frame held for as long as the propagating exception's traceback
+        kept the generator frame alive.  The reader is now wrapped in
+        ``closing()``, which releases the frame on the way out — the
+        budget must already be balanced *inside* the handler, while the
+        traceback (and with it the generator) is still referenced."""
+        m = machine()
+        s = FileStream.from_records(m, uniform_ints(500, seed=7))
+
+        calls = {"n": 0}
+
+        def fragile_key(record):
+            calls["n"] += 1
+            if calls["n"] > 120:
+                raise RuntimeError("keyer died mid-pass")
+            return record
+
+        try:
+            form_runs_replacement_selection(m, s, key=fragile_key)
+        except RuntimeError:
+            assert m.budget.in_use == 0
+            # The fault handler also deleted every half-formed run.
+            assert m.disk.allocated_blocks == s.num_blocks
+        else:
+            pytest.fail("fragile key never raised")
+
     def test_duplicate_keys_handled(self):
         m = machine()
         data = [7] * 500 + [3] * 500

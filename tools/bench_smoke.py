@@ -5,7 +5,7 @@ Runs the F1 (sort scaling) and F12 (parallel disks) experiments at small
 sizes — seconds, not minutes — and writes a JSON summary so CI uploads a
 machine-readable record of the runtime's scheduling quality per commit:
 
-    python tools/bench_smoke.py [--output BENCH_pr4.json]
+    python tools/bench_smoke.py [--output BENCH_pr7.json]
 
 The JSON reports, per disk count, the parallel steps, total transfers,
 and the steps/optimal ratio (optimal = ceil(transfers / D)); the sort
@@ -26,9 +26,9 @@ workload under a seeded fault plan vs clean — retried cache misses and
 scrubbed write-backs must stay within the same 2.0x bound as the sort.
 
 One analyzer record times each EM-lint tier (per-line EM0xx, flow
-EM1xx, cost EM2xx) over ``src/repro`` so regressions in analysis
-wall-time show up per commit; every tier must also report a triaged
-tree (zero unwaived findings).
+EM1xx, cost EM2xx, typestate EM3xx) over ``src/repro`` so regressions
+in analysis wall-time show up per commit; every tier must also report
+a triaged tree (zero unwaived findings).
 """
 
 import argparse
@@ -280,6 +280,7 @@ def analyzer_smoke():
     from repro.analysis.cost.engine import lint_paths_cost
     from repro.analysis.emlint import lint_paths
     from repro.analysis.flow.engine import lint_paths_flow
+    from repro.analysis.state.engine import lint_paths_state
 
     target = str(Path(__file__).resolve().parent.parent
                  / "src" / "repro")
@@ -288,6 +289,8 @@ def analyzer_smoke():
         ("per_line", lambda: lint_paths([target])),
         ("flow", lambda: lint_paths_flow([target])),
         ("cost", lambda: lint_paths_cost([target], with_flow=True)),
+        ("state", lambda: lint_paths_state([target], with_flow=True,
+                                           with_cost=True)),
     ):
         start = time.perf_counter()
         findings = run()
@@ -309,7 +312,7 @@ def analyzer_smoke():
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr6.json",
+    parser.add_argument("--output", default="BENCH_pr7.json",
                         help="path of the JSON summary (default: %(default)s)")
     args = parser.parse_args(argv)
     summary = {"benchmarks": [f1_smoke(), f12_smoke(),
