@@ -36,6 +36,7 @@ from .blockfile import BlockFile
 from .collections import ExternalQueue, ExternalStack
 from .disk import DiskArray, SimulatedDisk
 from .exceptions import (
+    AdmissionError,
     BlockNotAllocatedError,
     BlockOverflowError,
     ConfigurationError,
@@ -44,10 +45,11 @@ from .exceptions import (
     KeyNotFound,
     MemoryLimitExceeded,
     PoolError,
+    ShareLimitExceeded,
     StreamError,
 )
 from .machine import Machine
-from .memory import MemoryBudget
+from .memory import FairShare, MemoryBudget, SubBudget
 from .stats import IOCounter, IOStats, Measurement, format_table
 from .stream import FileStream, StripedStream
 
@@ -64,6 +66,8 @@ __all__ = [
     "MinPolicy",
     "POLICIES",
     "MemoryBudget",
+    "FairShare",
+    "SubBudget",
     "FileStream",
     "StripedStream",
     "BlockFile",
@@ -88,6 +92,8 @@ __all__ = [
     "BlockNotAllocatedError",
     "BlockOverflowError",
     "MemoryLimitExceeded",
+    "ShareLimitExceeded",
+    "AdmissionError",
     "PoolError",
     "StreamError",
     "KeyNotFound",

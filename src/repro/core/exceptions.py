@@ -137,6 +137,34 @@ class MemoryLimitExceeded(EMError):
         self.capacity = capacity
 
 
+class ShareLimitExceeded(MemoryLimitExceeded):
+    """A tenant tried to hard-reserve beyond its fair share while
+    borrowing was not permitted.
+
+    Raised by :class:`~repro.core.memory.SubBudget`.  Borrowing beyond a
+    share is allowed only from capacity other tenants are not using, and
+    never while an under-share tenant has registered unmet demand — the
+    deficit-aware reclaim rule of the fair-share partition.
+    """
+
+    def __init__(self, name: str, requested: int, in_use: int,
+                 share: int):
+        super().__init__(requested, in_use, share)
+        # Override the parent's message with the share-level context.
+        self.args = (
+            f"share {name!r} exceeded: requested {requested} records "
+            f"with {in_use} already in use out of a share of {share} "
+            "(borrowing not permitted)",
+        )
+        self.name = name
+
+
+class AdmissionError(EMError):
+    """The query service refused a job submission outright — the bounded
+    admission queue is full (see
+    :class:`~repro.service.admission.AdmissionController`)."""
+
+
 class StreamError(EMError):
     """Misuse of a :class:`~repro.core.stream.FileStream`.
 

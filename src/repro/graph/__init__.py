@@ -12,6 +12,7 @@
 
 from .adjacency import AdjacencyStore
 from .bfs import mr_bfs, naive_bfs, semi_external_bfs
+from .steps import bfs_extract_steps
 from .connectivity import (
     dfs_components,
     external_components,
@@ -36,6 +37,7 @@ __all__ = [
     "mr_bfs",
     "naive_bfs",
     "semi_external_bfs",
+    "bfs_extract_steps",
     "list_ranking",
     "pointer_chase_ranking",
     "external_components",

@@ -160,6 +160,43 @@ class AdjacencyStore:
         """Degree of ``vertex`` (no I/O; index lookup)."""
         return self._index.get(vertex, (0, 0))[1]
 
+    def span_blocks(self, vertex: int) -> List[int]:
+        """Block ids covering ``vertex``'s adjacency span, in order
+        (no I/O; index arithmetic).  Empty for an isolated vertex.
+
+        This is the fetch plan a cooperative job yields as a
+        :class:`~repro.core.intents.PoolRead` intent; decode the served
+        payloads with :meth:`neighbors_from_payloads`.
+        """
+        if not 0 <= vertex < self.num_vertices:
+            raise ConfigurationError(
+                f"vertex {vertex} outside 0..{self.num_vertices - 1}"
+            )
+        start, degree = self._index.get(vertex, (0, 0))
+        if degree == 0:
+            return []
+        B = self.machine.block_size
+        first_block = start // B
+        last_block = (start + degree - 1) // B
+        return [
+            self._blocks.block_id(block_index)
+            for block_index in range(first_block, last_block + 1)
+        ]
+
+    def neighbors_from_payloads(self, vertex: int,
+                                payloads: List[List[int]]) -> List[int]:
+        """Decode ``vertex``'s adjacency list from the block payloads of
+        its :meth:`span_blocks` (in the same order).  No I/O."""
+        start, degree = self._index.get(vertex, (0, 0))
+        if degree == 0:
+            return []
+        values: List[int] = []
+        for payload in payloads:
+            values.extend(payload)
+        offset = start - (start // self.machine.block_size) \
+            * self.machine.block_size
+        return values[offset:offset + degree]
+
     def neighbors(self, vertex: int) -> List[int]:
         """Fetch ``vertex``'s adjacency list: ``ceil`` of its span in
         blocks cached reads, batched through the pool

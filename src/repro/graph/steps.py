@@ -1,0 +1,69 @@
+"""Cooperative BFS extraction: an intent-yielding generator.
+
+The graph-traffic job of the multi-tenant query service
+(:mod:`repro.service`): the semi-external BFS of
+:func:`~repro.graph.bfs.semi_external_bfs` recast as a generator that
+yields one :class:`~repro.core.intents.PoolRead` per adjacency-list
+span, so a driver can batch the fetches of many concurrent jobs into
+shared parallel-disk waves.  The in-memory vertex state (distance map
+and queue — the semi-external assumption ``V ≤ M``) is reserved from a
+caller-supplied budget: under the service, a tenant's
+:class:`~repro.core.memory.SubBudget`, making the assumption
+per-share: ``V`` must fit the *tenant's* memory, not the machine's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+from ..core.exceptions import ConfigurationError
+from ..core.intents import PoolRead
+from ..core.machine import Machine
+from .adjacency import AdjacencyStore
+
+
+def bfs_extract_steps(
+    machine: Machine,
+    adjacency: AdjacencyStore,
+    source: int,
+    budget=None,
+):
+    """Cooperative semi-external BFS from ``source``.
+
+    Cost: ``O(V + E/B)`` I/Os — one adjacency-span fetch per reached
+    vertex, amortized by the buffer pool.
+
+    Yields one :class:`~repro.core.intents.PoolRead` per non-isolated
+    vertex visited (its adjacency span, batched into one intent);
+    *returns* the ``{vertex: distance}`` dict for the reachable
+    vertices, like the eager BFS.
+    """
+    if not 0 <= source < adjacency.num_vertices:
+        raise ConfigurationError(f"source {source} out of range")
+    if adjacency.num_vertices > machine.M:
+        raise ConfigurationError(
+            f"semi-external BFS needs V <= M in-memory records; "
+            f"V={adjacency.num_vertices} exceeds M={machine.M}"
+        )
+    budget = budget if budget is not None else machine.budget
+    # The semi-external vertex state (distance map; the queue only ever
+    # holds undiscovered-then-queued vertices, bounded by the same V):
+    # one record per vertex, the survey's V ≤ M assumption made a
+    # charged reservation — per-share under the service.
+    with budget.reserve(adjacency.num_vertices):
+        distance: Dict[int, int] = {source: 0}
+        queue = deque([source])
+        while queue:
+            vertex = queue.popleft()
+            span = adjacency.span_blocks(vertex)
+            if not span:
+                continue
+            payloads = yield PoolRead(span)
+            for neighbor in adjacency.neighbors_from_payloads(
+                vertex, payloads
+            ):
+                if neighbor not in distance:
+                    distance[neighbor] = distance[vertex] + 1
+                    queue.append(neighbor)
+    return distance

@@ -22,6 +22,7 @@ from .operators import (
     select,
     top_k,
 )
+from .steps import merge_join_steps, sort_merge_join_steps
 from .table import Table
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "Aggregate",
     "AGGREGATES",
     "sort_merge_join",
+    "sort_merge_join_steps",
+    "merge_join_steps",
     "grace_hash_join",
     "block_nested_loop_join",
     "merge_join_iterators",

@@ -25,6 +25,7 @@ import json
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Sequence, Tuple
 
+from ..core.exceptions import ConfigurationError
 from ..core.stats import IOStats, format_table
 
 UNTRACED = "(untraced)"
@@ -230,20 +231,79 @@ class Tracer:
         return {label: dict(tally)
                 for label, tally in self._pool_stats.items()}
 
+    @staticmethod
+    def _namespace(label: str, depth: int) -> str:
+        """``label`` truncated to its first ``depth`` path components
+        (the untraced bucket passes through whole)."""
+        if label == UNTRACED:
+            return label
+        return "/".join(label.split("/")[:depth])
+
+    def namespace_summary(self, depth: int = 1) -> Dict[str, IOStats]:
+        """Per-phase totals aggregated by the first ``depth`` components
+        of each phase path.  With service traces (``svc/tenant/job``
+        phases), ``depth=2`` rolls everything up per tenant; each
+        transfer is tallied under exactly one leaf phase, so the
+        roll-up never double-counts and still sums to the machine's
+        stats delta."""
+        if depth < 1:
+            raise ConfigurationError(
+                f"namespace depth must be >= 1, got {depth}"
+            )
+        grouped: Dict[str, IOStats] = {}
+        for label, stats in self._phase_stats.items():
+            group = self._namespace(label, depth)
+            grouped[group] = grouped.get(group, IOStats()) + stats
+        return grouped
+
+    def namespace_pool_summary(
+        self, depth: int = 1
+    ) -> Dict[str, Dict[str, int]]:
+        """Buffer-pool tallies aggregated like :meth:`namespace_summary`."""
+        if depth < 1:
+            raise ConfigurationError(
+                f"namespace depth must be >= 1, got {depth}"
+            )
+        grouped: Dict[str, Dict[str, int]] = {}
+        for label, tally in self._pool_stats.items():
+            group = self._namespace(label, depth)
+            into = grouped.setdefault(
+                group, {name: 0 for name in self._POOL_EVENTS}
+            )
+            for name, count in tally.items():
+                into[name] = into.get(name, 0) + count
+        return grouped
+
+    def namespace_table(self, depth: int = 1) -> str:
+        """:meth:`summary_table`, but with phases rolled up to their
+        first ``depth`` path components — the per-tenant view of a
+        service trace."""
+        return self._render_table(
+            self.namespace_summary(depth),
+            self.namespace_pool_summary(depth),
+        )
+
     def summary_table(self) -> str:
         """The per-phase totals as an aligned plain-text table.  Fault,
         retry, and stall columns appear only when a fault plan actually
         fired; pool columns (hits/misses/evicts, plus scrubs and
         bypasses when any occurred) only when the buffer pool was used —
         so the untouched cases look as before."""
-        stats_list = list(self._phase_stats.values())
+        return self._render_table(self._phase_stats, self._pool_stats)
+
+    def _render_table(
+        self,
+        phase_stats: Dict[str, IOStats],
+        pool_stats: Dict[str, Dict[str, int]],
+    ) -> str:
+        stats_list = list(phase_stats.values())
         degraded = any(
             s.faults or s.retries or s.stall_steps for s in stats_list
         )
-        pooled = bool(self._pool_stats)
+        pooled = bool(pool_stats)
         scrubbed = any(
             t.get("scrub") or t.get("bypass")
-            for t in self._pool_stats.values()
+            for t in pool_stats.values()
         )
         headers = ["phase", "reads", "writes", "transfers", "steps"]
         if degraded:
@@ -269,28 +329,35 @@ class Tracer:
 
         # A phase may have pool hits but no transfers (or vice versa):
         # iterate the union of both tallies' phase labels.
-        labels = sorted(set(self._phase_stats) | set(self._pool_stats))
+        labels = sorted(set(phase_stats) | set(pool_stats))
         rows = [
             cells(label,
-                  self._phase_stats.get(label, IOStats()),
-                  self._pool_stats.get(label, empty_tally))
+                  phase_stats.get(label, IOStats()),
+                  pool_stats.get(label, empty_tally))
             for label in labels
         ]
         total = IOStats()
         for stats in stats_list:
             total = total + stats
         pool_total = dict(empty_tally)
-        for tally in self._pool_stats.values():
+        for tally in pool_stats.values():
             for name, count in tally.items():
                 pool_total[name] = pool_total.get(name, 0) + count
         rows.append(cells("total", total, pool_total))
         return format_table(headers, rows)
 
-    def to_chrome(self) -> dict:
+    def to_chrome(self, namespace_lanes: int = 0) -> dict:
         """The trace in Chrome trace-event format (a JSON-able dict).
 
         Disk lanes are threads ``0..D-1``; phase spans render on lane
         ``D`` above them.  Timestamps are parallel steps.
+
+        Args:
+            namespace_lanes: when ``> 0``, add one extra lane per
+                distinct phase-path prefix of that depth (e.g. ``2``
+                with ``svc/tenant/job`` phases gives every tenant its
+                own lane of job spans).  ``0`` — the default — leaves
+                the export exactly as before.
         """
         events: List[dict] = [
             {
@@ -321,6 +388,33 @@ class Tracer:
                 "tid": phase_lane,
                 "args": {"steps": end - start},
             })
+        if namespace_lanes > 0:
+            groups = sorted({
+                self._namespace(label, namespace_lanes)
+                for label, _, _ in self._spans
+            })
+            for offset, group in enumerate(groups):
+                lane = phase_lane + 1 + offset
+                events.append({
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": lane,
+                    "args": {"name": group},
+                })
+                for label, start, end in self._spans:
+                    if self._namespace(label, namespace_lanes) != group:
+                        continue
+                    events.append({
+                        "name": label,
+                        "cat": "phase",
+                        "ph": "X",
+                        "ts": start,
+                        "dur": max(1, end - start),
+                        "pid": 0,
+                        "tid": lane,
+                        "args": {"steps": end - start},
+                    })
         events.extend(self._events)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 

@@ -29,6 +29,7 @@ from contextlib import ExitStack, contextmanager
 from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from ..core.exceptions import ConfigurationError, KeyNotFound
+from ..core.intents import PoolRead
 from ..core.machine import Machine
 
 _LEAF = "L"
@@ -177,6 +178,73 @@ class BPlusTree:
         cap = max(1, self._pool.capacity - 2)
         if len(wanted) > 1:
             self._pool.get_many(wanted[:cap])
+
+    # ------------------------------------------------------------------
+    # cooperative queries (intent-yielding generators)
+    # ------------------------------------------------------------------
+    def lookup_steps(self, key: Any, default: Any = None):
+        """Cooperative :meth:`get`: a generator that yields one
+        :class:`~repro.core.intents.PoolRead` per root-to-leaf level and
+        *returns* the value (or ``default``) — same blocks, same order
+        as the eager walk, but a driver decides when each read happens
+        and may batch it with other jobs' intents into one wave."""
+        block_id = self._root_id
+        while True:
+            [node] = yield PoolRead([block_id])
+            if self._is_leaf(node):
+                break
+            _, block_id = self._child_for(node, key)
+        keys = [entry[0] for entry in node[1:]]
+        slot = bisect_left(keys, key)
+        if slot < len(keys) and keys[slot] == key:
+            return node[1 + slot][1]
+        return default
+
+    def range_steps(self, low: Any, high: Any):
+        """Cooperative :meth:`range_query`: yields ``PoolRead`` intents
+        for the root-to-leaf walk, batches the candidate leaves under
+        the last internal node into one intent (the generator analogue
+        of :meth:`_prefetch_leaves`), then follows the leaf chain.
+        Returns the list of matching ``(key, value)`` pairs."""
+        results: List[Tuple[Any, Any]] = []
+        prefetched = {}
+        block_id = self._root_id
+        depth = 0
+        while True:
+            if block_id in prefetched:
+                node = prefetched.pop(block_id)
+            else:
+                [node] = yield PoolRead([block_id])
+            if self._is_leaf(node):
+                break
+            slot, child = self._child_for(node, low)
+            if depth == self._height - 2:
+                keys = [entry[0] for entry in node[1:]]
+                child_ids = [node[0][1]] + [entry[1] for entry in node[1:]]
+                end = slot
+                while end < len(keys) and keys[end] <= high:
+                    end += 1
+                wanted = child_ids[slot:end + 1]
+                cap = max(1, self._pool.capacity - 2)
+                wanted = wanted[:cap]
+                if len(wanted) > 1:
+                    payloads = yield PoolRead(wanted)
+                    prefetched = dict(zip(wanted, payloads))
+            block_id = child
+            depth += 1
+        while True:
+            next_leaf = node[0][1]
+            for key, value in node[1:]:
+                if key > high:
+                    return results
+                if key >= low:
+                    results.append((key, value))
+            if next_leaf == _NO_LEAF:
+                return results
+            if next_leaf in prefetched:
+                node = prefetched.pop(next_leaf)
+            else:
+                [node] = yield PoolRead([next_leaf])
 
     def min_item(self) -> Optional[Tuple[Any, Any]]:
         """Return the ``(key, value)`` pair with the smallest key, or

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Tuple
 
 from ..core.exceptions import ConfigurationError, KeyNotFound
+from ..core.intents import PoolRead
 from ..core.machine import Machine
 
 # Directory growth is capped: beyond this depth (a million directory
@@ -93,6 +94,19 @@ class ExtendibleHashTable:
         block_id = self._bucket_for(key)
         while block_id != _NO_OVERFLOW:
             bucket = self._pool.get(block_id)
+            for stored_key, value in bucket[1:]:
+                if stored_key == key:
+                    return value
+            block_id = bucket[0][1]
+        return default
+
+    def lookup_steps(self, key: Any, default: Any = None):
+        """Cooperative :meth:`get`: a generator yielding one
+        :class:`~repro.core.intents.PoolRead` per bucket in the chain
+        (normally exactly one) and returning the value or ``default``."""
+        block_id = self._bucket_for(key)
+        while block_id != _NO_OVERFLOW:
+            [bucket] = yield PoolRead([block_id])
             for stored_key, value in bucket[1:]:
                 if stored_key == key:
                     return value

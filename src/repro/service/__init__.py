@@ -1,0 +1,72 @@
+"""Multi-tenant query service over one shared external-memory machine.
+
+The survey's model gives one algorithm the whole memory hierarchy; a
+production system serves many concurrent queries from many tenants.
+This package closes that gap:
+
+* :class:`~repro.service.service.QueryService` — admits, schedules, and
+  meters cooperative jobs, interleaving their I/O intents through
+  shared parallel-disk waves.
+* :class:`~repro.service.jobs.Job` and its factories — B+-tree point
+  and range lookups, hash lookups, external sorts, sort-merge joins,
+  BFS extractions — wrapping the substrate's intent-yielding generator
+  entry points.
+* :class:`~repro.service.admission.AdmissionController` — bounded
+  queue, per-tenant concurrency caps, fair-share-aware start gating
+  with deficit-aware borrowing.
+* :class:`~repro.service.metrics.TenantMetrics` — per-tenant I/O
+  attribution and p50/p99 latency on both the transfer-step and
+  wall-step clocks.
+
+Memory is partitioned by :class:`~repro.core.memory.FairShare` /
+:class:`~repro.core.memory.SubBudget` (weighted shares that sum to
+``M``, hard floors, deficit-aware borrowing); the intent protocol
+lives in :mod:`repro.core.intents` and is re-exported here.
+"""
+
+from ..core.exceptions import AdmissionError, ShareLimitExceeded
+from ..core.intents import PoolRead, StreamRead, drive, fulfill
+from ..core.memory import FairShare, SubBudget
+from .admission import AdmissionController
+from .jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    bfs_job,
+    btree_lookup_job,
+    btree_range_job,
+    hash_lookup_job,
+    join_job,
+    sort_job,
+)
+from .metrics import TenantMetrics, nearest_rank
+from .service import QueryService, Tenant
+
+__all__ = [
+    "QueryService",
+    "Tenant",
+    "Job",
+    "AdmissionController",
+    "TenantMetrics",
+    "nearest_rank",
+    "btree_lookup_job",
+    "btree_range_job",
+    "hash_lookup_job",
+    "sort_job",
+    "join_job",
+    "bfs_job",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "PoolRead",
+    "StreamRead",
+    "drive",
+    "fulfill",
+    "FairShare",
+    "SubBudget",
+    "AdmissionError",
+    "ShareLimitExceeded",
+]

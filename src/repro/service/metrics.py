@@ -1,0 +1,102 @@
+"""Per-tenant service metrics: I/O attribution and tail latency.
+
+Latencies are measured on the machine's two global clocks — *I/O
+steps* (:attr:`~repro.core.stats.IOStats.total_steps`, transfers only)
+and *wall steps* (:attr:`~repro.core.stats.IOStats.wall_steps`,
+transfers plus stalls) — as the clock advance between a job's
+submission and its completion.  That makes a latency the whole-system
+time a job waited plus ran, queueing included, which is what a tenant
+experiences; the spread between the two clocks is exactly the stall
+time fault plans injected along the way.
+
+Percentiles use the nearest-rank method (the value at rank
+``ceil(p/100 · n)``), the standard for reporting tail latency without
+interpolation inventing values that never occurred.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import List, Optional
+
+from ..core.stats import IOStats
+
+
+# em: ok(EM003) pure statistic over in-RAM latency samples, no machine
+def nearest_rank(values: List[int], pct: float) -> Optional[int]:
+    """The nearest-rank ``pct``-th percentile of ``values`` (``None``
+    when empty).  ``pct`` is in ``(0, 100]``."""
+    if not values:
+        return None
+    ordered = sorted(values)  # em: ok(EM004) latency samples, one per job
+    rank = max(1, ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class TenantMetrics:
+    """Counters, I/O totals, and latency samples for one tenant."""
+
+    def __init__(self):
+        self.submitted = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        #: Sum of the machine-stats deltas measured around this tenant's
+        #: scheduling rounds: its reads/writes/steps *and* the stalls
+        #: its own faults cost it (other tenants' rounds never land
+        #: here — the fault-isolation ledger).
+        self.io = IOStats()
+        #: Completion latencies on the transfer-steps clock.
+        self.latency_io: List[int] = []
+        #: Completion latencies on the wall-steps clock (stalls included).
+        self.latency_wall: List[int] = []
+
+    def charge(self, delta: IOStats) -> None:
+        """Add one scheduling round's machine-stats delta."""
+        self.io = self.io + delta
+
+    def record_latency(self, io_steps: int, wall_steps: int) -> None:
+        """Record one completed job's latencies on both clocks."""
+        self.latency_io.append(io_steps)
+        self.latency_wall.append(wall_steps)
+
+    def p50_io(self) -> Optional[int]:
+        return nearest_rank(self.latency_io, 50)
+
+    def p99_io(self) -> Optional[int]:
+        return nearest_rank(self.latency_io, 99)
+
+    def p50_wall(self) -> Optional[int]:
+        return nearest_rank(self.latency_wall, 50)
+
+    def p99_wall(self) -> Optional[int]:
+        return nearest_rank(self.latency_wall, 99)
+
+    def snapshot(self) -> dict:
+        """A JSON-able summary (benchmark records and reports)."""
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "reads": self.io.reads,
+            "writes": self.io.writes,
+            "io_steps": self.io.total_steps,
+            "wall_steps": self.io.wall_steps,
+            "stall_steps": self.io.stall_steps,
+            "faults": self.io.faults,
+            "retries": self.io.retries,
+            "p50_io": self.p50_io(),
+            "p99_io": self.p99_io(),
+            "p50_wall": self.p50_wall(),
+            "p99_wall": self.p99_wall(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TenantMetrics(completed={self.completed}, "
+            f"failed={self.failed}, io_steps={self.io.total_steps}, "
+            f"wall_steps={self.io.wall_steps})"
+        )

@@ -23,10 +23,12 @@ from .runs import (
     form_runs_replacement_selection,
     identity,
 )
+from .steps import merge_sort_steps
 from .verify import is_permutation, is_sorted_stream, streams_equal
 
 __all__ = [
     "external_merge_sort",
+    "merge_sort_steps",
     "distribution_sort",
     "two_way_merge_sort",
     "merge_streams",

@@ -40,6 +40,14 @@ class TestExamples:
         assert "resumed:         output matches the clean sort" in out
         assert "retries" in out  # degraded trace grows fault columns
 
+    def test_service_mix_beats_serial_and_rolls_up_tenants(self):
+        out = run_example("service_mix.py")
+        assert "interleaved:" in out
+        assert "vs serial baseline:" in out
+        assert "svc/oltp" in out  # per-tenant roll-up table
+        assert "svc/olap" in out
+        assert "Chrome trace with per-tenant lanes" in out
+
     def test_database_join_runs_all_three_joins(self):
         out = run_example("database_join.py")
         assert "sort-merge join" in out

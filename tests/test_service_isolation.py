@@ -1,0 +1,206 @@
+"""Cross-tenant isolation regressions for the shared runtime.
+
+Three interference channels a multi-tenant service must close:
+
+* ``WriteBehind.discard`` — one tenant deleting a stream (or a failing
+  job cleaning up its intermediates) must never drop or corrupt another
+  tenant's deferred writes.
+* Deficit-aware reclaim — one tenant's hard acquire shrinking the
+  shared cache must never evict another tenant's *pinned* frames, and
+  must leave the parent ledger consistent.
+* Fault plans — a tenant whose blocks fault degrades alone: its own
+  ledger carries the faults, retries, and stalls; a permanently failing
+  block fails only the requesting job, whose cleanup returns every
+  reserved record.
+"""
+
+import random
+
+import pytest
+
+from repro.core import FileStream, Machine, MemoryLimitExceeded
+from repro.faults import FaultPlan
+from repro.search.btree import BPlusTree
+from repro.service import (
+    DONE,
+    FAILED,
+    QueryService,
+    btree_lookup_job,
+    sort_job,
+)
+
+
+def machine(B=16, m=16, D=4):
+    return Machine(block_size=B, memory_blocks=m, num_disks=D)
+
+
+def records(n, seed=0):
+    rng = random.Random(seed)
+    return [rng.randrange(10 * n) for _ in range(n)]
+
+
+class TestWriteBehindIsolation:
+    def test_discard_keeps_other_streams_pending_writes(self):
+        m = machine(B=4, m=12, D=4)
+        write_behind = m.runtime.writer
+        mine = FileStream(m, name="a")
+        theirs = FileStream(m, name="b")
+        # Interleave appends so both streams have blocks in the window.
+        mine.append_block([1] * 4)
+        theirs.append_block([2] * 4)
+        assert len(write_behind) > 0
+        mine.delete()  # discards a's deferred blocks only
+        theirs.append_block([3] * 4)
+        theirs.finalize()
+        m.runtime.flush()
+        assert list(theirs) == [2] * 4 + [3] * 4
+        assert len(write_behind) == 0
+
+    def test_discard_returns_only_the_dropped_pins(self):
+        m = machine(B=4, m=12, D=4)
+        scheduler = m.runtime.scheduler
+        write_behind = m.runtime.writer
+        a = FileStream(m, name="a")
+        b = FileStream(m, name="b")
+        a.append_block([1] * 4)
+        b.append_block([2] * 4)
+        pinned_before = scheduler.pinned
+        pending_before = len(write_behind)
+        a.delete()
+        dropped = pending_before - len(write_behind)
+        assert scheduler.pinned == pinned_before - dropped
+        b.finalize()
+        m.runtime.flush()
+        assert scheduler.pinned == 0
+
+    def test_failed_job_cleanup_spares_other_tenants_output(self):
+        """A sort job killed by a permanent fault deletes its own
+        intermediate runs; the other tenant's sort must still produce
+        byte-correct output."""
+        m = machine()
+        data_a = records(600, seed=1)
+        data_b = records(600, seed=2)
+        stream_a = FileStream.from_records(m, data_a, name="a")
+        stream_b = FileStream.from_records(m, data_b, name="b")
+        m.pool.flush_all()
+        m.runtime.flush()
+        m.reset_stats()
+
+        victim_block = list(stream_a.block_ids)[0]
+        svc = QueryService(m)
+        svc.add_tenant("doomed", weight=1, max_running=1)
+        svc.add_tenant("healthy", weight=1, max_running=1)
+        job_a = svc.submit("doomed", sort_job(m, stream_a, name="sa"))
+        job_b = svc.submit("healthy", sort_job(m, stream_b, name="sb"))
+        plan = FaultPlan(seed=7, fail_block_reads={victim_block: None})
+        with m.inject_faults(plan):
+            svc.run()
+
+        assert job_a.status == FAILED
+        assert job_b.status == DONE
+        assert list(job_b.result) == sorted(data_b)
+        # The failed job's cleanup returned its share in full.
+        assert svc.tenant("doomed").share.in_use == 0
+        assert m.budget.in_use == 0
+
+
+class TestReclaimIsolation:
+    def test_reclaim_never_evicts_pinned_frames(self):
+        m = machine(B=4, m=8, D=2)
+        block = m.disk.allocate(0)
+        m.disk.write(block, [9] * 4)
+        m.pool.get(block)
+        m.pool.pin(block)
+        # Fill the rest of M with a hard acquire: the reclaimer must
+        # shrink the cache around the pinned frame, not through it.
+        free = m.budget.capacity - m.budget.in_use
+        m.budget.acquire(free)
+        assert m.pool.is_resident(block)
+        assert m.pool.get(block) == [9] * 4
+        # The pinned frame is hard memory now; one more record must
+        # fail instead of scrubbing it.
+        with pytest.raises(MemoryLimitExceeded):
+            m.budget.acquire(1)
+        m.budget.release(free)
+        m.pool.unpin(block)
+
+    def test_tenant_pressure_reclaims_only_cache(self):
+        """One tenant's SubBudget acquire under a full cache reclaims
+        pool frames (reclaimable column) and never touches another
+        tenant's hard in_use."""
+        m = machine(B=4, m=12, D=2)
+        from repro.core import FairShare
+        fair = FairShare(m.budget)
+        a = fair.add_share("a", weight=1)
+        b = fair.add_share("b", weight=1)
+        b.acquire(b.capacity)  # b's hard floor, fully used
+        # Warm the cache up to the remaining capacity.
+        blocks = []
+        for i in range(a.capacity // m.block_size):
+            blk = m.disk.allocate(i % m.num_disks)
+            m.disk.write(blk, [i] * 4)
+            m.pool.get(blk)
+            blocks.append(blk)
+        assert m.budget.reclaimable > 0
+        a.acquire(a.capacity)  # forces reclaim of cached frames
+        assert a.in_use == a.capacity
+        assert b.in_use == b.capacity
+        assert m.budget.in_use == m.budget.capacity
+        a.release(a.capacity)
+        b.release(b.capacity)
+
+
+class TestFaultIsolation:
+    def build(self):
+        m = machine()
+        tree = BPlusTree.bulk_load(m, ((i, i) for i in range(2000)))
+        stream = FileStream.from_records(m, records(1500, seed=3),
+                                         name="olap/in")
+        m.pool.flush_all()
+        m.runtime.flush()
+        m.reset_stats()
+        svc = QueryService(m)
+        svc.add_tenant("oltp", weight=1, max_running=8)
+        svc.add_tenant("olap", weight=2, max_running=2)
+        rng = random.Random(5)
+        lookups = [
+            svc.submit("oltp", btree_lookup_job(tree, rng.randrange(2000)))
+            for _ in range(40)
+        ]
+        sort = svc.submit("olap", sort_job(m, stream, name="bigsort"))
+        return m, svc, stream, lookups, sort
+
+    def test_transient_faults_charged_to_faulted_tenant_only(self):
+        m, svc, stream, lookups, sort = self.build()
+        victim = list(stream.block_ids)[0]
+        plan = FaultPlan(seed=1, fail_block_reads={victim: 2})
+        with m.inject_faults(plan):
+            report = svc.run()
+        assert sort.status == DONE
+        assert all(j.status == DONE for j in lookups)
+        oltp = report["tenants"]["oltp"]
+        olap = report["tenants"]["olap"]
+        assert oltp["faults"] == 0
+        assert oltp["retries"] == 0
+        assert oltp["stall_steps"] == 0
+        assert olap["faults"] > 0
+        assert olap["retries"] > 0
+        assert olap["stall_steps"] > 0
+        # The stalls widen the faulted tenant's wall clock only.
+        assert olap["wall_steps"] > olap["io_steps"]
+        assert oltp["wall_steps"] == oltp["io_steps"]
+
+    def test_permanent_fault_fails_only_the_victim_job(self):
+        m, svc, stream, lookups, sort = self.build()
+        victim = list(stream.block_ids)[0]
+        plan = FaultPlan(seed=1, fail_block_reads={victim: None})
+        with m.inject_faults(plan):
+            report = svc.run()
+        assert sort.status == FAILED
+        assert sort.error is not None
+        assert all(j.status == DONE for j in lookups)
+        assert report["tenants"]["olap"]["failed"] == 1
+        assert report["tenants"]["oltp"]["completed"] == 40
+        # The victim's generator cleanup released every reservation.
+        assert svc.tenant("olap").share.in_use == 0
+        assert m.budget.in_use == 0

@@ -29,6 +29,12 @@ One analyzer record times each EM-lint tier (per-line EM0xx, flow
 EM1xx, cost EM2xx, typestate EM3xx) over ``src/repro`` so regressions
 in analysis wall-time show up per commit; every tier must also report
 a triaged tree (zero unwaived findings).
+
+A multi-tenant service record runs the F24 chaos mix (OLTP point reads
+interleaved with an OLAP sort) at smoke scale, asserting the
+interleaved schedule beats the serial baseline on wall steps, each
+tenant's memory peak stays within its fair share, and a fault plan
+targeting OLAP blocks charges zero faults/stalls to the OLTP tenant.
 """
 
 import argparse
@@ -310,16 +316,105 @@ def analyzer_smoke():
             "points": points}
 
 
+SVC_B, SVC_M_BLOCKS, SVC_DISKS = 16, 16, 4
+SVC_TREE_N, SVC_SORT_N, SVC_LOOKUPS = 1_200, 900, 24
+
+
+def _service_run(max_running=None, faulted=False):
+    from repro.service import QueryService, btree_lookup_job, sort_job
+
+    machine = Machine(block_size=SVC_B, memory_blocks=SVC_M_BLOCKS,
+                      num_disks=SVC_DISKS)
+    tree = BPlusTree.bulk_load(
+        machine, ((i, i) for i in range(SVC_TREE_N))
+    )
+    rng = random.Random(3)
+    sort_in = FileStream.from_records(
+        machine,
+        [rng.randrange(10 * SVC_SORT_N) for _ in range(SVC_SORT_N)],
+        name="olap/in",
+    )
+    machine.pool.flush_all()
+    machine.runtime.flush()
+    machine.reset_stats()
+    service = QueryService(machine, max_running=max_running)
+    oltp = service.add_tenant("oltp", weight=1, max_running=8)
+    olap = service.add_tenant("olap", weight=2, max_running=1)
+    picker = random.Random(5)
+    for _ in range(SVC_LOOKUPS):
+        service.submit("oltp", btree_lookup_job(
+            tree, picker.randrange(SVC_TREE_N)
+        ))
+    service.submit("olap", sort_job(machine, sort_in, name="bigsort"))
+    if faulted:
+        victim = list(sort_in.block_ids)[0]
+        plan = FaultPlan(seed=11, fail_block_reads={victim: 2})
+        with machine.inject_faults(plan):
+            summary = service.run()
+    else:
+        summary = service.run()
+    for tenant in (oltp, olap):
+        assert tenant.share.peak <= tenant.share.capacity, (
+            f"{tenant.name}: peak {tenant.share.peak} exceeds "
+            f"share {tenant.share.capacity}"
+        )
+        assert not any(job.error for job in tenant.done)
+    return summary
+
+
+def service_smoke():
+    """F24 at smoke scale: interleaved vs serial wall steps, fair-share
+    peaks, and per-tenant fault isolation."""
+    interleaved = _service_run()
+    serial = _service_run(max_running=1)
+    faulted = _service_run(faulted=True)
+    assert (interleaved["total_wall_steps"]
+            < serial["total_wall_steps"]), (
+        f"interleaved {interleaved['total_wall_steps']} wall steps vs "
+        f"serial {serial['total_wall_steps']}"
+    )
+    oltp = faulted["tenants"]["oltp"]
+    olap = faulted["tenants"]["olap"]
+    assert oltp["faults"] == 0 and oltp["stall_steps"] == 0
+    assert olap["faults"] > 0 and olap["stall_steps"] > 0
+    points = []
+    for label, run in (("interleaved", interleaved),
+                       ("serial", serial), ("faulted", faulted)):
+        for name, row in sorted(run["tenants"].items()):
+            points.append({
+                "schedule": label,
+                "tenant": name,
+                "completed": row["completed"],
+                "io_steps": row["io_steps"],
+                "stall_steps": row["stall_steps"],
+                "p50_io": row["p50_io"],
+                "p99_io": row["p99_io"],
+                "p50_wall": row["p50_wall"],
+                "p99_wall": row["p99_wall"],
+            })
+        points.append({
+            "schedule": label,
+            "tenant": "(total)",
+            "io_steps": run["total_io_steps"],
+            "stall_steps": run["total_stall_steps"],
+            "wall_steps": run["total_wall_steps"],
+        })
+    return {"name": "f24_service", "B": SVC_B,
+            "M": SVC_B * SVC_M_BLOCKS, "D": SVC_DISKS,
+            "lookups": SVC_LOOKUPS, "sort_n": SVC_SORT_N,
+            "points": points}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr7.json",
+    parser.add_argument("--output", default="BENCH_pr8.json",
                         help="path of the JSON summary (default: %(default)s)")
     args = parser.parse_args(argv)
     summary = {"benchmarks": [f1_smoke(), f12_smoke(),
                               faulted_sort_smoke(), f19_pq_budget_smoke(),
                               pool_hit_rate_smoke(),
                               faulted_query_smoke(),
-                              analyzer_smoke()]}
+                              analyzer_smoke(), service_smoke()]}
     with open(args.output, "w") as fh:
         fh.write(json.dumps(summary, indent=2) + "\n")
     for bench in summary["benchmarks"]:
