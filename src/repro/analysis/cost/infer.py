@@ -88,6 +88,14 @@ _STRUCTURE_COSTS: Dict[str, Dict[str, Cost]] = {
         "delete": [Term(1, {"B": -1, "logm": 1})],
         "flush": [Term(1, {"N": 1, "B": -1, "logm": 1})],
     },
+    "Sorter": {
+        # pipelined sort: push amortizes the run write plus this
+        # record's share of the intermediate merge passes; finish
+        # reads the final merge back through the pull iterator.
+        "push": [Term(1, {"B": -1, "logm": 1})],
+        "consume": [Term(1, {"N": 1, "B": -1, "logm": 1})],
+        "finish": [Term(1, {"N": 1, "B": -1})],
+    },
     "ExternalStack": {
         "push": [Term(1, {"B": -1})],
         "pop": [Term(1, {"B": -1})],

@@ -39,6 +39,7 @@ def run_checks(project: Project) -> List[Finding]:
             if module.kind == "algorithm":
                 findings.extend(_em102(project, func))
                 findings.extend(_em103(project, func))
+                findings.extend(_em103_fusion(func))
                 findings.extend(_em104(func))
                 findings.extend(_em105(project, func))
     findings.extend(_em101_transfers(project))
@@ -528,6 +529,89 @@ def _em103(project: Project, func: FunctionInfo) -> List[Finding]:
                 trace=(f"call at {func.path}:{site.lineno}",
                        f"{callee.display()} materializes "
                        f"{callee.params[j]!r}: {evidence}"),
+            ))
+    return findings
+
+
+#: sorts that materialize their output as a stream on disk; when that
+#: output is consumed by exactly one sequential scan, a pipelined
+#: Sorter boundary elides the materialization
+_MATERIALIZING_SORTS = {
+    "external_merge_sort", "two_way_merge_sort", "distribution_sort",
+    "external_string_sort", "buffer_tree_sort",
+}
+
+#: stream methods that manage the object rather than read its records
+_LIFECYCLE_METHODS = {"delete", "close", "finalize"}
+
+
+def _em103_fusion(func: FunctionInfo) -> List[Finding]:
+    """Materialized sort outputs read exactly once.
+
+    ``x = external_merge_sort(...)`` followed by a single sequential
+    scan of ``x`` (plus lifecycle calls) pays ``2·(N/DB)`` I/Os to park
+    the sorted order on disk for one read; a pipelined
+    :class:`~repro.pipeline.sorter.Sorter` pulls the final merge
+    straight into the consumer and skips the round trip.
+    """
+    findings: List[Finding] = []
+    sorted_streams: Dict[str, Tuple[ast.Assign, str]] = {}
+    for node in walk_shallow(func.node):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)):
+            head = node.value.func
+            head_name = head.id if isinstance(head, ast.Name) else \
+                head.attr if isinstance(head, ast.Attribute) else None
+            if head_name in _MATERIALIZING_SORTS:
+                target = node.targets[0].id
+                if target in sorted_streams:
+                    sorted_streams.pop(target)  # rebound: ambiguous
+                else:
+                    sorted_streams[target] = (node, head_name)
+
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in walk_shallow(func.node):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    for name, (assign, sort_fn) in sorted_streams.items():
+        scans = 0
+        other = 0
+        for node in walk_shallow(func.node):
+            if not (isinstance(node, ast.Name) and node.id == name
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.For) and parent.iter is node:
+                scans += 1
+            elif (isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id == "iter"
+                    and node in parent.args):
+                scans += 1
+            elif (isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id == "len"):
+                pass  # size probe, not a read
+            elif isinstance(parent, ast.Attribute) \
+                    and parent.attr in _LIFECYCLE_METHODS:
+                pass
+            elif parent is assign.value:
+                pass  # ``x = sort(machine, x, ...)`` rebinding read
+            else:
+                other += 1
+        if scans == 1 and other == 0:
+            findings.append(Finding(
+                rule="EM103", path=func.path, line=assign.lineno,
+                col=assign.col_offset + 1,
+                message=f"sorted stream {name!r} is materialized by "
+                        f"{sort_fn}() and then consumed by a single "
+                        "sequential scan: a pipelined Sorter boundary "
+                        "skips the ~2·(N/DB) I/O round trip through "
+                        "disk",
+                trace=(f"{sort_fn}() at {func.path}:{assign.lineno}",
+                       f"sole sequential scan of {name!r}"),
             ))
     return findings
 

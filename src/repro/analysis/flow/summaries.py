@@ -238,6 +238,20 @@ class Project:
         # aliases / stream names / local constructor types first, from
         # plain assignments anywhere in the body
         for node in walk_shallow(func.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                # ``with C(...) as name`` binds ``name`` to a C for the
+                # block's duration; record the type so receiver-based
+                # contracts (cost tier) resolve.  Deliberately *not*
+                # added to constructed_types: __exit__ owns the
+                # cleanup, so lifecycle rules have nothing to track.
+                for item in node.items:
+                    var = item.optional_vars
+                    expr = item.context_expr
+                    if (isinstance(var, ast.Name)
+                            and isinstance(expr, ast.Call)):
+                        head = _call_head(expr)
+                        if head and head in self.classes_by_name:
+                            func.local_types.setdefault(var.id, head)
             if isinstance(node, ast.Assign) and len(node.targets) == 1:
                 target = node.targets[0]
                 value = node.value

@@ -120,6 +120,7 @@ CHARGED_SINKS = STREAM_CLASSES | {
     "Table", "AdjacencyStore", "ExternalMatrix", "BufferTree",
     "BPlusTree", "ExtendibleHashTable", "ExternalPriorityQueue",
     "BTreePriorityQueue", "BlockFile", "ExternalStack", "ExternalQueue",
+    "Sorter", "ExVector",
 }
 
 #: library functions known to return a (finalized) stream
@@ -336,6 +337,14 @@ class ComplianceVisitor(ast.NodeVisitor):
         )
         for item in node.items:
             self.visit(item.context_expr)
+            # ``with Sorter(...) as sorter`` binds a charged sink /
+            # stream for the block, same as the assignment form
+            if isinstance(item.optional_vars, ast.Name):
+                name = item.optional_vars.id
+                if self._is_stream_expr(item.context_expr):
+                    self._scope.stream_names.add(name)
+                elif self._is_charged_expr(item.context_expr):
+                    self._scope.charged_names.add(name)
         if reserves:
             self._budget_depth += 1
         try:

@@ -23,6 +23,7 @@ from .mst import external_boruvka, semi_external_kruskal
 from .sssp import external_dijkstra, semi_external_dijkstra
 from .list_ranking import (
     list_ranking,
+    list_ranking_materialized,
     pointer_chase_ranking,
     weighted_list_ranking,
 )
@@ -30,6 +31,7 @@ from .timeforward import (
     dag_longest_paths,
     evaluate_circuit,
     time_forward_process,
+    time_forward_process_materialized,
 )
 
 __all__ = [
@@ -39,11 +41,13 @@ __all__ = [
     "semi_external_bfs",
     "bfs_extract_steps",
     "list_ranking",
+    "list_ranking_materialized",
     "pointer_chase_ranking",
     "external_components",
     "semi_external_components",
     "dfs_components",
     "time_forward_process",
+    "time_forward_process_materialized",
     "dag_longest_paths",
     "evaluate_circuit",
     "weighted_list_ranking",

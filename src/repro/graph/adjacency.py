@@ -57,6 +57,7 @@ class AdjacencyStore:
             directed.append((v, u))
             num_edges += 1
         directed.finalize()
+        # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
         ordered = external_merge_sort(
             machine, directed, key=lambda e: e, keep_input=False
         )
@@ -124,6 +125,7 @@ class AdjacencyStore:
             directed.append((u, (v, w)))
             directed.append((v, (u, w)))
         directed.finalize()
+        # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
         ordered = external_merge_sort(
             machine, directed, key=lambda e: e, keep_input=False
         )

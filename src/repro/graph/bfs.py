@@ -176,6 +176,7 @@ def mr_bfs(machine: Machine, adjacency: AdjacencyStore,
                 for neighbor in adjacency.neighbors(vertex):
                     neighbor_stream.append(neighbor)
             neighbor_stream.finalize()
+            # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
             ordered = external_merge_sort(
                 machine, neighbor_stream, keep_input=False
             )

@@ -153,6 +153,7 @@ def _normalize_edges(
             continue
         oriented.append((min(u, v), max(u, v)))
     oriented.finalize()
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     ordered = external_merge_sort(machine, oriented, keep_input=False)
     unique = FileStream(machine, name="cc/edges")
     previous = None
@@ -176,6 +177,7 @@ def _hook_to_min_neighbor(
         directed.append((u, v))
         directed.append((v, u))
     directed.finalize()
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     ordered = external_merge_sort(machine, directed, keep_input=False)
     parents = FileStream(machine, name="cc/parents")
     current = None
@@ -201,6 +203,7 @@ def _pointer_jump_to_roots(
     current = parents
     while True:
         # Join current (keyed by parent) with current (keyed by vertex).
+        # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
         by_parent = external_merge_sort(
             machine, current, key=lambda r: r[1]
         )
@@ -233,6 +236,7 @@ def _relabel(
     machine: Machine, labels: FileStream, roots: FileStream
 ) -> FileStream:
     """Map every original vertex through the round's root assignment."""
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     by_rep = external_merge_sort(
         machine, labels, key=lambda r: r[1], keep_input=False
     )
@@ -290,6 +294,7 @@ def _contract_edges(
             cleaned.append((min(u, v), max(u, v)))
     edges.delete()
     cleaned.finalize()
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     ordered = external_merge_sort(machine, cleaned, keep_input=False)
     unique = FileStream(machine, name="cc/edges")
     previous = None

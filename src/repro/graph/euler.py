@@ -73,6 +73,7 @@ def build_euler_tour(
         )
 
     # Arc ids = position in the (dst, src) sort order.
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     by_head = external_merge_sort(
         machine, arcs, key=lambda a: (a[1], a[0]), keep_input=False
     )

@@ -26,6 +26,7 @@ from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError, MemoryLimitExceeded
 from ..core.machine import Machine
 from ..core.stream import FileStream
+from ..pipeline.sorter import Sorter
 from ..search.hashing import _hash_bits
 from ..sort.merge import external_merge_sort
 
@@ -113,7 +114,33 @@ def list_ranking(
     inherits their weight) and remembered on a side stream.  Once the
     list fits in memory it is walked directly; side streams are then
     replayed in reverse to reintegrate the spliced nodes.
+
+    Every sort in the contraction is pipelined (see
+    :func:`_rank_recursive`); :func:`list_ranking_materialized` keeps
+    the stream-to-stream rounds as the measured control.
     """
+    ordered = _ordered_input(
+        machine, ((node, successor, 1) for node, successor in pairs)
+    )
+    ranked = _rank_recursive(machine, ordered, seed)
+    ordered.delete()
+    ranks = {node: rank for node, rank in ranked}
+    ranked.delete()
+    return ranks
+
+
+@io_bound(_ranking_theory, factor=4.0)
+def list_ranking_materialized(
+    machine: Machine,
+    pairs: Iterable[Tuple[int, int]],
+    seed: int = 0,
+) -> Dict[int, int]:
+    """The stream-to-stream contraction: every round materializes its
+    intermediate streams and sorts them disk-to-disk.
+
+    Kept as the measured control for the pipelining experiment (F25)
+    and the fused/materialized parity suite; new code should call
+    :func:`list_ranking`."""
     records = FileStream(machine, name="listrank/input")
     for node, successor in pairs:
         records.append((node, successor, 1))
@@ -121,7 +148,7 @@ def list_ranking(
     ordered = external_merge_sort(
         machine, records, key=lambda r: r[0], keep_input=False
     )
-    ranked = _rank_recursive(machine, ordered, seed)
+    ranked = _rank_recursive_materialized(machine, ordered, seed)
     ordered.delete()
     ranks = {node: rank for node, rank in ranked}
     ranked.delete()
@@ -143,18 +170,33 @@ def weighted_list_ranking(
     tour tree labelling (depths via ±1 weights).  Same ``O(Sort(N))``
     expected cost.
     """
-    records = FileStream(machine, name="listrank/input")
-    for node, successor, weight in triples:
-        records.append((node, successor, weight))
-    records.finalize()
-    ordered = external_merge_sort(
-        machine, records, key=lambda r: r[0], keep_input=False
-    )
+    ordered = _ordered_input(machine, triples)
     ranked = _rank_recursive(machine, ordered, seed)
     ordered.delete()
     ranks = {node: rank for node, rank in ranked}
     ranked.delete()
     return ranks
+
+
+def _ordered_input(
+    machine: Machine,
+    triples: Iterable[Tuple[int, int, int]],
+) -> FileStream:
+    """Sort ``(node, succ, weight)`` triples by node id straight off the
+    producer: the unsorted input is pushed into a pipelined sorter and
+    only the node-ordered recursion input is ever written."""
+    out = FileStream(machine, name="listrank/input")
+    try:
+        with Sorter(
+            machine, key=lambda r: r[0], name="listrank/input-sort"
+        ) as sorter:
+            sorter.consume(triples)
+            for record in sorter.finish():
+                out.append(record)
+        return out.finalize()
+    except BaseException:
+        out.delete()
+        raise
 
 
 def _rank_recursive(
@@ -166,7 +208,195 @@ def _rank_recursive(
     node id; returns a stream of ``(node, rank)`` sorted by node id.
 
     The input stream is read but never deleted — the caller owns it (and
-    may still need it after the call, e.g. for reintegration weights)."""
+    may still need it after the call, e.g. for reintegration weights).
+
+    Every sort in a round is a pipelined :class:`Sorter`: producers push
+    records straight into run formation and consumers pull the final
+    merge, so none of the round's intermediates (predecessor pairs,
+    survivors, patched pieces, restored ranks) ever exists as a stream
+    on disk.  Only two round-local streams are materialized — the
+    ``removed`` side records, which are read twice (splice and
+    reintegration) and arrive already in node order, and the
+    ``contracted`` list, which is both the recursion input and the
+    predecessor-weight lookup.  That is also the round's whole
+    across-the-recursion disk footprint, so the peak stays ``O(N/B)``
+    blocks over all depths (the geometric series), a property
+    regression-tested in ``test_pipeline.py``.
+    """
+    n = len(records)
+    base_capacity = machine.M - 2 * machine.B
+    if n <= base_capacity:
+        return _rank_in_memory(machine, records)
+
+    def coin(node: int) -> bool:
+        return bool(_hash_bits((node, salt)) & 1)
+
+    # Each pulled final merge runs concurrently with up to two plain
+    # scans, one writer, and the next sorter's run buffer; cap the pull
+    # width to leave them frames.  Width 1 (tiny machines) degrades to
+    # the materialized sort's cost, never worse.
+    width = max(1, machine.m - 4)
+    sorters: List[Sorter] = []
+
+    try:
+        # --- 1. attach predecessors: pred[succ] = node, pushed
+        # straight into a sorter keyed by successor -------------------
+        preds = Sorter(machine, key=lambda r: r[0],
+                       name="listrank/preds", final_fan_in=width)
+        sorters.append(preds)
+        preds.consume(
+            (successor, node)
+            for node, successor, _ in records
+            if successor != _TAIL
+        )
+
+        # --- 2. classify: independent set = coin(v) & ~coin(pred(v)).
+        # Merge records (by node) with the pulled preds (by node);
+        # survivors go straight into the splice sorter keyed by
+        # *successor*, removed nodes land on a side stream — appended
+        # in node order, so it never needs sorting. -------------------
+        pred_iter = iter(preds.finish())
+        # headroom: the same loop that pushes survivors appends removed
+        # nodes to a side stream whose writer frame is acquired lazily.
+        by_succ = Sorter(machine, key=lambda r: r[1],
+                         name="listrank/by-succ", final_fan_in=width,
+                         headroom=1)
+        sorters.append(by_succ)
+        removed = FileStream(machine, name="listrank/removed")
+        pred_entry = next(pred_iter, None)
+        for node, successor, weight in records:
+            while pred_entry is not None and pred_entry[0] < node:
+                pred_entry = next(pred_iter, None)
+            predecessor = (
+                pred_entry[1]
+                if pred_entry is not None and pred_entry[0] == node
+                else None
+            )
+            in_set = (
+                predecessor is not None
+                and coin(node)
+                and not coin(predecessor)
+            )
+            if in_set:
+                # (node, pred, succ, weight): enough to splice and
+                # restore.
+                removed.append((node, predecessor, successor, weight))
+            else:
+                by_succ.push((node, successor, weight))
+        pred_iter.close()  # release the pull's reader frames eagerly
+        removed.finalize()
+
+        if len(removed) == 0:
+            # Unlucky coins removed nothing: the survivors are exactly
+            # the input, so retry straight on it with a fresh salt.
+            removed.delete()
+            return _rank_recursive(machine, records, salt + 1)
+
+        # --- 3. splice: survivors whose successor was removed now
+        # point to the removed node's successor and absorb its weight.
+        # The pulled by-successor order merges against a plain scan of
+        # ``removed`` (node order); patched pieces go straight into the
+        # next sorter, back toward node order. ------------------------
+        removed_iter = iter(removed)
+        removed_entry = next(removed_iter, None)
+        by_succ_iter = iter(by_succ.finish())
+        contractor = Sorter(machine, key=lambda r: r[0],
+                            name="listrank/contracted",
+                            final_fan_in=width)
+        sorters.append(contractor)
+        for node, successor, weight in by_succ_iter:
+            while removed_entry is not None \
+                    and removed_entry[0] < successor:
+                removed_entry = next(removed_iter, None)
+            if (
+                successor != _TAIL
+                and removed_entry is not None
+                and removed_entry[0] == successor
+            ):
+                _, _, removed_succ, removed_weight = removed_entry
+                contractor.push(
+                    (node, removed_succ, weight + removed_weight)
+                )
+            else:
+                contractor.push((node, successor, weight))
+        removed_iter.close()
+
+        # The contracted list is the one intermediate that must be
+        # materialized: it is the recursion input and, afterwards, the
+        # predecessor-weight lookup.
+        contracted = FileStream(machine, name="listrank/contracted")
+        for record in contractor.finish():
+            contracted.append(record)
+        contracted.finalize()
+
+        # --- 4. recurse ----------------------------------------------
+        sub_ranks = _rank_recursive(machine, contracted, salt + 1)
+
+        # --- 5. reintegrate: rank(removed) = rank(pred) + weight(pred
+        # at time of removal) = rank(pred) + (pred's contracted weight
+        # - removed node's own weight).  Removed records are re-pushed
+        # keyed by *predecessor* and the pull merges against scans of
+        # sub_ranks and contracted (both in node order). --------------
+        by_pred = Sorter(machine, key=lambda r: r[1],
+                         name="listrank/by-pred", final_fan_in=width)
+        sorters.append(by_pred)
+        by_pred.consume(iter(removed))
+        by_pred_iter = iter(by_pred.finish())
+        restored = Sorter(machine, key=lambda r: r[0],
+                          name="listrank/restored", final_fan_in=width)
+        sorters.append(restored)
+        rank_iter = iter(sub_ranks)
+        info_iter = iter(contracted)
+        rank_entry = next(rank_iter, None)
+        info_entry = next(info_iter, None)
+        for node, predecessor, _, weight in by_pred_iter:
+            while rank_entry is not None and rank_entry[0] < predecessor:
+                rank_entry = next(rank_iter, None)
+            while info_entry is not None and info_entry[0] < predecessor:
+                info_entry = next(info_iter, None)
+            assert rank_entry is not None and rank_entry[0] == predecessor
+            assert info_entry is not None and info_entry[0] == predecessor
+            pred_rank = rank_entry[1]
+            pred_weight_now = info_entry[2]
+            restored.push(
+                (node, pred_rank + (pred_weight_now - weight))
+            )
+        rank_iter.close()
+        info_iter.close()
+        contracted.delete()
+        removed.delete()
+
+        # --- 6. merge sub_ranks with the pulled restored order (both
+        # sorted by node) into the result stream. ---------------------
+        merged = FileStream(machine, name="listrank/ranks")
+        a_iter = iter(sub_ranks)
+        b_iter = iter(restored.finish())
+        a = next(a_iter, None)
+        b = next(b_iter, None)
+        while a is not None or b is not None:
+            if b is None or (a is not None and a[0] < b[0]):
+                merged.append(a)
+                a = next(a_iter, None)
+            else:
+                merged.append(b)
+                b = next(b_iter, None)
+        a_iter.close()
+        merged.finalize()
+        sub_ranks.delete()
+        return merged
+    finally:
+        for sorter in sorters:
+            sorter.close()
+
+
+def _rank_recursive_materialized(
+    machine: Machine,
+    records: FileStream,
+    salt: int,
+) -> FileStream:
+    """The stream-to-stream round: every intermediate is materialized
+    and every sort is disk-to-disk — the measured control for
+    :func:`_rank_recursive`'s fused rounds."""
     n = len(records)
     base_capacity = machine.M - 2 * machine.B
     if n <= base_capacity:
@@ -178,6 +408,7 @@ def _rank_recursive(
         if successor != _TAIL:
             pred_stream.append((successor, node))
     pred_stream.finalize()
+    # em: ok(EM103) materialized control for F25/parity
     preds = external_merge_sort(
         machine, pred_stream, key=lambda r: r[0], keep_input=False
     )
@@ -190,7 +421,6 @@ def _rank_recursive(
     # predecessor; emit contracted list pieces and side records.
     survivors = FileStream(machine, name="listrank/survivors")
     removed = FileStream(machine, name="listrank/removed")
-    removed_index = FileStream(machine, name="listrank/removed-idx")
     pred_iter = iter(preds)
     pred_entry = next(pred_iter, None)
     for node, successor, weight in records:
@@ -209,29 +439,32 @@ def _rank_recursive(
         if in_set:
             # (node, pred, succ, weight): enough to splice and restore.
             removed.append((node, predecessor, successor, weight))
-            removed_index.append((node,))
         else:
             survivors.append((node, successor, weight))
     pred_iter.close()  # release the lookup reader's frame
     survivors.finalize()
     removed.finalize()
-    removed_index.finalize()
     preds.delete()
 
     if len(removed) == 0:
         # Unlucky coins removed nothing; retry with a fresh salt.
-        result = _rank_recursive(machine, survivors, salt + 1)
+        result = _rank_recursive_materialized(
+            machine, survivors, salt + 1
+        )
         survivors.delete()
         removed.delete()
-        removed_index.delete()
         return result
 
     # --- 3. splice: survivors whose successor was removed now point to
     # the removed node's successor and absorb its weight. -------------
-    # Join survivors (keyed by successor) with removed (keyed by node).
+    # Join survivors (keyed by successor) with removed (keyed by node;
+    # it was appended in node order, so the sort is a formality kept
+    # for the control's stream-to-stream shape).
+    # em: ok(EM103) materialized control for F25/parity
     by_successor = external_merge_sort(
         machine, survivors, key=lambda r: r[1], keep_input=False
     )
+    # em: ok(EM103) materialized control for F25/parity
     removed_sorted = external_merge_sort(
         machine, removed, key=lambda r: r[0]
     )
@@ -260,7 +493,7 @@ def _rank_recursive(
     )
 
     # --- 4. recurse -------------------------------------------------
-    sub_ranks = _rank_recursive(machine, contracted, salt + 1)
+    sub_ranks = _rank_recursive_materialized(machine, contracted, salt + 1)
 
     # --- 5. reintegrate: rank(removed) = rank(pred) + weight(pred at
     # time of removal).  The predecessor's weight then was its *current*
@@ -268,6 +501,7 @@ def _rank_recursive(
     # so recompute: rank(node) = rank(pred) + (weight added when stepping
     # pred -> node), which equals pred's weight before splicing =
     # pred's weight in the contracted list minus node's weight.
+    # em: ok(EM103) materialized control for F25/parity
     removed_by_pred = external_merge_sort(
         machine, removed, key=lambda r: r[1], keep_input=False
     )
@@ -296,6 +530,7 @@ def _rank_recursive(
     contracted.delete()
 
     # --- 6. merge sub_ranks with restored (both → sorted by node) ----
+    # em: ok(EM103) materialized control for F25/parity
     restored_sorted = external_merge_sort(
         machine, restored, key=lambda r: r[0], keep_input=False
     )
@@ -315,7 +550,6 @@ def _rank_recursive(
     sub_ranks.delete()
     restored_sorted.delete()
     removed.delete()
-    removed_index.delete()
     survivors.delete()
     return merged
 

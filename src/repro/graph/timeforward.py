@@ -24,6 +24,7 @@ from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
+from ..pipeline.sorter import Sorter
 from ..pq.sequence_heap import ExternalPriorityQueue
 from ..sort.merge import external_merge_sort
 
@@ -63,6 +64,67 @@ def time_forward_process(
 
     Returns ``{vertex: value}``.  Cost: one external sort of the edges
     plus ``O(E)`` batched priority-queue operations — ``O(Sort(E))``.
+
+    The edge sort is pipelined: validated edges are pushed straight
+    into a :class:`~repro.pipeline.sorter.Sorter` (no edge stream is
+    ever written) and the vertex loop pulls the sorted order straight
+    out of its final merge (no sorted stream either) — ``~4·(N/DB)``
+    I/Os saved over :func:`time_forward_process_materialized`.  The
+    pull's reader frames stay held for the whole traversal, so the
+    final merge width is capped to leave the priority queue its share
+    of the frame budget.
+    """
+
+    def validated() -> Iterable[Tuple[int, int]]:
+        for u, v in edges:
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise ConfigurationError(
+                    f"edge ({u}, {v}) outside vertex range"
+                )
+            if u >= v:
+                raise ConfigurationError(
+                    f"edge ({u}, {v}) violates topological numbering "
+                    f"(u < v)"
+                )
+            yield (u, v)
+
+    results: Dict[int, Any] = {}
+    width = max(1, machine.m // 4)
+    with Sorter(machine, name="tfp/edges", final_fan_in=width) as sorter:
+        # finish() before the queue exists: it releases the push
+        # phase's memoryload reservation, leaving the frame budget to
+        # the pull readers and the queue.
+        sorter.consume(validated())
+        edge_iter = iter(sorter.finish())
+        with ExternalPriorityQueue(machine) as queue:
+            pending = next(edge_iter, None)
+            for vertex in range(num_vertices):
+                incoming: List[Any] = []
+                while len(queue) > 0 and \
+                        queue.peek_min()[0][0] == vertex:
+                    (_, sender), value = queue.delete_min()
+                    incoming.append(value)
+                value = compute(vertex, incoming)
+                results[vertex] = value
+                while pending is not None and pending[0] == vertex:
+                    queue.insert((pending[1], vertex), value)
+                    pending = next(edge_iter, None)
+    return results
+
+
+@io_bound(_tfp_theory, factor=6.0, n=_tfp_n)
+def time_forward_process_materialized(
+    machine: Machine,
+    num_vertices: int,
+    edges: Iterable[Tuple[int, int]],
+    compute: Callable[[int, List[Any]], Any],
+) -> Dict[int, Any]:
+    """The stream-to-stream variant: materialize the edge stream, sort
+    it to disk, scan the sorted copy.
+
+    Kept as the measured control for the pipelining experiment (F25)
+    and the fused/materialized parity suite; new code should call
+    :func:`time_forward_process`, which fuses both sort boundaries.
     """
     edge_stream = FileStream(machine, name="tfp/edges")
     for u, v in edges:
@@ -76,6 +138,7 @@ def time_forward_process(
             )
         edge_stream.append((u, v))
     edge_stream.finalize()
+    # em: ok(EM103) materialized control for F25/parity
     by_source = external_merge_sort(
         machine, edge_stream, key=lambda e: e, keep_input=False
     )

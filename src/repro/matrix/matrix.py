@@ -259,6 +259,7 @@ def transpose_by_sort(machine: Machine,
         tagged.append((j * p + i, value))
         position += 1
     tagged.finalize()
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     ordered = external_merge_sort(
         machine, tagged, key=lambda pair: pair[0], keep_input=False
     )

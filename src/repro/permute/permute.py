@@ -160,6 +160,7 @@ def permute_by_sort(
         for position, record in enumerate(stream):
             tagged.append((targets[position], record))
         tagged.finalize()
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     ordered = external_merge_sort(
         machine, tagged, key=lambda pair: pair[0], keep_input=False
     )

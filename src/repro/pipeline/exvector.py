@@ -1,0 +1,251 @@
+"""ExVector: a budget-accounted external vector over block files.
+
+The pipelined-streaming descendants of the survey (STXXL, TPIE) pair
+their sorters with an external vector — an array-shaped container whose
+payload lives on disk, with one staging frame of internal memory for the
+append tail and pool-mediated random access.  :class:`ExVector` is that
+container for this library: storage is a chain of
+:class:`~repro.core.blockfile.BlockFile` segments (allocated
+geometrically, so a vector of ``n`` records owns at most ``~2·ceil(n/B)``
+blocks), appends stage through one ``B``-record frame and are written
+through the runtime's write-behind, and ``vector[i]`` goes through the
+machine's buffer pool so hot blocks are cached and dirty ones are
+flushed on eviction.
+
+Costs: ``append`` pays one write I/O per filled block (``scan(n)`` for a
+full build), sequential iteration pays one read I/O per block, and
+random ``get``/``set`` pay at most one pool miss each.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List
+
+from ..core.blockfile import BlockFile
+from ..core.exceptions import StreamError
+from ..core.machine import Machine
+from ..runtime.prefetch import read_ahead
+
+#: cap on one segment's size: keeps a growing vector's over-allocation
+#: bounded while amortizing BlockFile construction
+_MAX_SEGMENT_BLOCKS = 64
+
+
+class ExVector:
+    """A disk-resident vector of records with amortized O(1/B) I/O
+    appends and pool-cached random access.
+
+    Args:
+        machine: the owning machine; all frames and transfers are
+            charged to it.
+        name: debugging label.
+
+    The vector holds one ``B``-record staging frame from the first
+    :meth:`append` until :meth:`close` (or :meth:`delete`); use it as a
+    context manager so the frame is released even when an error occurs
+    mid-build.  Closing keeps the payload on disk and random access
+    working (the pool has its own frame accounting); only further
+    appends need the frame.
+    """
+
+    def __init__(self, machine: Machine, name: str = "exvec"):
+        self.machine = machine
+        self.name = name
+        self._segments: List[BlockFile] = []
+        self._block_ids: List[int] = []
+        self._tail: List[Any] = []   # records staged for the next block
+        self._tail_reserved = False
+        self._written_blocks = 0
+        self._length = 0
+        self._pool_dirty = False
+        self._closed = False
+        self._deleted = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ExVector":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Flush the staged tail (as a short block if partial) and
+        release the staging frame (idempotent).  The payload stays on
+        disk and element access keeps working; appends stop."""
+        if self._deleted:
+            return
+        if self._tail:
+            self._flush_tail()
+        self._release_tail_frame()
+        self._closed = True
+
+    def delete(self) -> None:
+        """Release the frame and free every block; the vector becomes
+        unusable.  Idempotent."""
+        if self._deleted:
+            return
+        self._tail = []
+        self._release_tail_frame()
+        # Deferred writes to freed (and maybe reused) block ids would
+        # corrupt other containers: drop them, don't flush them.
+        self.machine.runtime.writer.discard(self._block_ids)
+        for segment in self._segments:
+            segment.delete()
+        self._segments = []
+        self._block_ids = []
+        self._deleted = True
+
+    def _release_tail_frame(self) -> None:
+        if self._tail_reserved:
+            self.machine.budget.release(self.machine.block_size)
+            self._tail_reserved = False
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: Any) -> None:
+        """Append one record; one write I/O per ``B`` appends."""
+        self._check_alive()
+        if self._closed:
+            raise StreamError(
+                f"vector {self.name!r} is closed to appends"
+            )
+        if not self._tail_reserved:
+            self.machine.budget.acquire(self.machine.block_size)
+            self._tail_reserved = True
+        self._tail.append(record)
+        self._length += 1
+        if len(self._tail) == self.machine.block_size:
+            self._flush_tail()
+
+    def extend(self, records: Iterable[Any]) -> None:
+        """Append every record of ``records`` in order."""
+        for record in records:
+            self.append(record)
+
+    def _flush_tail(self) -> None:
+        while self._written_blocks >= len(self._block_ids):
+            self._grow()
+        self.machine.runtime.writer.put(
+            self._block_ids[self._written_blocks], self._tail
+        )
+        self._written_blocks += 1
+        self._tail = []
+
+    def _grow(self) -> None:
+        """Add a segment, doubling capacity up to the segment cap."""
+        size = max(1, min(_MAX_SEGMENT_BLOCKS, len(self._block_ids)))
+        segment = BlockFile(
+            self.machine, size, name=f"{self.name}/seg{len(self._segments)}"
+        )
+        try:
+            self._block_ids.extend(
+                segment.block_id(i) for i in range(segment.num_blocks)
+            )
+        finally:
+            # The staging frame BlockFile holds for its direct
+            # read/write paths is released immediately: the vector does
+            # its own staging and reaches blocks by id through the
+            # runtime and pool.
+            segment.close()
+        self._segments.append(segment)
+
+    # ------------------------------------------------------------------
+    # reading / element access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks currently holding records (excluding over-allocation
+        and the staged tail)."""
+        return self._written_blocks
+
+    def __getitem__(self, index: int) -> Any:
+        """Random access through the buffer pool (≤ 1 read I/O)."""
+        index = self._check_item_index(index)
+        B = self.machine.block_size
+        block_index, offset = divmod(index, B)
+        if block_index >= self._written_blocks:
+            return self._tail[offset]
+        return self.machine.pool.get(self._block_ids[block_index])[offset]
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        """Random update through the buffer pool (≤ 1 read I/O now, the
+        write-back charged on eviction/flush)."""
+        index = self._check_item_index(index)
+        B = self.machine.block_size
+        block_index, offset = divmod(index, B)
+        if block_index >= self._written_blocks:
+            self._tail[offset] = value
+            return
+        block_id = self._block_ids[block_index]
+        self.machine.pool.get(block_id)[offset] = value
+        self.machine.pool.mark_dirty(block_id)
+        self._pool_dirty = True
+
+    def _check_item_index(self, index: int) -> int:
+        self._check_alive()
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise StreamError(
+                f"vector {self.name!r} index {index} out of range "
+                f"(len {self._length})"
+            )
+        return index
+
+    def __iter__(self) -> Iterator[Any]:
+        """Sequential scan: one read I/O per block, read-ahead batched
+        on multi-disk machines.  Reserves one frame while running."""
+        self._check_alive()
+        if self._pool_dirty:
+            # Updates parked in pool frames must be visible to the
+            # runtime's sequential read path.
+            self.machine.pool.flush_all()
+            self._pool_dirty = False
+        return self._reader()
+
+    def _reader(self) -> Iterator[Any]:
+        budget = self.machine.budget
+        B = self.machine.block_size
+        written = self._block_ids[:self._written_blocks]
+        tail = list(self._tail)
+        budget.acquire(B)
+        try:
+            for payload in read_ahead(self.machine.runtime, written):
+                for record in payload:
+                    yield record
+            for record in tail:
+                yield record
+        finally:
+            budget.release(B)
+
+    def _check_alive(self) -> None:
+        if self._deleted:
+            raise StreamError(f"vector {self.name!r} has been deleted")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "deleted" if self._deleted else "live"
+        return (
+            f"ExVector(name={self.name!r}, len={self._length}, "
+            f"blocks={len(self._block_ids)}, {state})"
+        )
+
+    @classmethod
+    def from_records(
+        cls, machine: Machine, records: Iterable[Any], name: str = "exvec"
+    ) -> "ExVector":
+        """Build a closed vector holding ``records``."""
+        vector = cls(machine, name=name)
+        try:
+            vector.extend(records)
+        except BaseException:
+            vector.delete()
+            raise
+        vector.close()
+        return vector

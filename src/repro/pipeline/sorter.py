@@ -1,0 +1,308 @@
+"""The pipelined sorter: push runs in, pull the merge out.
+
+:func:`~repro.sort.merge.external_merge_sort` is stream-to-stream: it
+scans a finalized input (one read pass) and materializes a sorted
+output (one write pass).  When the sort sits between two computation
+stages — produce records, sort, consume records — both of those passes
+are pure glue: ``2·(N/DB)`` I/Os to park the producer's output on disk
+and ``2·(N/DB)`` more to park the sorted result that the consumer will
+read exactly once.
+
+:class:`Sorter` removes both boundaries, the STXXL/TPIE pipelining
+idiom.  The *push* phase accepts records straight from the producer
+(no input stream exists), cuts them into memoryload runs, and — per the
+Arge–Thorup RAM-efficient sorting line — orders each run by sorting
+``(key, index)`` pairs and emitting records through the index pointers
+rather than comparing full records.  The *pull* phase exposes the final
+k-way merge as an iterator (forecasting prefetch + loser tree, exactly
+the machinery of :func:`~repro.sort.merge.merge_streams`) so the
+consumer reads the sorted order without it ever being written.  Total
+cost for a fits-in-one-merge sort: ``2·(N/DB)`` I/Os — write the runs,
+read them back — against ``6·(N/DB)`` for the materialized chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from ..core.exceptions import ConfigurationError, StreamError
+from ..core.machine import Machine
+from ..core.stream import FileStream
+from ..runtime.prefetch import ForecastingPrefetcher
+from ..sort.merge import LoserTree, merge_pass, plan_merge_arity
+from ..sort.runs import identity
+
+_PUSH = "push"
+_PULL = "pull"
+_CLOSED = "closed"
+
+
+class Sorter:
+    """An external sort with a push phase and a pull phase.
+
+    Args:
+        machine: the machine whose disk holds the runs and whose budget
+            every frame is charged to.
+        key: sort key; default sorts records directly.
+        name: label prefix for run streams and trace phases.
+        fan_in: cap on the merge arity of the materialized intermediate
+            passes; default lets one sorter use the machine maximum.
+        final_fan_in: cap on how many runs survive into the *pulled*
+            final merge — the pull phase holds one reader frame per
+            surviving run for its whole lifetime, so callers running
+            several pulls concurrently (a merge join pulls two) or
+            holding large working buffers alongside the pull cap this
+            to stay inside ``M``.  May be ``1``: the runs are then
+            merged down to a single materialized run and the pull is a
+            plain scan — exactly the materialized sort's I/O cost, the
+            graceful floor on tiny-memory machines.  Defaults to the
+            pass arity.
+        headroom: blocks of budget the push phase's run buffer leaves
+            unreserved — for writers and readers the producing loop
+            acquires lazily *while* pushing (e.g. a side stream written
+            from the same scan that feeds the sorter).
+        stream_cls: stream class for the run files (pass
+            :class:`~repro.core.stream.StripedStream` on multi-disk
+            machines).
+
+    Use as a context manager (or call :meth:`close`) so the run files
+    and the memoryload reservation are reclaimed even when the producer
+    or consumer dies mid-flight::
+
+        with Sorter(machine, key=key) as sorter:
+            sorter.consume(producer())          # push phase
+            for record in sorter:               # pull phase
+                ...
+
+    The sort is stable.  Exhausting the pull iterator deletes the run
+    files eagerly; an abandoned pull is reclaimed by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        key: Optional[Callable[[Any], Any]] = None,
+        name: str = "sorter",
+        fan_in: Optional[int] = None,
+        final_fan_in: Optional[int] = None,
+        headroom: int = 0,
+        stream_cls=FileStream,
+    ):
+        if final_fan_in is not None and final_fan_in < 1:
+            raise StreamError(
+                f"sorter {name!r}: final_fan_in must be >= 1, "
+                f"got {final_fan_in}"
+            )
+        self.machine = machine
+        self._key = key or identity
+        self._name = name
+        self._fan_in = fan_in
+        self._final_fan_in = final_fan_in
+        self._headroom = headroom
+        self._stream_cls = stream_cls
+        # Fail fast on a geometrically un-mergeable configuration,
+        # before the producer spends a pass pushing records in.  (A
+        # *static* check: construction may legitimately happen while
+        # another sorter's pull holds most of the free budget, so the
+        # dynamic arity is planned at finish() time instead.)
+        if fan_in is not None and fan_in < 2:
+            raise ConfigurationError(
+                f"merge fan-in must be >= 2, got {fan_in}"
+            )
+        if machine.m - stream_cls.writer_frames(machine) < 2:
+            raise ConfigurationError(
+                f"sorter {name!r}: machine has {machine.m} frames, too "
+                f"few for a binary merge plus its output writer"
+            )
+        self._buffer: List[Any] = []
+        self._capacity = 0          # records reserved for the memoryload
+        self._runs: List[FileStream] = []
+        self._count = 0
+        self._state = _PUSH
+        self._pull: Optional[Iterator[Any]] = None
+        self._prefetcher: Optional[ForecastingPrefetcher] = None
+
+    # ------------------------------------------------------------------
+    # push phase
+    # ------------------------------------------------------------------
+    def push(self, record: Any) -> None:
+        """Accept one record from the producer; spills a sorted run
+        every memoryload (``N/M`` write-only passes total)."""
+        if self._state != _PUSH:
+            raise StreamError(
+                f"sorter {self._name!r} is {self._state}; push refused"
+            )
+        if self._capacity == 0:
+            self._reserve_memoryload()
+        self._buffer.append(record)
+        self._count += 1
+        if len(self._buffer) >= self._capacity:
+            self._spill()
+
+    def consume(self, records: Iterable[Any]) -> "Sorter":
+        """Push every record of ``records``; returns ``self``."""
+        for record in records:
+            self.push(record)
+        return self
+
+    def _reserve_memoryload(self) -> None:
+        """Size the run buffer to the budget actually available — an
+        upstream reader holding frames shortens the runs instead of
+        overflowing ``M`` — leaving write-behind headroom as run
+        formation does."""
+        machine = self.machine
+        if self._stream_cls.writer_frames(machine) >= machine.num_disks:
+            spare = 0
+        else:
+            spare = machine.num_disks - 1
+        spare += self._headroom
+        blocks = max(
+            1, min(machine.m - spare,
+                   machine.budget.available // machine.B - spare)
+        )
+        if blocks > machine.num_disks:
+            blocks -= blocks % machine.num_disks
+        self._capacity = blocks * machine.B
+        machine.budget.acquire(self._capacity)
+
+    def _spill(self) -> None:
+        """Sort the buffered memoryload and write it out as one run.
+
+        Arge–Thorup: the comparison sort runs over ``(key, index)``
+        pairs — records are only moved once, through the pointers, as
+        the run is emitted — so big payloads ride along for free and
+        ties stay in input order (stability)."""
+        if not self._buffer:
+            return
+        machine = self.machine
+        pairs = [(self._key(record), index)
+                 for index, record in enumerate(self._buffer)]
+        # em: ok(EM004) one memoryload ≤ m·B, reserved
+        pairs.sort()
+        run = self._stream_cls(
+            machine, name=f"{self._name}/run/{len(self._runs)}"
+        )
+        try:
+            with machine.trace(f"{self._name}-runs"):
+                B = machine.B
+                block: List[Any] = []
+                for _, index in pairs:
+                    block.append(self._buffer[index])
+                    if len(block) == B:
+                        run.append_block(block)
+                        block = []
+                if block:
+                    run.append_block(block)
+            self._runs.append(run.finalize())
+        except BaseException:
+            run.delete()
+            raise
+        self._buffer = []
+
+    def _release_memoryload(self) -> None:
+        if self._capacity:
+            self.machine.budget.release(self._capacity)
+            self._capacity = 0
+        self._buffer = []
+
+    # ------------------------------------------------------------------
+    # pull phase
+    # ------------------------------------------------------------------
+    def finish(self) -> Iterator[Any]:
+        """Seal the push phase and return the sorted iterator.
+
+        Runs beyond the planned arity are first merged down with
+        ordinary materialized passes; the *final* merge is never
+        written — the returned iterator is the loser tree over the
+        forecasting prefetcher's run readers.  Idempotent: repeated
+        calls (and ``iter(sorter)``) return the same iterator.
+        """
+        if self._state == _PULL:
+            return self._pull
+        if self._state == _CLOSED:
+            raise StreamError(f"sorter {self._name!r} is closed")
+        self._spill()
+        self._release_memoryload()
+        self._state = _PULL
+        if not self._runs:
+            self._pull = iter(())
+            return self._pull
+        machine = self.machine
+        arity = plan_merge_arity(
+            machine, len(self._runs), fan_in=self._fan_in,
+            stream_cls=self._stream_cls,
+        )
+        width = arity if self._final_fan_in is None \
+            else min(arity, self._final_fan_in)
+        level = 0
+        while len(self._runs) > width:
+            level += 1
+            self._runs = merge_pass(
+                machine, self._runs, arity, key=self._key,
+                stream_cls=self._stream_cls, level=level,
+                name_prefix=f"{self._name}/merge",
+            )
+        # One reader frame per surviving run; opportunistic prefetch
+        # pins leave D-1 spares for whatever writer the consumer stages
+        # its own output through.
+        pin_slack = machine.num_disks - 1
+        self._prefetcher = ForecastingPrefetcher(
+            machine.runtime, [run.block_ids for run in self._runs],
+            key=self._key, pin_slack=pin_slack,
+        )
+        readers = [self._prefetcher.reader(i)
+                   for i in range(len(self._runs))]
+        self._pull = self._pull_iter(LoserTree(readers, key=self._key))
+        return self._pull
+
+    def _pull_iter(self, tree: LoserTree) -> Iterator[Any]:
+        try:
+            for record in tree:
+                yield record
+        finally:
+            # Exhaustion and generator close both land here: reader
+            # frames released, run blocks freed eagerly.
+            self._release_pull()
+
+    def _release_pull(self) -> None:
+        if self._prefetcher is not None:
+            self._prefetcher.close()
+            self._prefetcher = None
+        for run in self._runs:
+            run.delete()
+        self._runs = []
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.finish()
+
+    def __len__(self) -> int:
+        """Records pushed so far."""
+        return self._count
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the memoryload reservation, reader frames, and run
+        blocks (idempotent).  Safe at any phase."""
+        if self._state == _CLOSED:
+            return
+        self._state = _CLOSED
+        self._release_memoryload()
+        pull, self._pull = self._pull, None
+        if pull is not None and hasattr(pull, "close"):
+            pull.close()  # runs the generator's finally -> release
+        self._release_pull()
+
+    def __enter__(self) -> "Sorter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Sorter(name={self._name!r}, records={self._count}, "
+            f"runs={len(self._runs)}, {self._state})"
+        )

@@ -11,6 +11,7 @@ from .joins import (
     hash_group_by,
     merge_join_iterators,
     sort_merge_join,
+    sort_merge_join_materialized,
 )
 from .operators import (
     AGGREGATES,
@@ -37,6 +38,7 @@ __all__ = [
     "Aggregate",
     "AGGREGATES",
     "sort_merge_join",
+    "sort_merge_join_materialized",
     "sort_merge_join_steps",
     "merge_join_steps",
     "grace_hash_join",

@@ -22,6 +22,7 @@ from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError, EMError
 from ..core.machine import Machine
 from ..core.stream import FileStream
+from ..pipeline.sorter import Sorter
 from ..search.hashing import _hash_bits
 from ..sort.merge import external_merge_sort
 from .table import Table
@@ -34,11 +35,26 @@ def _join_n(left: Table, right: Table, left_column: str,
     return len(left.stream) + len(right.stream)
 
 
-def _smj_theory(machine: Machine, n: int, result: Table) -> int:
-    """``Sort(R) + Sort(S)`` plus the merge and output scans."""
-    return (2 * sort_io(n, machine.M, machine.B, machine.D)
-            + 4 * scan_io(n, machine.B, machine.D)
-            + scan_io(len(result.stream), machine.B, machine.D))
+def _smj_theory(machine: Machine, n: int, result: Table,
+                call: dict) -> int:
+    """``Sort(R) + Sort(S)`` — charged per side, and only for sides the
+    call actually sorts — plus the merge and output scans.
+
+    The envelope used to charge ``2·Sort(|R| + |S|)``: both sides
+    billed at the *combined* size, a double charge (``Sort`` is
+    superlinear, so ``Sort(R) + Sort(S) < 2·Sort(R + S)``) that also
+    ignored the ``assume_sorted`` fast path entirely.
+    """
+    left_n = len(call["left"].stream)
+    right_n = len(call["right"].stream)
+    cost = scan_io(len(result.stream), machine.B, machine.D)
+    cost += scan_io(left_n, machine.B, machine.D)
+    cost += scan_io(right_n, machine.B, machine.D)
+    if not call.get("assume_left_sorted"):
+        cost += sort_io(left_n, machine.M, machine.B, machine.D)
+    if not call.get("assume_right_sorted"):
+        cost += sort_io(right_n, machine.M, machine.B, machine.D)
+    return cost
 
 
 def _ghj_theory(machine: Machine, n: int, result: Table) -> int:
@@ -137,13 +153,89 @@ def sort_merge_join(
     left_column: str,
     right_column: str,
     name: str = "smj",
+    assume_left_sorted: bool = False,
+    assume_right_sorted: bool = False,
 ) -> Table:
-    """Sort both inputs by the join key, then merge:
-    ``Sort(R) + Sort(S) + scan`` I/Os.  Output is ordered by join key."""
+    """Pipelined sort-merge join: ``Sort(R) + Sort(S) + scan`` I/Os,
+    minus the fused boundaries.  Output is ordered by join key.
+
+    Each unsorted side is pushed straight into a
+    :class:`~repro.pipeline.sorter.Sorter` and merged straight out of
+    its pull iterator, so neither sorted order is ever written to disk
+    (``~2·(N/DB)`` I/Os saved per side over
+    :func:`sort_merge_join_materialized`).  A side already ordered by
+    its join key skips its sort entirely with ``assume_sorted`` —
+    ``assume_left_sorted``/``assume_right_sorted`` are the caller's
+    promise (e.g. the output of a previous merge join on the same key,
+    or an ``order_by``); records are merged as-is, so a false promise
+    silently drops matches.
+
+    The two pull merges run concurrently and every run surviving into a
+    pull holds a reader frame for the join's whole lifetime, alongside
+    the output writer and the in-memory key-group buffer.  The frame
+    plan below keeps the materialized join's group headroom (two
+    cursors + writer + the rest for groups) as the floor: spare frames
+    beyond that envelope are split evenly between wider final merges
+    (half, shared by the two sides) and extra group headroom (half).
+    On a machine too small to spare any, ``width = 1`` merges each side
+    down to a single run — the materialized cost, never worse.
+    """
     machine = left.machine
     left_key = left.key_fn(left_column)
     right_key = right.key_fn(right_column)
+    width = max(1, (machine.m - 6) // 4)
+    sorters: List[Sorter] = []
+
+    def side(table: Table, key, assume_sorted: bool,
+             label: str) -> Iterator[Tuple]:
+        if assume_sorted:
+            return iter(table.stream)
+        sorter = Sorter(
+            machine, key=key, name=f"{name}/{label}",
+            final_fan_in=width,
+        )
+        sorters.append(sorter)
+        sorter.consume(iter(table.stream))
+        return sorter.finish()
+
+    try:
+        with machine.trace(name):
+            left_rows = side(left, left_key, assume_left_sorted, "l")
+            right_rows = side(right, right_key, assume_right_sorted, "r")
+            return _output_table(
+                machine,
+                left,
+                right,
+                merge_join_iterators(
+                    machine, left_rows, right_rows, left_key, right_key
+                ),
+                name,
+            )
+    finally:
+        for sorter in sorters:
+            sorter.close()
+
+
+@io_bound(_smj_theory, factor=3.0, n=_join_n)
+def sort_merge_join_materialized(
+    left: Table,
+    right: Table,
+    left_column: str,
+    right_column: str,
+    name: str = "smj",
+) -> Table:
+    """The stream-to-stream join: sort both inputs to disk, then merge.
+
+    Kept as the measured control for the pipelining experiment (F25)
+    and the fused/materialized parity suite; new code should call
+    :func:`sort_merge_join`, which skips both sorted-intermediate
+    boundaries."""
+    machine = left.machine
+    left_key = left.key_fn(left_column)
+    right_key = right.key_fn(right_column)
+    # em: ok(EM103) materialized control for F25/parity
     left_sorted = external_merge_sort(machine, left.stream, key=left_key)
+    # em: ok(EM103) materialized control for F25/parity
     right_sorted = external_merge_sort(machine, right.stream, key=right_key)
     result = _output_table(
         machine,

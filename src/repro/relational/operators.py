@@ -115,6 +115,7 @@ def distinct(
     """Remove duplicate rows: one external sort + a de-duplicating scan
     (``O(Sort(N))``), the standard DISTINCT plan."""
     machine = table.machine
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     ordered = external_merge_sort(machine, table.stream)
     out = FileStream(machine, name=f"table/{name}")
     previous = None
@@ -221,6 +222,7 @@ def group_by(
              f"{agg_name}_{value_column}")
         )
 
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     ordered = external_merge_sort(machine, table.stream, key=key_fn)
     out = FileStream(machine, name=f"table/{name}")
     current_key = None

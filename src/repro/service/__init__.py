@@ -39,6 +39,7 @@ from .jobs import (
     btree_range_job,
     hash_lookup_job,
     join_job,
+    pipeline_job,
     sort_job,
 )
 from .metrics import TenantMetrics, nearest_rank
@@ -55,6 +56,7 @@ __all__ = [
     "btree_range_job",
     "hash_lookup_job",
     "sort_job",
+    "pipeline_job",
     "join_job",
     "bfs_job",
     "QUEUED",

@@ -113,6 +113,27 @@ def sort_job(machine: Machine, stream: FileStream,
     )
 
 
+def pipeline_job(machine: Machine, stream: FileStream,
+                 key: Optional[Callable[[Any], Any]] = None,
+                 map_fn: Optional[Callable[[Any], Any]] = None,
+                 filter_fn: Optional[Callable[[Any], bool]] = None,
+                 name: str = "pipeline") -> Job:
+    """A fused scan → filter → map → sort (OLAP traffic): the
+    record-wise stages run inside run formation, so the transformed
+    intermediate is never written.  Same reservation floor as
+    :func:`sort_job` — the fusion saves I/Os, not frames."""
+    from ..pipeline.steps import pipeline_sort_steps
+
+    return Job(
+        name,
+        lambda budget: pipeline_sort_steps(
+            machine, stream, key=key, map_fn=map_fn,
+            filter_fn=filter_fn, budget=budget, name=name,
+        ),
+        reservation=3 * machine.block_size,
+    )
+
+
 def join_job(left: Table, right: Table, left_column: str,
              right_column: str, name: str = "join") -> Job:
     """A cooperative sort-merge join (OLAP traffic): both sorts plus the

@@ -89,11 +89,20 @@ def form_runs_load_sort(
                 end = min(start + blocks_per_run, num_blocks)
                 with machine.budget.reserve((end - start) * machine.B):
                     chunk = stream.read_block_range(start, end)
+                    # Arge–Thorup: comparison-sort (key, index) pairs
+                    # and move each record once, through its pointer,
+                    # as the run is emitted — payload size stays out of
+                    # the sort, ties keep input order (stability).
+                    pairs = [(key(record), index)
+                             for index, record in enumerate(chunk)]
                     # em: ok(EM004) one memoryload ≤ m·B, reserved
-                    chunk.sort(key=key)
+                    pairs.sort()
                     run = stream_cls(machine, name=f"run/{len(runs)}")
-                    for offset in range(0, len(chunk), machine.B):
-                        run.append_block(chunk[offset:offset + machine.B])
+                    for offset in range(0, len(pairs), machine.B):
+                        run.append_block(
+                            [chunk[index] for _, index
+                             in pairs[offset:offset + machine.B]]
+                        )
                     runs.append(run.finalize())
                     run = None
         except BaseException:

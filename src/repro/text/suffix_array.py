@@ -27,6 +27,7 @@ from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
 from ..core.stream import FileStream
+from ..pipeline.sorter import Sorter
 from ..sort.merge import external_merge_sort
 
 _MISSING = -1  # rank of the empty suffix beyond the text end
@@ -61,6 +62,7 @@ def suffix_array(machine: Machine, text: Sequence[Any]) -> List[int]:
     for position, symbol in enumerate(text):
         singles.append((symbol, position))
     singles.finalize()
+    # em: ok(EM103) fusion candidate: single-scan consumer, future Sorter refactor
     ordered = external_merge_sort(
         machine, singles, key=lambda r: r[0], keep_input=False
     )
@@ -104,49 +106,58 @@ def _double(machine: Machine, ranks: FileStream, n: int, k: int):
     ``(new_ranks, distinct_count)`` with ranks of length-``2k`` prefixes,
     again sorted by position.
     """
-    # Shifted copy: (position - k, rank) gives each position its
-    # successor's rank after a merge join on position.
-    shifted = FileStream(machine, name="sa/shifted")
-    for position, rank in ranks:
-        if position - k >= 0:
-            shifted.append((position - k, rank))
-    shifted.finalize()
+    # Both of the round's sorts are pipelined: the (rank-pair,
+    # position) tuples and the new ranks are pushed straight into run
+    # formation and pulled straight out of the final merge, so neither
+    # ever exists as a stream on disk.  The shifted copy needs no sort
+    # at all — ``(position - k, rank)`` comes out of a second reader
+    # over ``ranks`` already in position order — so the round's only
+    # materialized stream is the returned by-position ranks, and no
+    # temporary outlives the round.
+    width = max(1, machine.m - 4)
+    with Sorter(machine, key=lambda r: r[0], name="sa/pairs",
+                final_fan_in=width) as by_pair:
+        # Merge the position scan against the shifted scan to pair each
+        # position's rank with the rank at distance k.
+        shift_iter = iter(ranks)
+        position_iter = iter(ranks)
+        try:
+            shifted = ((p - k, r) for p, r in shift_iter if p - k >= 0)
+            shift_entry = next(shifted, None)
+            for position, rank in position_iter:
+                while shift_entry is not None \
+                        and shift_entry[0] < position:
+                    shift_entry = next(shifted, None)
+                if shift_entry is not None \
+                        and shift_entry[0] == position:
+                    second = shift_entry[1]
+                else:
+                    second = _MISSING
+                by_pair.push(((rank, second), position))
+        finally:
+            shift_iter.close()
+            position_iter.close()
+        ranks.delete()
 
-    pairs = FileStream(machine, name="sa/pairs")
-    shift_iter = iter(shifted)
-    shift_entry = next(shift_iter, None)
-    for position, rank in ranks:
-        while shift_entry is not None and shift_entry[0] < position:
-            shift_entry = next(shift_iter, None)
-        if shift_entry is not None and shift_entry[0] == position:
-            second = shift_entry[1]
-        else:
-            second = _MISSING
-        pairs.append(((rank, second), position))
-    shift_iter.close()
-    shifted.delete()
-    ranks.delete()
-    pairs.finalize()
-
-    ordered = external_merge_sort(
-        machine, pairs, key=lambda r: r[0], keep_input=False
-    )
-    new_ranks = FileStream(machine, name="sa/ranks")
-    previous_pair = None
-    rank = -1
-    distinct = 0
-    for pair, position in ordered:
-        if previous_pair is None or pair != previous_pair:
-            rank += 1
-            distinct += 1
-            previous_pair = pair
-        new_ranks.append((position, rank))
-    ordered.delete()
-    new_ranks.finalize()
-    by_position = external_merge_sort(
-        machine, new_ranks, key=lambda r: r[0], keep_input=False
-    )
-    return by_position, distinct
+        with Sorter(machine, key=lambda r: r[0], name="sa/by-position",
+                    final_fan_in=width) as by_position:
+            previous_pair = None
+            rank = -1
+            distinct = 0
+            for pair, position in by_pair.finish():
+                if previous_pair is None or pair != previous_pair:
+                    rank += 1
+                    distinct += 1
+                    previous_pair = pair
+                by_position.push((position, rank))
+            new_ranks = FileStream(machine, name="sa/ranks")
+            try:
+                for record in by_position.finish():
+                    new_ranks.append(record)
+            except BaseException:
+                new_ranks.delete()
+                raise
+    return new_ranks.finalize(), distinct
 
 
 # em: ok(EM003) in-memory reference oracle for tests, outside the model

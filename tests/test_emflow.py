@@ -199,6 +199,75 @@ def _run(machine, left: FileStream, right: FileStream):
 
 
 # ---------------------------------------------------------------------
+# EM103 fusion sub-check: sort-then-single-scan is a Sorter candidate
+# ---------------------------------------------------------------------
+
+class TestFusionCandidates:
+    def test_single_scan_over_materialized_sort_flagged(self):
+        src = '''
+def _run(machine, stream: FileStream):
+    ordered = external_merge_sort(machine, stream, key=lambda r: r)
+    total = 0
+    for record in ordered:
+        total += record
+    ordered.delete()
+    return total
+'''
+        findings = flow_findings([(ALGO, src)], rule="EM103")
+        assert len(findings) == 1
+        assert "pipelined Sorter" in findings[0].message
+
+    def test_second_consumer_suppresses_fusion_finding(self):
+        # Two scans genuinely need the materialized copy; fusing the
+        # sort into the first would force a re-sort for the second.
+        src = '''
+def _run(machine, stream: FileStream):
+    ordered = external_merge_sort(machine, stream, key=lambda r: r)
+    total = 0
+    for record in ordered:
+        total += record
+    for record in ordered:
+        total -= record
+    ordered.delete()
+    return total
+'''
+        assert flow_findings([(ALGO, src)], rule="EM103") == []
+
+    def test_lifecycle_calls_do_not_mask_the_single_scan(self):
+        # delete()/len() are bookkeeping, not consumers: the stream is
+        # still single-scan and the candidate must fire.
+        src = '''
+def _run(machine, stream: FileStream):
+    ordered = external_merge_sort(machine, stream, key=lambda r: r)
+    count = len(ordered)
+    values = []
+    for record in ordered:
+        values.append(record)
+    ordered.delete()
+    return count, values
+'''
+        findings = flow_findings([(ALGO, src)], rule="EM103")
+        assert len(findings) == 1
+
+    def test_refactored_modules_are_fusion_clean(self):
+        # The pipelined refactor leaves no unwaived sort-then-scan
+        # boundary in the fused join / time-forward / list-ranking /
+        # suffix-array paths (the materialized control variants carry
+        # explicit waivers).
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1] / "src"
+        modules = [
+            root / "repro" / "relational" / "joins.py",
+            root / "repro" / "graph" / "timeforward.py",
+            root / "repro" / "graph" / "list_ranking.py",
+            root / "repro" / "text" / "suffix_array.py",
+        ]
+        sources = [(str(path), path.read_text()) for path in modules]
+        assert flow_findings(sources, rule="EM103") == []
+
+
+# ---------------------------------------------------------------------
 # EM104 / EM105: envelope discipline
 # ---------------------------------------------------------------------
 

@@ -48,6 +48,13 @@ class TestExamples:
         assert "svc/olap" in out
         assert "Chrome trace with per-tenant lanes" in out
 
+    def test_pipeline_wordcount_fused_saves_io(self):
+        out = run_example("pipeline_wordcount.py")
+        assert "fused pipeline:" in out
+        assert "saved" in out
+        assert "phase trace" in out
+        assert "-runs" in out  # the sorter's traced run phase
+
     def test_database_join_runs_all_three_joins(self):
         out = run_example("database_join.py")
         assert "sort-merge join" in out

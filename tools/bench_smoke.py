@@ -35,6 +35,13 @@ interleaved with an OLAP sort) at smoke scale, asserting the
 interleaved schedule beats the serial baseline on wall steps, each
 tenant's memory peak stays within its fair share, and a fault plan
 targeting OLAP blocks charges zero faults/stalls to the OLTP tenant.
+
+A pipelining record runs the F25 fused-vs-materialized comparison at
+smoke scale for all three refactored consumers (sort-merge join,
+time-forward processing, list ranking), recording the fused/
+materialized I/O ratio per consumer — fused must never lose — and
+gates on the EM103 fusion baseline: zero unwaived sort-then-scan
+boundaries anywhere in ``src/repro``.
 """
 
 import argparse
@@ -316,6 +323,102 @@ def analyzer_smoke():
             "points": points}
 
 
+PIPE_B, PIPE_M_BLOCKS = 64, 48  # final merge width covers the runs
+PIPE_JOIN_N, PIPE_TFP_N, PIPE_LISTRANK_N = 8_000, 4_000, 8_000
+
+
+def pipeline_smoke():
+    """F25 at smoke scale: fused vs materialized I/O per consumer, and
+    the EM103 fusion baseline (zero unwaived sort-then-scan
+    boundaries)."""
+    from repro.analysis.flow.engine import lint_paths_flow
+    from repro.graph import (
+        list_ranking,
+        list_ranking_materialized,
+        time_forward_process,
+        time_forward_process_materialized,
+    )
+    from repro.relational import (
+        Table,
+        sort_merge_join,
+        sort_merge_join_materialized,
+    )
+    from repro.workloads import foreign_key_relations, random_linked_list
+
+    def pipe_machine():
+        return Machine(block_size=PIPE_B, memory_blocks=PIPE_M_BLOCKS)
+
+    def join_io(fused):
+        build, probe = foreign_key_relations(
+            PIPE_JOIN_N // 20, PIPE_JOIN_N, seed=41
+        )
+        machine = pipe_machine()
+        left = Table.from_rows(machine, ("k", "b"), build, name="build")
+        right = Table.from_rows(machine, ("k", "p"), probe, name="probe")
+        join = sort_merge_join if fused else sort_merge_join_materialized
+        with machine.measure() as io:
+            join(left, right, "k", "k", name="out").delete()
+        return io.total
+
+    def tfp_io(fused):
+        rng = random.Random(42)
+        edges = sorted(
+            {(u, rng.randrange(u + 1, PIPE_TFP_N))
+             for u in (rng.randrange(PIPE_TFP_N - 1)
+                       for _ in range(4 * PIPE_TFP_N))}
+        )
+        machine = pipe_machine()
+        run = time_forward_process if fused \
+            else time_forward_process_materialized
+        with machine.measure() as io:
+            run(machine, PIPE_TFP_N, iter(edges),
+                lambda v, incoming: len(incoming))
+        return io.total
+
+    def listrank_io(fused):
+        pairs = random_linked_list(PIPE_LISTRANK_N, seed=43)
+        machine = pipe_machine()
+        run = list_ranking if fused else list_ranking_materialized
+        with machine.measure() as io:
+            run(machine, pairs, seed=44)
+        return io.total
+
+    points = []
+    for consumer, runner in (("join", join_io),
+                             ("time_forward", tfp_io),
+                             ("list_ranking", listrank_io)):
+        fused, materialized = runner(True), runner(False)
+        ratio = fused / materialized
+        assert fused < materialized, (
+            f"{consumer}: fused {fused} I/Os vs materialized "
+            f"{materialized} — fusion must win on this geometry"
+        )
+        points.append({
+            "consumer": consumer,
+            "fused_io": fused,
+            "materialized_io": materialized,
+            "fused_over_materialized": round(ratio, 4),
+        })
+
+    target = str(Path(__file__).resolve().parent.parent
+                 / "src" / "repro")
+    em103 = [f for f in lint_paths_flow([target]) if f.rule == "EM103"]
+    unwaived = sum(1 for f in em103 if not f.waived)
+    assert unwaived == 0, (
+        f"{unwaived} unwaived EM103 sort-then-scan boundary(ies) in "
+        f"{target}"
+    )
+    points.append({
+        "consumer": "(em103_gate)",
+        "unwaived": unwaived,
+        "waived": len(em103) - unwaived,
+    })
+    return {"name": "f25_pipelining", "B": PIPE_B,
+            "M": PIPE_B * PIPE_M_BLOCKS,
+            "join_n": PIPE_JOIN_N, "tfp_n": PIPE_TFP_N,
+            "listrank_n": PIPE_LISTRANK_N, "points": points}
+
+
 SVC_B, SVC_M_BLOCKS, SVC_DISKS = 16, 16, 4
 SVC_TREE_N, SVC_SORT_N, SVC_LOOKUPS = 1_200, 900, 24
 
@@ -407,14 +510,15 @@ def service_smoke():
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr8.json",
+    parser.add_argument("--output", default="BENCH_pr9.json",
                         help="path of the JSON summary (default: %(default)s)")
     args = parser.parse_args(argv)
     summary = {"benchmarks": [f1_smoke(), f12_smoke(),
                               faulted_sort_smoke(), f19_pq_budget_smoke(),
                               pool_hit_rate_smoke(),
                               faulted_query_smoke(),
-                              analyzer_smoke(), service_smoke()]}
+                              analyzer_smoke(), service_smoke(),
+                              pipeline_smoke()]}
     with open(args.output, "w") as fh:
         fh.write(json.dumps(summary, indent=2) + "\n")
     for bench in summary["benchmarks"]:
