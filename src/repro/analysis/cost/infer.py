@@ -47,9 +47,14 @@ _BLOCK_METHODS = {"read_block", "write_block", "append_block", "put",
                   "load", "store"}
 #: per-record amortized writes on stream-like receivers
 _RECORD_WRITES = {"append", "push", "add", "appendleft"}
+#: block-payload iterators — one block per trip, N/B trips total.
+#: ``iter_blocks`` scans a stream (its reads are charged here);
+#: ``blocks`` re-emits payloads from readers charged at their source.
+_BLOCK_STREAM_ITERS = {"iter_blocks", "blocks"}
 #: distributive (already whole-input) transfers
 _BATCHED_METHODS = {"get_many", "read_many", "read_block_range",
-                    "write_block_range", "extend"}
+                    "write_block_range", "extend", "append_blocks",
+                    "put_batch"}
 #: free bookkeeping on model objects
 _FREE_METHODS = {"finalize", "delete", "close", "sync", "flush",
                  "flush_all", "drop_all", "clear", "reset_stats",
@@ -95,6 +100,13 @@ _STRUCTURE_COSTS: Dict[str, Dict[str, Cost]] = {
         "push": [Term(1, {"B": -1, "logm": 1})],
         "consume": [Term(1, {"N": 1, "B": -1, "logm": 1})],
         "finish": [Term(1, {"N": 1, "B": -1})],
+    },
+    "BlockBuilder": {
+        # re-blocking plumbing, not a device: the blocks it emits are
+        # charged at its sink's append_block (or by the enclosing
+        # block-loop's trip count), so push/flush themselves are free.
+        "push": [],
+        "flush": [],
     },
     "ExternalStack": {
         "push": [Term(1, {"B": -1})],
@@ -583,6 +595,14 @@ class Inferencer:
                 # one block's payload: B records (the read itself is
                 # charged at the call site, not here)
                 return "count", [Term(1, {"B": 1})], subjects, False
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _BLOCK_STREAM_ITERS:
+                # whole-payload loop: N/B trips.  A stream's own
+                # ``iter_blocks`` performs the reads (charge the scan);
+                # a merger's ``blocks`` replays payloads whose reads
+                # were charged where its readers were opened.
+                return ("count", [Term(1, {"N": 1, "B": -1})], subjects,
+                        node.func.attr == "iter_blocks")
             if isinstance(node.func, ast.Attribute) \
                     and node.func.attr in STREAM_METHODS:
                 return "stream", [_N], subjects, True

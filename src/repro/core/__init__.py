@@ -5,6 +5,10 @@ Public surface:
 * :class:`~repro.core.machine.Machine` — configured instance of the model.
 * :class:`~repro.core.disk.SimulatedDisk` / :class:`~repro.core.disk.DiskArray`
   — block devices with exact I/O counters.
+* :class:`~repro.core.filedisk.FileDiskArray` — the same device backed
+  by a real file (identical counters, actual bytes).
+* :mod:`~repro.core.records` — typed block payloads (numpy /
+  ``array.array`` buffers) with batch sort/permute/serialize helpers.
 * :class:`~repro.core.cache.BufferPool` and eviction policies.
 * :class:`~repro.core.stream.FileStream` / :class:`~repro.core.stream.StripedStream`
   — sequential record streams.
@@ -48,8 +52,24 @@ from .exceptions import (
     ShareLimitExceeded,
     StreamError,
 )
+from .filedisk import FileDiskArray
 from .machine import Machine
 from .memory import FairShare, MemoryBudget, SubBudget
+from .records import (
+    BlockBuilder,
+    FieldKey,
+    argsort,
+    canonical_bytes,
+    concat,
+    copy_payload,
+    decode_block,
+    encode_block,
+    field,
+    is_typed,
+    key_column,
+    key_list,
+    take,
+)
 from .stats import IOCounter, IOStats, Measurement, format_table
 from .stream import FileStream, StripedStream
 
@@ -57,6 +77,20 @@ __all__ = [
     "Machine",
     "SimulatedDisk",
     "DiskArray",
+    "FileDiskArray",
+    "BlockBuilder",
+    "FieldKey",
+    "argsort",
+    "canonical_bytes",
+    "concat",
+    "copy_payload",
+    "decode_block",
+    "encode_block",
+    "field",
+    "is_typed",
+    "key_column",
+    "key_list",
+    "take",
     "BufferPool",
     "EvictionPolicy",
     "LRUPolicy",

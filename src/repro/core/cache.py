@@ -57,6 +57,7 @@ from typing import (
 )
 
 from .disk import Block
+from .records import copy_payload
 from .exceptions import (
     ChecksumError,
     ConfigurationError,
@@ -470,7 +471,9 @@ class BufferPool:
                 self._frame_records, self._budget.occupancy,
                 self._budget.capacity,
             )
-        frame = list(records) if records is not None else []
+        # Type-preserving: a typed payload installed into the pool
+        # stays typed through residency, eviction, and write-back.
+        frame = copy_payload(records) if records is not None else []
         self._frames[block_id] = frame
         self._dirty.add(block_id)
         self.policy.on_insert(block_id)
@@ -693,7 +696,7 @@ class BufferPool:
         payload = hook(block_id) if hook is not None else None
         if payload is None:
             raise  # noqa: PLE0704 - re-raise the active ChecksumError
-        payload = list(payload)
+        payload = copy_payload(payload)
         self._scrub_write(block_id, payload, runtime)
         return payload
 

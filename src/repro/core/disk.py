@@ -39,21 +39,25 @@ from .exceptions import (
     ChecksumError,
     ConfigurationError,
 )
+from .records import canonical_bytes, copy_payload, np
 from .stats import IOCounter
 
-# A block payload is a plain list of records.  Records are arbitrary Python
-# objects; the substrate measures capacity in records, not bytes.
-Block = List[Any]
+# A block payload is a sequence of records: a plain list of arbitrary
+# Python objects, or a typed buffer (numpy array / ``array.array``, see
+# :mod:`repro.core.records`).  The substrate measures capacity in
+# records, not bytes, for every representation.
+Block = Sequence[Any]
 
 
 def block_checksum(records: Sequence[Any]) -> int:
-    """Checksum of a block payload (CRC-32 over its ``repr``).
+    """Checksum of a block payload (CRC-32 over its canonical bytes).
 
-    ``repr`` is stable for the record types the library stores (numbers,
-    strings, tuples/lists of them), and the simulation never needs the
-    checksum to be cryptographic — only to disagree when a write was
-    torn."""
-    return zlib.crc32(repr(list(records)).encode("utf-8"))
+    :func:`~repro.core.records.canonical_bytes` covers every record: a
+    ``repr``-based digest would let numpy elide the middle of large
+    arrays with ``...``, making distinct blocks collide and torn writes
+    undetectable.  The simulation never needs the checksum to be
+    cryptographic — only to disagree when a write was torn."""
+    return zlib.crc32(canonical_bytes(records))
 
 
 class DiskArray:
@@ -128,7 +132,7 @@ class DiskArray:
             )
         block_id = self._next_id
         self._next_id += 1
-        self._blocks[block_id] = []
+        self._blocks[block_id] = self._new_slot()
         self._disk_of[block_id] = disk
         self._allocated_high_water = max(
             self._allocated_high_water, len(self._blocks)
@@ -177,6 +181,41 @@ class DiskArray:
         return self._allocated_high_water
 
     # ------------------------------------------------------------------
+    # storage hooks
+    #
+    # Subclasses with a different backing store (a real file, see
+    # :class:`~repro.core.filedisk.FileDiskArray`) override these four
+    # methods and inherit every counter, fault, and checksum behaviour
+    # unchanged — bit-compatibility with the dict-backed array is by
+    # construction, not by reimplementation.
+    # ------------------------------------------------------------------
+    def _new_slot(self) -> Any:
+        """Backing-store entry for a freshly allocated (empty) block."""
+        return []
+
+    def _load(self, block_id: int) -> Block:
+        """The stored payload of ``block_id`` (raises ``KeyError`` when
+        unallocated).  Free of accounting — callers charge."""
+        return self._blocks[block_id]
+
+    def _store(self, block_id: int, payload: Block) -> None:
+        """Store ``payload``, which the caller owns (already copied or
+        torn) — never aliased to caller memory."""
+        self._blocks[block_id] = payload
+
+    def _export(self, payload: Block) -> Block:
+        """The payload handed to a reader: an independent copy for the
+        in-memory store (readers may mutate their frames).  Typed
+        payloads skip the copy — a read-only view protects the store
+        just as well, and turns an accidental in-place mutation into a
+        loud error instead of silent corruption."""
+        if np is not None and isinstance(payload, np.ndarray):
+            view = payload[:]
+            view.flags.writeable = False
+            return view
+        return copy_payload(payload)
+
+    # ------------------------------------------------------------------
     # transfers
     # ------------------------------------------------------------------
     def read(self, block_id: int) -> Block:
@@ -192,7 +231,7 @@ class DiskArray:
         """
         self._pre_read(block_id)
         try:
-            payload = self._blocks[block_id]
+            payload = self._load(block_id)
         except KeyError:
             raise BlockNotAllocatedError(block_id) from None
         self.counter.reads += 1
@@ -200,10 +239,14 @@ class DiskArray:
         self._notify("read", (block_id,), 1)
         self._verify(block_id, payload)
         self._stall_after((self._disk_of[block_id],))
-        return list(payload)
+        return self._export(payload)
 
     def write(self, block_id: int, records: Sequence[Any]) -> None:
         """Write one block: one transfer, one parallel step.
+
+        The payload is copied exactly once (the torn prefix *is* that
+        copy when a fault plan tears the write), preserving the caller's
+        representation — a numpy block stays a numpy block on disk.
 
         An installed fault plan may raise
         :class:`~repro.core.exceptions.TransientWriteError` (nothing
@@ -217,7 +260,7 @@ class DiskArray:
             self._sums[block_id] = block_checksum(records)
         self.counter.writes += 1
         self.counter.write_steps += 1
-        self._blocks[block_id] = list(stored)
+        self._store(block_id, stored)
         self._notify("write", (block_id,), 1)
         self._stall_after((self._disk_of[block_id],))
 
@@ -237,21 +280,21 @@ class DiskArray:
                 raise BlockNotAllocatedError(block_id)
             self._pre_read(block_id)
         per_disk = [0] * self.num_disks
-        payloads: List[Block] = []
+        loaded: List[Block] = []
         for block_id in block_ids:
-            payload = self._blocks[block_id]
+            loaded.append(self._load(block_id))
             per_disk[self._disk_of[block_id]] += 1
-            payloads.append(list(payload))
         steps = max(per_disk) if block_ids else 0
         self.counter.reads += len(block_ids)
         self.counter.read_steps += steps
-        if block_ids:
+        if block_ids and self.listener is not None:
             self._notify("read", block_ids, steps)
-        for block_id in block_ids:
-            self._verify(block_id, self._blocks[block_id])
-        if block_ids:
+        if self.checksums_enabled:
+            for block_id, payload in zip(block_ids, loaded):
+                self._verify(block_id, payload)
+        if block_ids and self._injector is not None:
             self._stall_after({self._disk_of[b] for b in block_ids})
-        return payloads
+        return [self._export(payload) for payload in loaded]
 
     def parallel_write(
         self, writes: Sequence[Tuple[int, Sequence[Any]]]
@@ -274,12 +317,13 @@ class DiskArray:
             stored = self._maybe_tear(block_id, records)
             if self.checksums_enabled:
                 self._sums[block_id] = block_checksum(records)
-            self._blocks[block_id] = list(stored)
+            self._store(block_id, stored)
         steps = max(per_disk) if writes else 0
         self.counter.writes += len(writes)
         self.counter.write_steps += steps
-        if writes:
+        if writes and self.listener is not None:
             self._notify("write", [b for b, _ in writes], steps)
+        if writes and self._injector is not None:
             self._stall_after({self._disk_of[b] for b, _ in writes})
 
     def peek(self, block_id: int) -> Block:
@@ -288,7 +332,7 @@ class DiskArray:
         For tests and debugging only; algorithm code must use :meth:`read`.
         """
         try:
-            return list(self._blocks[block_id])
+            return self._export(self._load(block_id))
         except KeyError:
             raise BlockNotAllocatedError(block_id) from None
 
@@ -301,7 +345,7 @@ class DiskArray:
             raise BlockNotAllocatedError(block_id)
         expected = self._sums.get(block_id)
         return expected is None or \
-            block_checksum(self._blocks[block_id]) == expected
+            block_checksum(self._load(block_id)) == expected
 
     def stall(
         self, steps: int, disks: Iterable[int] = (), reason: str = "backoff"
@@ -331,8 +375,10 @@ class DiskArray:
             raise error
 
     def _pre_write(self, block_id: int, records: Sequence[Any]) -> Block:
+        """The payload the store will own: **the** single copy of the
+        caller's records (or its torn prefix under a fault plan)."""
         if self._injector is None:
-            return list(records)
+            return copy_payload(records)
         self._fault_write(block_id)
         return self._maybe_tear(block_id, records)
 
@@ -347,12 +393,12 @@ class DiskArray:
 
     def _maybe_tear(self, block_id: int, records: Sequence[Any]) -> Block:
         if self._injector is None:
-            return list(records)
+            return copy_payload(records)
         torn = self._injector.tear(
             block_id, self._disk_of[block_id], records
         )
         if torn is None:
-            return list(records)
+            return copy_payload(records)
         self.counter.faults += 1
         self._notify_fault("torn-write", block_id)
         return torn

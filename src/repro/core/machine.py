@@ -40,6 +40,11 @@ class Machine:
             output frame); sorting wants at least 3.
         num_disks: ``D``, independent disks (Parallel Disk Model).
         policy: optional eviction policy for the buffer pool.
+        disk: optional pre-built block device (e.g. a
+            :class:`~repro.core.filedisk.FileDiskArray` mapping blocks
+            onto a real file).  Must agree with ``block_size`` and
+            ``num_disks``; every algorithm, fault plan, and scheduler
+            then runs unchanged against it.
 
     Attributes:
         disk: the backing :class:`~repro.core.disk.DiskArray`.
@@ -54,6 +59,7 @@ class Machine:
         memory_blocks: int,
         num_disks: int = 1,
         policy: Optional[EvictionPolicy] = None,
+        disk: Optional[DiskArray] = None,
     ):
         if block_size < 1:
             raise ConfigurationError(
@@ -67,10 +73,22 @@ class Machine:
             raise ConfigurationError(
                 f"number of disks must be >= 1, got {num_disks}"
             )
+        if disk is not None:
+            if disk.block_capacity != block_size:
+                raise ConfigurationError(
+                    f"disk block capacity {disk.block_capacity} does not "
+                    f"match machine block size {block_size}"
+                )
+            if disk.num_disks != num_disks:
+                raise ConfigurationError(
+                    f"disk array has {disk.num_disks} disks, machine "
+                    f"configured for {num_disks}"
+                )
         self.block_size = block_size
         self.memory_blocks = memory_blocks
         self.num_disks = num_disks
-        self.disk = DiskArray(block_size, num_disks)
+        self.disk = disk if disk is not None \
+            else DiskArray(block_size, num_disks)
         self.budget = MemoryBudget(block_size * memory_blocks)
         # The pool shares the single memory budget (each resident frame
         # charges B reclaimable records — structures plus algorithms get

@@ -18,6 +18,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Sequence
 from ..runtime.prefetch import read_ahead
 from .exceptions import StreamError
 from .machine import Machine
+from .records import concat
 
 
 class FileStream:
@@ -88,14 +89,54 @@ class FileStream:
                 f"stream {self.name!r}: append_block of {len(records)} "
                 f"records exceeds block size {self.machine.block_size}"
             )
-        if not records:
+        if len(records) == 0:  # ndarray truthiness is ambiguous
             return
         block_id = self._allocate_block(len(self._block_ids))
         # Record the id before the (faultable) write: if the write dies,
         # delete() still reclaims the allocated block.
         self._block_ids.append(block_id)
-        self._write_block(block_id, list(records))
+        # No defensive copy here: every holder downstream (the deferral
+        # window, the device store) makes its own owning copy, so one
+        # more per block would protect nothing.
+        self._write_block(block_id, records)
         self._length += len(records)
+
+    def append_blocks(self, payloads: Sequence[Sequence[Any]]) -> None:
+        """Append several completed blocks in one runtime pass.
+
+        The same contract as :meth:`append_block` per payload, but the
+        writes reach the scheduler as one batch — identical transfer
+        and step counts, one queue pass instead of one per block.  The
+        caller already holds every payload (a sorted memoryload), so
+        batching costs no extra frames.
+        """
+        self._check_writable()
+        if self._buffer:
+            raise StreamError(
+                f"stream {self.name!r}: append_blocks while records are "
+                "buffered would reorder data"
+            )
+        block_size = self.machine.block_size
+        writes = []
+        total = 0
+        for records in payloads:
+            count = len(records)
+            if count > block_size:
+                raise StreamError(
+                    f"stream {self.name!r}: append_blocks payload of "
+                    f"{count} records exceeds block size {block_size}"
+                )
+            if count == 0:  # ndarray truthiness is ambiguous
+                continue
+            block_id = self._allocate_block(len(self._block_ids))
+            # Ids are recorded before the (faultable) writes: if the
+            # batch dies part-way, delete() reclaims every allocation.
+            self._block_ids.append(block_id)
+            writes.append((block_id, records))
+            total += count
+        if writes:
+            self.machine.runtime.writer.put_batch(writes)
+            self._length += total
 
     @classmethod
     def writer_frames(cls, machine: Machine) -> int:
@@ -179,7 +220,8 @@ class FileStream:
             (index + self._stripe_offset) % self.machine.num_disks
         )
 
-    def _write_block(self, block_id: int, records: List[Any]) -> None:
+    def _write_block(self, block_id: int,
+                     records: Sequence[Any]) -> None:
         # Completed blocks go through the runtime's write-behind buffer:
         # on one disk it writes through immediately (identical counts);
         # with D disks it defers until D blocks can share one step.
@@ -211,6 +253,24 @@ class FileStream:
         return self._reader()
 
     def _reader(self) -> Iterator[Any]:
+        for payload in self._block_reader():
+            for record in payload:
+                yield record
+
+    def iter_blocks(self) -> Iterator[Sequence[Any]]:
+        """Iterate whole block payloads (one read I/O each), preserving
+        their representation — the batch consumer's counterpart of
+        ``__iter__``.  Reserves one frame for its lifetime, exactly like
+        a record reader."""
+        if self._deleted:
+            raise StreamError(f"stream {self.name!r} has been deleted")
+        if not self._finalized:
+            raise StreamError(
+                f"stream {self.name!r} must be finalized before reading"
+            )
+        return self._block_reader()
+
+    def _block_reader(self) -> Iterator[Sequence[Any]]:
         budget = self.machine.budget
         budget.acquire(self.machine.block_size)
         try:
@@ -218,12 +278,11 @@ class FileStream:
             # demanded block with successors on idle disks (no-op at D=1).
             for payload in read_ahead(self.machine.runtime,
                                       self._block_ids):
-                for record in payload:
-                    yield record
+                yield payload
         finally:
             budget.release(self.machine.block_size)
 
-    def read_block(self, index: int) -> List[Any]:
+    def read_block(self, index: int) -> Sequence[Any]:
         """Random-access read of the ``index``-th block (one read I/O)."""
         if not 0 <= index < len(self._block_ids):
             raise StreamError(
@@ -232,7 +291,7 @@ class FileStream:
             )
         return self.machine.runtime.read_block(self._block_ids[index])
 
-    def read_block_range(self, start: int, stop: int) -> List[Any]:
+    def read_block_range(self, start: int, stop: int) -> Sequence[Any]:
         """Read blocks ``start..stop-1`` and return their records
         concatenated, batching ``D`` blocks per parallel I/O step.
 
@@ -246,15 +305,17 @@ class FileStream:
                 f"stream {self.name!r}: block range [{start}, {stop}) "
                 f"invalid (has {len(self._block_ids)})"
             )
-        records: List[Any] = []
+        parts: List[Sequence[Any]] = []
         group = self.machine.num_disks
         runtime = self.machine.runtime
         for batch_start in range(start, stop, group):
             batch = self._block_ids[batch_start:min(batch_start + group,
                                                     stop)]
             for payload in runtime.read_batch(batch):
-                records.extend(payload)
-        return records
+                parts.append(payload)
+        # Representation-preserving concatenation: typed blocks come back
+        # as one typed memoryload, ready for a batch argsort.
+        return concat(parts)
 
     def __len__(self) -> int:
         """Number of records in the stream (including unflushed ones)."""
@@ -306,6 +367,20 @@ class FileStream:
         """Build and finalize a stream holding ``records``."""
         stream = cls(machine, name=name)
         stream.extend(records)
+        return stream.finalize()
+
+    @classmethod
+    def from_payload(
+        cls, machine: Machine, payload: Sequence[Any], name: str = ""
+    ) -> "FileStream":
+        """Build and finalize a stream from a whole payload, cut into
+        ``B``-record blocks with :meth:`append_block` — the typed
+        counterpart of :meth:`from_records` (an ndarray payload lands as
+        compact ndarray blocks)."""
+        stream = cls(machine, name=name)
+        block_size = machine.block_size
+        for start in range(0, len(payload), block_size):
+            stream.append_block(payload[start:start + block_size])
         return stream.finalize()
 
     @classmethod
@@ -371,10 +446,18 @@ class StripedStream(FileStream):
         """A striped reader holds one stripe: ``D`` frames."""
         return machine.num_disks
 
-    def _write_block(self, block_id: int, records: List[Any]) -> None:
+    def _write_block(self, block_id: int,
+                     records: Sequence[Any]) -> None:
         self._pending.append((block_id, records))
         if len(self._pending) >= self.machine.num_disks:
             self._drain_pending()
+
+    def append_blocks(self, payloads: Sequence[Sequence[Any]]) -> None:
+        # Striped writes already batch per stripe in _write_block;
+        # route through the per-block path so that staging (and its
+        # step accounting) stays authoritative.
+        for records in payloads:
+            self.append_block(records)
 
     def _drain_pending(self) -> None:
         if self._pending:
@@ -388,7 +471,7 @@ class StripedStream(FileStream):
             self._drain_pending()
         return self
 
-    def _reader(self) -> Iterator[Any]:
+    def _block_reader(self) -> Iterator[Sequence[Any]]:
         machine = self.machine
         group = machine.num_disks
         reserve = machine.block_size * max(
@@ -401,7 +484,6 @@ class StripedStream(FileStream):
                 # Through the runtime: deferred writes to these blocks
                 # are flushed first and the wave gets the fault retry.
                 for payload in machine.runtime.read_batch(batch):
-                    for record in payload:
-                        yield record
+                    yield payload
         finally:
             machine.budget.release(reserve)

@@ -50,6 +50,16 @@ def _describe(stream: FileStream) -> Dict[str, Any]:
     return {"blocks": list(stream.block_ids), "length": len(stream)}
 
 
+def _sync_device(machine: Machine) -> None:
+    """Make a manifest commit durable on a file-backed device: a
+    :class:`~repro.core.filedisk.FileDiskArray` flushes its block table
+    so a post-crash ``open()`` recovers exactly the committed blocks.
+    In-memory devices have nothing to flush."""
+    sync = getattr(machine.disk, "sync_metadata", None)
+    if sync is not None:
+        sync()
+
+
 class SortManifest:
     """Durable record of a checkpointed sort's progress.
 
@@ -209,6 +219,7 @@ def checkpointed_merge_sort(
             verify_outputs, max_redos, manifest,
         )
         manifest.commit_pass(runs)
+        _sync_device(machine)
     else:
         generation = manifest.committed_passes - 1
         runs = [
@@ -222,6 +233,7 @@ def checkpointed_merge_sort(
     if not runs:
         empty = stream_cls(machine, name="sorted").finalize()
         manifest.commit_result(empty)
+        _sync_device(machine)
         return empty
 
     if manifest.arity is None:
@@ -237,6 +249,7 @@ def checkpointed_merge_sort(
             verify_outputs, max_redos, manifest,
         )
         manifest.commit_pass(next_runs)
+        _sync_device(machine)
         # Only now is the previous generation safe to drop.  A lone
         # straggler is *carried forward* (same object in both lists) —
         # deleting it would destroy part of the committed pass.
@@ -247,6 +260,7 @@ def checkpointed_merge_sort(
         runs = next_runs
 
     manifest.commit_result(runs[0])
+    _sync_device(machine)
     return runs[0]
 
 

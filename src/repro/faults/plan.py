@@ -31,6 +31,7 @@ from ..core.exceptions import (
     TransientReadError,
     TransientWriteError,
 )
+from ..core.records import copy_payload
 
 
 @dataclass(frozen=True)
@@ -163,7 +164,7 @@ class FaultInjector:
         return None
 
     def tear(self, block_id: int, disk: int,
-             records: Sequence[Any]) -> Optional[List[Any]]:
+             records: Sequence[Any]) -> Optional[Sequence[Any]]:
         """Return the truncated payload to store instead of ``records``,
         or None for a clean write.  Advances the performed-write index."""
         index = self.writes_performed
@@ -171,11 +172,14 @@ class FaultInjector:
         torn = index in self.plan.torn_writes
         if not torn and self.plan.torn_write_rate:
             torn = self._rng.random() < self.plan.torn_write_rate
-        if not torn or not records:
+        if not torn or len(records) == 0:  # ndarray-safe emptiness
             return None
         keep = min(len(records) - 1, int(len(records) * self.plan.torn_keep))
         self.injected["torn-write"] += 1
-        return list(records[:max(0, keep)])
+        # Type-preserving prefix: a torn numpy block stays a (short)
+        # numpy block, so a real-file backend persists a compact torn
+        # image whose decode succeeds but whose checksum disagrees.
+        return copy_payload(records[:max(0, keep)])
 
     def stall_penalty(self, disks: Iterable[int]) -> int:
         """Extra stall steps for a wave that touched ``disks``."""

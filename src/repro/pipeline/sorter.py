@@ -14,8 +14,9 @@ idiom.  The *push* phase accepts records straight from the producer
 Arge–Thorup RAM-efficient sorting line — orders each run by sorting
 ``(key, index)`` pairs and emitting records through the index pointers
 rather than comparing full records.  The *pull* phase exposes the final
-k-way merge as an iterator (forecasting prefetch + loser tree, exactly
-the machinery of :func:`~repro.sort.merge.merge_streams`) so the
+k-way merge as an iterator (forecasting prefetch + galloping block
+merge, exactly the machinery of
+:func:`~repro.sort.merge.merge_streams`) so the
 consumer reads the sorted order without it ever being written.  Total
 cost for a fits-in-one-merge sort: ``2·(N/DB)`` I/Os — write the runs,
 read them back — against ``6·(N/DB)`` for the materialized chain.
@@ -27,9 +28,10 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional
 
 from ..core.exceptions import ConfigurationError, StreamError
 from ..core.machine import Machine
+from ..core.records import argsort, take
 from ..core.stream import FileStream
 from ..runtime.prefetch import ForecastingPrefetcher
-from ..sort.merge import LoserTree, merge_pass, plan_merge_arity
+from ..sort.merge import BlockMerger, merge_pass, plan_merge_arity
 from ..sort.runs import identity
 
 _PUSH = "push"
@@ -175,24 +177,16 @@ class Sorter:
         if not self._buffer:
             return
         machine = self.machine
-        pairs = [(self._key(record), index)
-                 for index, record in enumerate(self._buffer)]
-        # em: ok(EM004) one memoryload ≤ m·B, reserved
-        pairs.sort()
+        order = argsort(self._buffer, self._key)
+        permuted = take(self._buffer, order)
         run = self._stream_cls(
             machine, name=f"{self._name}/run/{len(self._runs)}"
         )
         try:
             with machine.trace(f"{self._name}-runs"):
                 B = machine.B
-                block: List[Any] = []
-                for _, index in pairs:
-                    block.append(self._buffer[index])
-                    if len(block) == B:
-                        run.append_block(block)
-                        block = []
-                if block:
-                    run.append_block(block)
+                for offset in range(0, len(permuted), B):
+                    run.append_block(permuted[offset:offset + B])
             self._runs.append(run.finalize())
         except BaseException:
             run.delete()
@@ -213,8 +207,9 @@ class Sorter:
 
         Runs beyond the planned arity are first merged down with
         ordinary materialized passes; the *final* merge is never
-        written — the returned iterator is the loser tree over the
-        forecasting prefetcher's run readers.  Idempotent: repeated
+        written — the returned iterator is a galloping
+        :class:`~repro.sort.merge.BlockMerger` over the forecasting
+        prefetcher's block readers.  Idempotent: repeated
         calls (and ``iter(sorter)``) return the same iterator.
         """
         if self._state == _PULL:
@@ -250,14 +245,16 @@ class Sorter:
             machine.runtime, [run.block_ids for run in self._runs],
             key=self._key, pin_slack=pin_slack,
         )
-        readers = [self._prefetcher.reader(i)
+        readers = [self._prefetcher.block_reader(i)
                    for i in range(len(self._runs))]
-        self._pull = self._pull_iter(LoserTree(readers, key=self._key))
+        self._pull = self._pull_iter(
+            BlockMerger(readers, key=self._key)
+        )
         return self._pull
 
-    def _pull_iter(self, tree: LoserTree) -> Iterator[Any]:
+    def _pull_iter(self, merger: BlockMerger) -> Iterator[Any]:
         try:
-            for record in tree:
+            for record in merger.records():
                 yield record
         finally:
             # Exhaustion and generator close both land here: reader

@@ -136,13 +136,20 @@ class ForecastingPrefetcher:
         The run's current block lives in a frame reserved by the
         prefetcher; staged blocks are pinned separately by the scheduler.
         """
+        for payload in self.block_reader(index):
+            for record in payload:
+                yield record
+
+    def block_reader(self, index: int) -> Iterator[Block]:
+        """Whole-payload iterator over run ``index`` — the batch merge's
+        counterpart of :meth:`reader`, identical fetch schedule and
+        counters, no per-record interpreter loop."""
         while True:
             payload = self._next_block(index)
             if payload is None:
                 self._drop(index)
                 return
-            for record in payload:
-                yield record
+            yield payload
 
     def close(self) -> None:
         """Drop every staged block, unpin its frame, and release the

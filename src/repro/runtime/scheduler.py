@@ -60,10 +60,14 @@ class IOScheduler:
         self._read_queues.setdefault(disk, deque()).append(block_id)
 
     def queue_write(self, block_id: int, records: Sequence[Any]) -> None:
-        """Enqueue a block write on its home disk's queue."""
+        """Enqueue a block write on its home disk's queue.
+
+        The queue aliases the caller's buffer: enqueue and drain within
+        one call (as :meth:`write_batch` does) — the device makes the
+        one owning copy when the wave is issued."""
         disk = self.machine.disk.disk_of(block_id)
         self._write_queues.setdefault(disk, deque()).append(
-            (block_id, list(records))
+            (block_id, records)
         )
 
     def drain(self) -> Dict[int, Block]:
@@ -78,21 +82,43 @@ class IOScheduler:
 
         Returns a mapping from block id to payload for every read drained.
         """
+        try:
+            return self._drain()
+        except BaseException:
+            # A wave that dies mid-drain (crash, exhausted retries)
+            # abandons the whole operation: clear the queues so the
+            # caller's unwind — which may free the very blocks still
+            # queued — is not followed by a replay of stale requests.
+            self._read_queues.clear()
+            self._write_queues.clear()
+            raise
+
+    def _drain(self) -> Dict[int, Block]:
         results: Dict[int, Block] = {}
         disk = self.machine.disk
-        while self._write_queues:
-            wave = [queue.popleft() for queue in self._write_queues.values()]
-            self._write_queues = {
-                d: q for d, q in self._write_queues.items() if q
-            }
+        write_queues = self._write_queues
+        while write_queues:
+            wave = []
+            drained = []
+            for d, queue in write_queues.items():
+                wave.append(queue.popleft())
+                if not queue:
+                    drained.append(d)
+            for d in drained:
+                del write_queues[d]
             self.retry.run(
                 disk, lambda w=wave: disk.parallel_write(w)
             )
-        while self._read_queues:
-            wave = [queue.popleft() for queue in self._read_queues.values()]
-            self._read_queues = {
-                d: q for d, q in self._read_queues.items() if q
-            }
+        read_queues = self._read_queues
+        while read_queues:
+            wave = []
+            drained = []
+            for d, queue in read_queues.items():
+                wave.append(queue.popleft())
+                if not queue:
+                    drained.append(d)
+            for d in drained:
+                del read_queues[d]
             payloads = self.retry.run(
                 disk, lambda w=wave: disk.parallel_read(w)
             )
@@ -107,6 +133,15 @@ class IOScheduler:
         """Read ``block_ids`` through the queues, returning payloads in
         request order.  A batch with at most one block per disk costs one
         step."""
+        if len(block_ids) == 1 and not self._read_queues \
+                and not self._write_queues:
+            # One block, idle queues (the invariant between drains):
+            # issue the one-block wave directly — identical transfer
+            # and step accounting, none of the queue bookkeeping.
+            disk = self.machine.disk
+            return self.retry.run(
+                disk, lambda: disk.parallel_read(list(block_ids))
+            )
         for block_id in block_ids:
             self.queue_read(block_id)
         results = self.drain()
@@ -116,6 +151,14 @@ class IOScheduler:
         self, writes: Sequence[Tuple[int, Sequence[Any]]]
     ) -> None:
         """Write ``(block_id, records)`` pairs through the queues."""
+        if len(writes) == 1 and not self._write_queues \
+                and not self._read_queues:
+            # Same one-wave fast path as read_batch.
+            disk = self.machine.disk
+            self.retry.run(
+                disk, lambda: disk.parallel_write(list(writes))
+            )
+            return
         for block_id, records in writes:
             self.queue_write(block_id, records)
         self.drain()

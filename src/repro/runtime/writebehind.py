@@ -26,8 +26,9 @@ no stale deferred copy can resurrect it).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Set
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
+from ..core.records import copy_payload
 from .scheduler import IOScheduler
 
 
@@ -52,7 +53,7 @@ class WriteBehind:
         """Accept one completed block for (possibly deferred) writing."""
         if block_id in self._pending:
             # The block is still in the window: coalesce, no new transfer.
-            self._pending[block_id] = list(records)
+            self._pending[block_id] = copy_payload(records)
             return
         machine = self.machine
         if machine.num_disks < 2:
@@ -75,10 +76,27 @@ class WriteBehind:
             # flush the current window first.  The pin taken above stays
             # held for the incoming block.
             self.flush()
-        self._pending[block_id] = list(records)
+        self._pending[block_id] = copy_payload(records)
         self._disks.add(disk)
         if len(self._disks) >= machine.num_disks:
             self.flush()
+
+    def put_batch(
+        self, writes: Sequence[Tuple[int, Sequence[Any]]]
+    ) -> None:
+        """Accept several completed blocks at once.
+
+        On one disk the batch issues through a single scheduler pass —
+        the same one-block waves, transfers, and steps as per-block
+        puts, minus the per-call queue bookkeeping.  With ``D`` disks
+        each block enters the deferral window exactly as :meth:`put`
+        would place it, so coalescing and window flushes are unchanged.
+        """
+        if self.machine.num_disks < 2:
+            self.scheduler.write_batch(list(writes))
+            return
+        for block_id, records in writes:
+            self.put(block_id, records)
 
     def flush(self) -> None:
         """Write every deferred block, batched as parallel steps."""

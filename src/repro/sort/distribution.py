@@ -23,12 +23,13 @@ Implementation notes:
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.sanitizer import io_bound
 from ..core.bounds import sort_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
+from ..core.records import BlockBuilder, argsort, key_column, np, take
 from ..core.stream import FileStream
 from .runs import identity
 
@@ -69,6 +70,54 @@ def _sample_pivots(
     return pivots
 
 
+def _scatter_block(
+    payload: Sequence[Any],
+    key: Callable[[Any], Any],
+    pivots: List[Any],
+    builders: List[BlockBuilder],
+) -> None:
+    """Route one block's records to their bucket builders, preserving
+    input order within each bucket (stability).
+
+    Slot ``2i`` holds keys strictly between pivot ``i-1`` and pivot
+    ``i``; slot ``2i+1`` is pivot ``i``'s equality bucket.  On a typed
+    payload with a vectorizable key the whole block is routed by one
+    ``searchsorted`` plus one stable argsort of the slot numbers, and
+    records move to their builders as contiguous slices.
+    """
+    column = key_column(payload, key)
+    if column is not None and pivots:
+        pivot_arr = np.asarray(pivots)
+        positions = np.searchsorted(pivot_arr, column, side="left")
+        hit = positions < len(pivots)
+        equal = np.zeros(len(column), dtype=bool)
+        if hit.any():
+            equal[hit] = pivot_arr[positions[hit]] == column[hit]
+        slots = 2 * positions + equal
+        order = np.argsort(slots, kind="stable")
+        sorted_slots = slots[order]
+        permuted = payload[order]
+        cuts = np.flatnonzero(np.diff(sorted_slots)) + 1
+        start = 0
+        for stop in list(cuts) + [len(sorted_slots)]:
+            builders[int(sorted_slots[start])].push(
+                permuted, start, stop
+            )
+            start = stop
+        return
+    groups: Dict[int, List[int]] = {}
+    for position, record in enumerate(payload):
+        record_key = key(record)
+        index = bisect_left(pivots, record_key)
+        if index < len(pivots) and pivots[index] == record_key:
+            slot = 2 * index + 1
+        else:
+            slot = 2 * index
+        groups.setdefault(slot, []).append(position)
+    for slot, positions_list in groups.items():
+        builders[slot].push(take(payload, positions_list))
+
+
 def _partition(
     machine: Machine,
     stream: FileStream,
@@ -81,27 +130,41 @@ def _partition(
     Bucket ``2i`` holds keys strictly between pivot ``i-1`` and pivot
     ``i``; bucket ``2i+1`` is the equality bucket of pivot ``i``.  Returns
     ``(bucket, is_equality)`` pairs in key order, dropping empty buckets.
+
+    The model's memory bound is enforced up front: every bucket reserves
+    its output frame(s) for the whole pass (the seed acquired them
+    lazily per non-empty bucket; the fan-out cap already budgets for all
+    of them).
     """
     buckets = [
         stream_cls(machine, name=f"bucket/{j}")
         for j in range(2 * len(pivots) + 1)
     ]
-    with machine.trace("partition"):
-        for record in stream:
-            record_key = key(record)
-            index = bisect_left(pivots, record_key)
-            if index < len(pivots) and pivots[index] == record_key:
-                buckets[2 * index + 1].append(record)
-            else:
-                buckets[2 * index].append(record)
-        result = []
-        for j, bucket in enumerate(buckets):
-            bucket.finalize()
-            if len(bucket) == 0:
-                bucket.delete()
-            else:
-                result.append((bucket, j % 2 == 1))
-    return result
+    try:
+        for bucket in buckets:
+            bucket.reserve_writer()
+        builders = [
+            BlockBuilder(machine.B, bucket.append_block)
+            for bucket in buckets
+        ]
+        with machine.trace("partition"):
+            for payload in stream.iter_blocks():
+                _scatter_block(payload, key, pivots, builders)
+            result = []
+            for j, bucket in enumerate(buckets):
+                builders[j].flush()
+                bucket.finalize()
+                if len(bucket) == 0:
+                    bucket.delete()
+                else:
+                    result.append((bucket, j % 2 == 1))
+        return result
+    except BaseException:
+        # A fault mid-partition must not leak bucket blocks or their
+        # writer reservations; the caller retries from ``stream``.
+        for bucket in buckets:
+            bucket.delete()
+        raise
 
 
 # Each level pays a read pass AND a write pass over its buckets, so the
@@ -153,36 +216,49 @@ def distribution_sort(
     # (stream, is_equality, owned): equality buckets are emitted verbatim;
     # owned intermediates are deleted after use.
     worklist: List[Tuple[FileStream, bool, bool]] = [(stream, False, False)]
-    while worklist:
-        current, is_equality, owned = worklist.pop(0)
-        if is_equality or len(current) <= machine.B:
-            # Equality buckets are all one key (already "sorted"); tiny
-            # buckets flush through the output buffer directly.
-            with machine.trace("bucket-output"):
-                if is_equality:
-                    for record in current:
-                        output.append(record)
-                else:
-                    with machine.budget.reserve(len(current)):
-                        records = list(current)
-                        # em: ok(EM004) tiny bucket ≤ M - 2B, reserved
-                        records.sort(key=key)
-                        for record in records:
-                            output.append(record)
-        elif len(current) <= threshold:
-            with machine.trace("bucket-output"), \
-                    machine.budget.reserve(len(current)):
-                records = list(current)
-                # em: ok(EM004) base-case bucket ≤ M - 2B records, reserved
-                records.sort(key=key)
-                for record in records:
-                    output.append(record)
-        else:
-            pivots = _sample_pivots(machine, current, key, k, oversample)
-            parts = _partition(machine, current, key, pivots, stream_cls)
-            worklist[0:0] = [
-                (bucket, equality, True) for bucket, equality in parts
-            ]
-        if owned:
-            current.delete()
-    return output.finalize()
+    try:
+        # The output frame is held for the whole sort (the seed's
+        # buffered writer acquired it lazily and kept it); the builder
+        # re-blocks bucket segments into exactly-B appends with the
+        # same cadence.
+        output.reserve_writer()
+        out_builder = BlockBuilder(machine.B, output.append_block)
+        while worklist:
+            current, is_equality, owned = worklist.pop(0)
+            if is_equality:
+                # Equality buckets are all one key (already "sorted"):
+                # re-block them into the output without touching records.
+                with machine.trace("bucket-output"):
+                    for payload in current.iter_blocks():
+                        out_builder.push(payload)
+            elif len(current) <= threshold:
+                with machine.trace("bucket-output"), \
+                        machine.budget.reserve(len(current)):
+                    chunk = current.read_block_range(
+                        0, current.num_blocks
+                    )
+                    order = argsort(chunk, key)
+                    out_builder.push(take(chunk, order))
+            else:
+                pivots = _sample_pivots(
+                    machine, current, key, k, oversample
+                )
+                parts = _partition(
+                    machine, current, key, pivots, stream_cls
+                )
+                worklist[0:0] = [
+                    (bucket, equality, True) for bucket, equality in parts
+                ]
+            if owned:
+                current.delete()
+        out_builder.flush()
+        return output.finalize()
+    except BaseException:
+        # A fault mid-sort must not leak the half-written output (or
+        # its writer reservation) nor the owned bucket intermediates
+        # still queued; recovery re-runs the sort from ``stream``.
+        output.delete()
+        for pending, _, pending_owned in worklist:
+            if pending_owned:
+                pending.delete()
+        raise

@@ -6,20 +6,35 @@ output frame), so the total cost is ``2·(N/B)`` I/Os per pass and the pass
 count is ``1 + ceil(log_{m-1} ceil(N/M))`` — the survey's
 ``Θ((N/B) log_{M/B}(N/B))`` sorting bound.
 
-Run selection uses a *loser tree* (tournament tree of losers, Knuth
-5.4.1), the structure used by real database sort implementations: each
-emitted record costs ``O(log k)`` comparisons, and ties are broken by
-source index so the merge is stable.
+Two merge engines are provided:
+
+* :class:`LoserTree` — a tournament tree of losers (Knuth 5.4.1) over
+  record iterators: ``O(log k)`` comparisons per emitted record.  Used
+  where inputs only exist as record iterators (the sequence heap).
+* :class:`BlockMerger` — the raw-speed engine :func:`merge_streams`
+  uses: it consumes whole block payloads, *gallops* by binary search to
+  the longest emitable prefix of the leading run, and moves records as
+  slices.  Comparisons drop from one tournament per record to
+  ``O(log B)`` per segment, and typed payloads (numpy/``array``) are
+  never unpacked into Python objects at all.
+
+Both are stable: ties are broken by ascending source index.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, List, Optional
+import heapq
+from bisect import bisect_left, bisect_right
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, Iterator, List, \
+    Optional, Sequence, Tuple
 
 from ..analysis.sanitizer import io_bound
 from ..core.bounds import scan_io, sort_io
 from ..core.exceptions import ConfigurationError, StreamError
 from ..core.machine import Machine
+from ..core.records import BlockBuilder, concat, key_column, key_list, \
+    np, take
 from ..core.stream import FileStream
 from ..runtime.prefetch import ForecastingPrefetcher
 from .runs import form_runs_load_sort, form_runs_replacement_selection, identity
@@ -131,6 +146,298 @@ class LoserTree:
         return record
 
 
+class _RunCursor:
+    """One input run of a :class:`BlockMerger`: the current block's
+    payload, its extracted keys, and the next emit position."""
+
+    __slots__ = ("_blocks", "payload", "keys", "kcol", "pos")
+
+    def __init__(self, blocks: Iterator[Sequence[Any]]):
+        self._blocks = blocks
+        self.payload: Sequence[Any] = ()
+        self.keys: Optional[List[Any]] = []
+        self.kcol = None
+        self.pos = 0
+
+    def advance(self, key: Callable[[Any], Any],
+                want_keys: bool = True) -> bool:
+        """Load the run's next non-empty block; False when exhausted.
+
+        ``want_keys`` builds the plain-scalar key list the tournament
+        path bisects over (native comparisons even for numpy payloads);
+        the batch path passes False and merges on the vectorized
+        ``kcol`` column instead."""
+        for payload in self._blocks:
+            if len(payload):
+                self.payload = payload
+                self.kcol = key_column(payload, key)
+                if want_keys or self.kcol is None:
+                    self.keys = key_list(payload, key)
+                else:
+                    self.keys = None
+                self.pos = 0
+                return True
+        return False
+
+    def tail_keys(self):
+        """Keys of the not-yet-emitted remainder of the current block,
+        as an ndarray."""
+        column = self.kcol
+        if column is None:
+            # A heterogeneous run slipped an object block into a batch
+            # merge: lift its extracted keys into an array so the round
+            # stays vectorized.
+            column = np.asarray(self.keys)
+        return column[self.pos:] if self.pos else column
+
+
+class BlockMerger:
+    """Merge ``k`` sorted *block* iterators by galloping.
+
+    Where :class:`LoserTree` runs one tournament per record, this engine
+    binary-searches the leading run's key list for the longest prefix
+    that may be emitted before any other run gets a turn, and emits it
+    as one ``(payload, start, stop)`` segment.  Sorted stretches cost
+    ``O(log B)`` comparisons per *segment* instead of ``O(log k)`` per
+    record, and records move as whole slices — a typed payload is never
+    unpacked into Python objects.
+
+    Equal keys are emitted in ascending source order (the same
+    stability contract as :class:`LoserTree`).
+
+    Args:
+        sources: iterators yielding whole sorted block payloads, one
+            per run — e.g. ``ForecastingPrefetcher.block_reader`` or
+            ``FileStream.iter_blocks``.
+        key: key extraction function (defaults to identity; pass
+            :func:`repro.core.records.field` to keep column extraction
+            vectorized on structured arrays).
+    """
+
+    def __init__(
+        self,
+        sources: List[Iterator[Sequence[Any]]],
+        key: Optional[Callable[[Any], Any]] = None,
+    ):
+        if not sources:
+            raise ConfigurationError(
+                "BlockMerger needs at least one source"
+            )
+        self._key = key or identity
+        self._cursors = [_RunCursor(source) for source in sources]
+        heap: List[Tuple[Any, int]] = []
+        for index, cursor in enumerate(self._cursors):
+            if cursor.advance(self._key):
+                heap.append((cursor.keys[0], index))
+        heapq.heapify(heap)
+        self._heap = heap
+        # Batch mode: every live run exposes a vectorized key column,
+        # so rounds of one stable argsort each replace the tournament
+        # (random keys make galloping segments degenerate to a record
+        # or two, and per-segment Python overhead then dominates).
+        # em: ok(EM004) sorts the k ≤ m run indexes, not records
+        self._active = sorted(index for _, index in heap)
+        self._batch = np is not None and bool(heap) and all(
+            self._cursors[index].kcol is not None
+            for index in self._active
+        )
+
+    def segments(self) -> Iterator[Tuple[Sequence[Any], int, int]]:
+        """Yield the merge as maximal ``(payload, start, stop)``
+        segments, in key order."""
+        heap = self._heap
+        cursors = self._cursors
+        key = self._key
+        while heap:
+            _, index = heap[0]
+            cursor = cursors[index]
+            if len(heap) == 1:
+                # Lone survivor: stream its remaining blocks whole.
+                heapq.heappop(heap)
+                yield cursor.payload, cursor.pos, len(cursor.keys)
+                while cursor.advance(key):
+                    yield cursor.payload, 0, len(cursor.keys)
+                continue
+            # The runner-up is the smaller child of the heap root.
+            runner_key, runner = heap[1]
+            if len(heap) > 2 and heap[2] < heap[1]:
+                runner_key, runner = heap[2]
+            keys = cursor.keys
+            start = cursor.pos
+            # Gallop: everything below the runner-up key is safe to
+            # emit, and so are ties when this source wins them (lower
+            # index).  The root strictly precedes the runner-up, so the
+            # segment is never empty.
+            if index < runner:
+                stop = bisect_right(keys, runner_key, start)
+            else:
+                stop = bisect_left(keys, runner_key, start)
+            yield cursor.payload, start, stop
+            if stop < len(keys):
+                cursor.pos = stop
+                heapq.heapreplace(heap, (keys[stop], index))
+            elif cursor.advance(key):
+                heapq.heapreplace(heap, (cursor.keys[0], index))
+            else:
+                heapq.heappop(heap)
+
+    def _rounds(self) -> Iterator[Sequence[Any]]:
+        """Batch merge engine: each round emits, as one already-sorted
+        chunk, every resident record that provably precedes everything
+        still on disk.
+
+        Let ``bound`` be the smallest last-resident key over the live
+        runs and ``c`` the lowest such run.  Unseen records of ``c``
+        are ``>= bound``; unseen records of any other run exceed their
+        own last resident key ``>= bound``.  So the safe set is exactly
+        the resident keys ``< bound`` plus the ``== bound`` ties from
+        runs up to ``c`` — which includes all of ``c``'s resident
+        block, so every round consumes at least one whole block.  One
+        stable argsort over the concatenated key columns orders the set
+        with the tournament's tie rule (ascending run, then input
+        order), record payloads are gathered once per round, and no
+        per-record Python runs at all.
+        """
+        key = self._key
+        cursors = self._cursors
+        active = list(self._active)
+        # Last resident key per cursor as a *native* scalar: the min
+        # scan below runs every round, and converting once per refill
+        # keeps it out of numpy scalar dispatch.
+        last: Dict[int, Any] = {}
+        for index in active:
+            cursor = cursors[index]
+            last[index] = cursor.keys[-1] if cursor.keys is not None \
+                else cursor.tail_keys()[-1].item()
+        while active:
+            if len(active) == 1:
+                # Lone survivor: stream its remaining blocks whole.
+                cursor = cursors[active[0]]
+                payload = cursor.payload
+                yield payload[cursor.pos:] if cursor.pos else payload
+                while cursor.advance(key, want_keys=False):
+                    yield cursor.payload
+                return
+            tails = []
+            vectorized = True
+            min_j = 0
+            min_last = None
+            for j, index in enumerate(active):
+                cursor = cursors[index]
+                tails.append(cursor.tail_keys())
+                if cursor.kcol is None:
+                    vectorized = False
+                lk = last[index]
+                if min_last is None or lk < min_last:
+                    min_last = lk
+                    min_j = j
+            bound = min_last
+            all_keys = np.concatenate(tails)
+            # Safe set: keys < bound anywhere, plus the == bound ties
+            # from runs up to min_j.  Each tail is sorted, so one
+            # scalar bisection per run counts its safe prefix — runs
+            # below min_j surrender their == bound ties, runs above
+            # keep them, and min_j's resident block is consumed whole
+            # (every round makes at least one block of progress).  The
+            # round size is the sum of those prefixes: the bisections
+            # double as both the cut and the cursor advances.
+            consumed = []
+            cut = 0
+            for j, tail in enumerate(tails):
+                if j == min_j:
+                    count = len(tail)
+                else:
+                    side = "right" if j < min_j else "left"
+                    count = int(tail.searchsorted(bound, side))
+                consumed.append(count)
+                cut += count
+            if vectorized and key is identity \
+                    and all_keys.dtype != object:
+                # Identity keys: the key column *is* the payload, and
+                # every ``== bound`` tie is the same value — so sorting
+                # the concatenation and slicing the safe prefix yields
+                # byte-identical output to argsort + gather, one value
+                # sort instead of an index sort plus a fancy index.
+                # em: ok(EM004) sorts the k ≤ m resident tails, not N
+                yield np.sort(all_keys)[:cut]
+            else:
+                # Stable argsort emits ties in concatenation order —
+                # runs ascending, then input order: the tournament's
+                # tie rule.
+                safe = all_keys.argsort(kind="stable")[:cut]
+                yield self._gather(
+                    active, safe, all_keys if vectorized else None
+                )
+            survivors = []
+            for j, index in enumerate(active):
+                cursor = cursors[index]
+                cursor.pos += consumed[j]
+                if cursor.pos < len(cursor.payload):
+                    survivors.append(index)
+                elif cursor.advance(key, want_keys=False):
+                    last[index] = cursor.tail_keys()[-1].item()
+                    survivors.append(index)
+            active = survivors
+
+    def _gather(self, active, safe,
+                all_keys=None) -> Sequence[Any]:
+        """Materialize one round's safe set in merged order: the single
+        per-round permutation pass of the key-pointer merge.  Records
+        move as one concatenation plus one fancy index — at block
+        granularity the extra memcpy is far cheaper than per-part
+        masking."""
+        cursors = self._cursors
+        if all_keys is not None and self._key is identity \
+                and isinstance(all_keys, np.ndarray) \
+                and all_keys.dtype != object:
+            # Identity keys: the key column *is* the payload, so the
+            # round's concatenation doubles as the gather source.
+            return all_keys[safe]
+        parts = []
+        for index in active:
+            cursor = cursors[index]
+            payload = cursor.payload
+            parts.append(payload[cursor.pos:] if cursor.pos else payload)
+        merged = concat(parts)
+        if isinstance(merged, np.ndarray):
+            return merged[safe]
+        return take(merged, safe)
+
+    def blocks(self, block_size: int) -> Iterator[Sequence[Any]]:
+        """Yield the merge re-blocked into exactly-``block_size``-record
+        payloads (the last may be short) — fed straight to
+        ``append_block``, so output block counts match the seed's
+        record-at-a-time writer."""
+        pending: deque = deque()
+        builder = BlockBuilder(block_size, pending.append)
+        if self._batch:
+            for chunk in self._rounds():
+                builder.push(chunk)
+                while pending:
+                    yield pending.popleft()
+        else:
+            for payload, start, stop in self.segments():
+                builder.push(payload, start, stop)
+                while pending:
+                    yield pending.popleft()
+        builder.flush()
+        while pending:
+            yield pending.popleft()
+
+    def records(self) -> Iterator[Any]:
+        """Yield the merge record by record — the drop-in replacement
+        for iterating a :class:`LoserTree`."""
+        if self._batch:
+            for chunk in self._rounds():
+                yield from chunk
+            return
+        for payload, start, stop in self.segments():
+            if start == 0 and stop == len(payload):
+                yield from payload
+            else:
+                yield from payload[start:stop]
+
+
 # Transfers, not steps: the envelope is D-independent (see runs.py).
 @io_bound(lambda machine, n: 2 * scan_io(n, machine.B),
           factor=2.0,
@@ -181,9 +488,11 @@ def merge_streams(
             key=key, pin_slack=pin_slack,
         )
         try:
-            readers = [prefetcher.reader(i) for i in range(len(streams))]
-            for record in LoserTree(readers, key=key):
-                output.append(record)
+            readers = [prefetcher.block_reader(i)
+                       for i in range(len(streams))]
+            merger = BlockMerger(readers, key=key)
+            for block in merger.blocks(machine.B):
+                output.append_block(block)
         finally:
             prefetcher.close()
         return output.finalize()

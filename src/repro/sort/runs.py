@@ -23,6 +23,7 @@ from ..analysis.sanitizer import io_bound
 from ..core.bounds import scan_io
 from ..core.exceptions import ConfigurationError
 from ..core.machine import Machine
+from ..core.records import argsort, take
 from ..core.stream import FileStream
 
 
@@ -89,20 +90,18 @@ def form_runs_load_sort(
                 end = min(start + blocks_per_run, num_blocks)
                 with machine.budget.reserve((end - start) * machine.B):
                     chunk = stream.read_block_range(start, end)
-                    # Arge–Thorup: comparison-sort (key, index) pairs
-                    # and move each record once, through its pointer,
-                    # as the run is emitted — payload size stays out of
-                    # the sort, ties keep input order (stability).
-                    pairs = [(key(record), index)
-                             for index, record in enumerate(chunk)]
-                    # em: ok(EM004) one memoryload ≤ m·B, reserved
-                    pairs.sort()
+                    # Arge–Thorup: sort (key, pointer), then move each
+                    # record exactly once through its pointer — payload
+                    # size stays out of the comparisons, ties keep input
+                    # order (stability).  On a typed chunk both calls
+                    # are single vectorized passes.
+                    order = argsort(chunk, key)
+                    permuted = take(chunk, order)
                     run = stream_cls(machine, name=f"run/{len(runs)}")
-                    for offset in range(0, len(pairs), machine.B):
-                        run.append_block(
-                            [chunk[index] for _, index
-                             in pairs[offset:offset + machine.B]]
-                        )
+                    run.append_blocks([
+                        permuted[offset:offset + machine.B]
+                        for offset in range(0, len(permuted), machine.B)
+                    ])
                     runs.append(run.finalize())
                     run = None
         except BaseException:

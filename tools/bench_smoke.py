@@ -5,12 +5,20 @@ Runs the F1 (sort scaling) and F12 (parallel disks) experiments at small
 sizes — seconds, not minutes — and writes a JSON summary so CI uploads a
 machine-readable record of the runtime's scheduling quality per commit:
 
-    python tools/bench_smoke.py [--output BENCH_pr7.json]
+    python tools/bench_smoke.py [--output BENCH_pr10.json]
 
 The JSON reports, per disk count, the parallel steps, total transfers,
 and the steps/optimal ratio (optimal = ceil(transfers / D)); the sort
 must stay within 1.5x of its step-optimal schedule, the same bound the
 full F12 benchmark enforces.
+
+A raw-speed record compares the key-pointer sort (typed payloads,
+blockwise permutation) against the seed's record-object path — same
+machine, same data, same simulated I/O schedule (asserted counter by
+counter) — on both the in-memory and the real-file disk backends at
+the F1 sizes, recording wall-clock for each and gating the in-memory
+speedup at 2x (the file backend's shared syscall floor gets a 1.4x
+sanity floor instead).
 
 Two fault-layer records ride along: the transfer overhead of a
 seeded-fault checkpointed sort over the clean sort (retries re-transfer
@@ -55,7 +63,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import random  # noqa: E402
 
-from repro.core import FileStream, Machine, StripedStream, sort_io  # noqa: E402
+import numpy as np  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    FileDiskArray,
+    FileStream,
+    Machine,
+    StripedStream,
+    sort_io,
+)
 from repro.faults import (  # noqa: E402
     FaultPlan,
     SortManifest,
@@ -63,7 +79,8 @@ from repro.faults import (  # noqa: E402
 )
 from repro.pq import ExternalPriorityQueue  # noqa: E402
 from repro.search import BPlusTree  # noqa: E402
-from repro.sort import external_merge_sort  # noqa: E402
+from repro.sort import LoserTree, external_merge_sort  # noqa: E402
+from repro.sort.merge import plan_merge_arity  # noqa: E402
 from repro.workloads import uniform_ints  # noqa: E402
 
 # Toy sizes: ~10x smaller than benchmarks/bench_f1_* and bench_f12_*.
@@ -75,6 +92,14 @@ FAULT_OVERHEAD_BOUND = 2.0
 F19_B, F19_M_BLOCKS, F19_OPS = 64, 16, 32_000
 POOL_B, POOL_M_BLOCKS, POOL_N, POOL_QUERIES = 16, 8, 2_000, 1_500
 POOL_FAULT_OVERHEAD_BOUND = 2.0
+# Raw-speed gate: the key-pointer sort must beat the seed's
+# record-object path by 2x wall-clock on the in-memory backend at every
+# F1 size, with bit-identical simulated I/O.  The real-file backend adds
+# the same syscall floor to both paths, compressing the ratio, so it
+# carries a sanity floor rather than the full gate.
+RAW_REPS = 5
+RAW_SPEEDUP_BOUND = 2.0
+RAW_FILE_SPEEDUP_BOUND = 1.4
 
 
 def f1_smoke():
@@ -96,6 +121,121 @@ def f1_smoke():
         })
     return {"name": "f1_sort_scaling", "B": F1_B,
             "M": F1_B * F1_M_BLOCKS, "points": points}
+
+
+def _seed_record_sort(machine, stream):
+    """The seed's record-object sort path, reconstructed verbatim.
+
+    Memoryloads are sorted as Python lists of records, runs are written
+    one ``append`` at a time, and merging feeds a loser tree record by
+    record — every per-record cost the key-pointer refactor removed.
+    Kept here as the wall-clock baseline; its simulated I/O schedule is
+    identical to ``external_merge_sort``'s, which the caller asserts.
+    """
+    key = lambda r: r  # noqa: E731
+    runs = []
+    num_blocks = stream.num_blocks
+    for start in range(0, num_blocks, machine.m):
+        end = min(start + machine.m, num_blocks)
+        chunk = list(stream.read_block_range(start, end))
+        chunk.sort(key=key)  # em: ok(EM004) one m-block memoryload
+        run = FileStream(machine, name=f"seedrun/{len(runs)}")
+        for record in chunk:
+            run.append(record)
+        runs.append(run.finalize())
+    while len(runs) > 1:
+        arity = plan_merge_arity(machine, len(runs))
+        next_runs = []
+        for g in range(0, len(runs), arity):
+            group = runs[g:g + arity]
+            out = FileStream(machine, name=f"seedmerge/{len(next_runs)}")
+            tree = LoserTree([iter(r) for r in group], key=key)
+            for record in tree:
+                out.append(record)
+            next_runs.append(out.finalize())
+            for run in group:
+                run.delete()
+        runs = next_runs
+    return runs[0]
+
+
+def raw_speed_smoke():
+    """Key-pointer sort vs the seed record-object path, both backends.
+
+    Times the full pipeline — ingest plus sort — because the typed path
+    earns its speed everywhere the record path pays per-record Python:
+    ``from_payload`` block-copies what ``from_records`` appends one
+    record at a time.  Every point asserts the two paths produce the
+    same sorted output through the exact same simulated I/O schedule
+    (whole-counter equality), so the wall-clock ratio measures constant
+    factors only, never a different algorithm.
+    """
+    points = []
+    for n in F1_SIZES:
+        data = uniform_ints(n, seed=2)
+        payload = np.asarray(data, dtype=np.int64)
+        reference = sorted(data)
+        for backend in ("memory", "file"):
+            seed_wall = kp_wall = float("inf")
+            seed_stats = kp_stats = None
+            for _ in range(RAW_REPS):
+                machine = _raw_machine(backend)
+                start = time.perf_counter()
+                stream = FileStream.from_records(machine, data)
+                out = _seed_record_sort(machine, stream)
+                elapsed = time.perf_counter() - start
+                assert list(out) == reference
+                seed_stats = machine.stats()
+                _raw_close(machine, backend)
+                seed_wall = min(seed_wall, elapsed)
+
+                machine = _raw_machine(backend)
+                start = time.perf_counter()
+                stream = FileStream.from_payload(machine, payload)
+                out = external_merge_sort(machine, stream)
+                elapsed = time.perf_counter() - start
+                assert list(out) == reference
+                kp_stats = machine.stats()
+                _raw_close(machine, backend)
+                kp_wall = min(kp_wall, elapsed)
+            assert seed_stats == kp_stats, (
+                f"n={n} {backend}: simulated I/O diverged — "
+                f"seed {seed_stats} vs key-pointer {kp_stats}"
+            )
+            ratio = seed_wall / kp_wall
+            bound = (RAW_SPEEDUP_BOUND if backend == "memory"
+                     else RAW_FILE_SPEEDUP_BOUND)
+            assert ratio >= bound, (
+                f"n={n} {backend}: key-pointer sort only "
+                f"{ratio:.2f}x faster than the record path "
+                f"({kp_wall * 1e3:.1f}ms vs {seed_wall * 1e3:.1f}ms), "
+                f"bound {bound}x"
+            )
+            points.append({
+                "n": n,
+                "backend": backend,
+                "seed_ms": round(seed_wall * 1e3, 2),
+                "key_pointer_ms": round(kp_wall * 1e3, 2),
+                "speedup": round(ratio, 2),
+                "transfers": kp_stats.total,
+                "steps": kp_stats.total_steps,
+            })
+    return {"name": "raw_speed_sort", "B": F1_B,
+            "M": F1_B * F1_M_BLOCKS, "reps": RAW_REPS,
+            "memory_bound": RAW_SPEEDUP_BOUND,
+            "file_bound": RAW_FILE_SPEEDUP_BOUND, "points": points}
+
+
+def _raw_machine(backend):
+    if backend == "memory":
+        return Machine(block_size=F1_B, memory_blocks=F1_M_BLOCKS)
+    return Machine(block_size=F1_B, memory_blocks=F1_M_BLOCKS,
+                   disk=FileDiskArray(F1_B))
+
+
+def _raw_close(machine, backend):
+    if backend == "file":
+        machine.disk.close()
 
 
 def f12_smoke():
@@ -510,10 +650,10 @@ def service_smoke():
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr9.json",
+    parser.add_argument("--output", default="BENCH_pr10.json",
                         help="path of the JSON summary (default: %(default)s)")
     args = parser.parse_args(argv)
-    summary = {"benchmarks": [f1_smoke(), f12_smoke(),
+    summary = {"benchmarks": [f1_smoke(), raw_speed_smoke(), f12_smoke(),
                               faulted_sort_smoke(), f19_pq_budget_smoke(),
                               pool_hit_rate_smoke(),
                               faulted_query_smoke(),
